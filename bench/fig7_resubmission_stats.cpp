@@ -1,0 +1,34 @@
+// Regenerates Fig. 7: probability that a resubmitted job is interrupted
+// again, given k consecutive prior interruptions, per interruption category
+// (Observation 9). The paper's shapes: category 1 (system) peaks at k=2
+// (~53%); category 2 (application) increases monotonically to ~60%.
+#include <cstdio>
+
+#include "coral/core/pipeline.hpp"
+#include "coral/synth/intrepid.hpp"
+
+int main() {
+  using namespace coral;
+  const synth::SynthResult data = synth::generate(synth::intrepid_scenario(42));
+  const core::CoAnalysisResult r = core::run_coanalysis(data.ras, data.jobs);
+
+  std::printf("Fig. 7: interruption probability of resubmitted jobs\n\n");
+  const char* names[2] = {"category 1 (system failures)", "category 2 (application errors)"};
+  const double paper[2][3] = {{0.35, 0.53, 0.40}, {0.40, 0.50, 0.60}};
+  for (int cat = 0; cat < 2; ++cat) {
+    std::printf("%s\n", names[cat]);
+    const auto& rs = r.vulnerability.resubmission[cat];
+    for (int k = 1; k <= 3; ++k) {
+      const auto& p = rs.by_k[static_cast<std::size_t>(k - 1)];
+      const int bar = static_cast<int>(p.probability() * 50 + 0.5);
+      std::printf("  k=%d  P=%5.1f%%  (%zu/%zu)  [paper ~%2.0f%%] |%.*s\n", k,
+                  100.0 * p.probability(), p.interrupted, p.resubmissions,
+                  100.0 * paper[cat][k - 1], bar,
+                  "##################################################");
+    }
+  }
+  std::printf("\nCoverage: %.1f%% of interruptions are NOT covered by k>=2 history\n"
+              "[paper: 83.77%%] — why §VI-D falls back to feature-based analysis.\n",
+              100.0 * r.vulnerability.resubmission[0].uncovered_at_k2);
+  return 0;
+}

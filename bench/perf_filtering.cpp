@@ -1,0 +1,101 @@
+// Microbenchmarks for the filtering hot paths on the full-scale log
+// (throughput of each stage and of the whole pipeline).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "coral/filter/pipeline.hpp"
+#include "coral/ras/binary_io.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace {
+
+using namespace coral;
+
+const synth::SynthResult& data() {
+  static const synth::SynthResult result = synth::generate(synth::intrepid_scenario(42));
+  return result;
+}
+
+void BM_ExtractFatal(benchmark::State& state) {
+  (void)data();  // build the log outside the timed region
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data().ras.fatal_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data().ras.size()));
+}
+BENCHMARK(BM_ExtractFatal);
+
+void BM_TemporalFilter(benchmark::State& state) {
+  const auto events = data().ras.fatal_events();
+  for (auto _ : state) {
+    auto groups = filter::singleton_groups(events.size());
+    benchmark::DoNotOptimize(
+        filter::temporal_filter(events, std::move(groups), {}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_TemporalFilter);
+
+void BM_SpatialFilter(benchmark::State& state) {
+  const auto events = data().ras.fatal_events();
+  const auto pre = filter::temporal_filter(events, filter::singleton_groups(events.size()), {});
+  for (auto _ : state) {
+    auto groups = pre;
+    benchmark::DoNotOptimize(filter::spatial_filter(events, std::move(groups), {}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pre.size()));
+}
+BENCHMARK(BM_SpatialFilter);
+
+void BM_CausalityMining(benchmark::State& state) {
+  const auto events = data().ras.fatal_events();
+  auto groups = filter::temporal_filter(events, filter::singleton_groups(events.size()), {});
+  groups = filter::spatial_filter(events, std::move(groups), {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter::mine_causal_pairs(events, groups, {}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(groups.size()));
+}
+BENCHMARK(BM_CausalityMining);
+
+void BM_FullFilterPipeline(benchmark::State& state) {
+  (void)data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter::run_filter_pipeline(data().ras, {}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data().ras.size()));
+}
+BENCHMARK(BM_FullFilterPipeline);
+
+void BM_RasBinaryWrite(benchmark::State& state) {
+  (void)data();
+  for (auto _ : state) {
+    std::ostringstream out;
+    ras::write_binary(out, data().ras);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data().ras.size()));
+}
+BENCHMARK(BM_RasBinaryWrite);
+
+void BM_RasBinaryRead(benchmark::State& state) {
+  std::ostringstream out;
+  ras::write_binary(out, data().ras);
+  const std::string bytes = out.str();
+  for (auto _ : state) {
+    std::istringstream in(bytes);
+    benchmark::DoNotOptimize(ras::read_binary(in));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data().ras.size()));
+}
+BENCHMARK(BM_RasBinaryRead);
+
+}  // namespace

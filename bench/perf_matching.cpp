@@ -1,0 +1,59 @@
+// Microbenchmarks for generation and the co-analysis core on the
+// full-scale log pair.
+#include <benchmark/benchmark.h>
+
+#include "coral/core/pipeline.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace {
+
+using namespace coral;
+
+const synth::SynthResult& data() {
+  static const synth::SynthResult result = synth::generate(synth::intrepid_scenario(42));
+  return result;
+}
+
+const filter::FilterPipelineResult& filtered() {
+  static const filter::FilterPipelineResult result =
+      filter::run_filter_pipeline(data().ras, {});
+  return result;
+}
+
+void BM_GenerateSmallScenario(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::generate(synth::small_scenario(seed++)));
+  }
+}
+BENCHMARK(BM_GenerateSmallScenario)->Unit(benchmark::kMillisecond);
+
+void BM_MatchInterruptions(benchmark::State& state) {
+  (void)filtered();  // build log + filter outside the timed region
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::match_interruptions(filtered(), data().jobs, {}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(filtered().groups.size()));
+}
+BENCHMARK(BM_MatchInterruptions);
+
+void BM_JobRunningAtQuery(benchmark::State& state) {
+  const auto& jobs = data().jobs;
+  const TimePoint mid = TimePoint::from_calendar(2009, 5, 1);
+  const bgp::Location loc = bgp::Location::parse("R10-M0-N04");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jobs.running_at(mid, loc));
+  }
+}
+BENCHMARK(BM_JobRunningAtQuery);
+
+void BM_FullCoAnalysis(benchmark::State& state) {
+  (void)data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_coanalysis(data().ras, data().jobs));
+  }
+}
+BENCHMARK(BM_FullCoAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace

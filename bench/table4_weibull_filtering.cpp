@@ -1,0 +1,48 @@
+// Regenerates Table IV: Weibull parameters and numerical characteristics of
+// fatal-event interarrivals before and after job-related filtering, plus the
+// likelihood-ratio test backing the "Weibull fits better" claim (§V-A).
+#include <cstdio>
+
+#include "coral/core/pipeline.hpp"
+#include "coral/stats/bootstrap.hpp"
+#include "coral/synth/intrepid.hpp"
+
+int main() {
+  using namespace coral;
+  const synth::SynthResult data = synth::generate(synth::intrepid_scenario(42));
+  const core::CoAnalysisResult r = core::run_coanalysis(data.ras, data.jobs);
+
+  std::printf("Table IV: Weibull fits of fatal-event interarrival times\n");
+  std::printf("%-28s %10s %12s %12s %14s\n", "", "Shape", "Scale", "Mean", "Variance");
+  const auto row = [](const char* name, const core::InterarrivalFit& fit) {
+    std::printf("%-28s %10.6f %12.1f %12.0f %14.4e\n", name, fit.weibull.shape(),
+                fit.weibull.scale(), fit.weibull.mean(), fit.weibull.variance());
+  };
+  row("Before job-related filtering", r.fatal_before_jobfilter);
+  row("After job-related filtering", r.fatal_after_jobfilter);
+  std::printf("%-28s %10.6f %12.1f %12.0f %14.4e   [paper]\n", "  (paper before)", 0.387187,
+              8116.7, 29585.0, 9.6348e9);
+  std::printf("%-28s %10.6f %12.1f %12.0f %14.4e   [paper]\n", "  (paper after)", 0.572884,
+              68465.9, 109718.0, 4.1818e10);
+
+  std::printf("\nLikelihood-ratio test (Weibull vs exponential):\n");
+  const auto lrt_row = [](const char* name, const core::InterarrivalFit& fit) {
+    std::printf("  %-28s llW=%.1f llE=%.1f stat=%.1f p=%.3e -> %s\n", name,
+                fit.lrt.ll_weibull, fit.lrt.ll_exponential, fit.lrt.statistic,
+                fit.lrt.p_value, fit.lrt.weibull_preferred ? "Weibull" : "exponential");
+  };
+  lrt_row("before job-related", r.fatal_before_jobfilter);
+  lrt_row("after job-related", r.fatal_after_jobfilter);
+
+  std::printf("\nBootstrap 95%% CIs on the Weibull shape (percentile, 400 resamples):\n");
+  const auto ci_before = stats::bootstrap_weibull_shape(r.fatal_before_jobfilter.samples_sec);
+  const auto ci_after = stats::bootstrap_weibull_shape(r.fatal_after_jobfilter.samples_sec);
+  std::printf("  before: %.3f [%.3f, %.3f]\n", ci_before.point, ci_before.lo, ci_before.hi);
+  std::printf("  after:  %.3f [%.3f, %.3f]\n", ci_after.point, ci_after.lo, ci_after.hi);
+  std::printf("  shape < 1 with 95%% confidence in both fits: %s\n",
+              ci_before.hi < 1.0 && ci_after.hi < 1.0 ? "yes" : "no");
+
+  std::printf("\nShape < 1 in both fits (decreasing hazard rate), and the fitted mean\n"
+              "grows after job-related filtering — the paper's Observation 4.\n");
+  return 0;
+}

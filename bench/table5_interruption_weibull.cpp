@@ -1,0 +1,42 @@
+// Regenerates Table V: Weibull parameters of job-interruption interarrival
+// times by cause (system failures vs application errors), plus the MTTI/MTBF
+// comparison of §VI-B (Observation 7).
+#include <cstdio>
+
+#include "coral/core/pipeline.hpp"
+#include "coral/synth/intrepid.hpp"
+
+int main() {
+  using namespace coral;
+  const synth::SynthResult data = synth::generate(synth::intrepid_scenario(42));
+  const core::CoAnalysisResult r = core::run_coanalysis(data.ras, data.jobs);
+
+  std::printf("Table V: Weibull fits of job-interruption interarrival times\n");
+  std::printf("%-22s %10s %12s %12s %14s\n", "Interruption Cause", "Shape", "Scale", "Mean",
+              "Variance");
+  const auto row = [](const char* name, const core::InterarrivalFit& fit) {
+    std::printf("%-22s %10.6f %12.1f %12.0f %14.5e\n", name, fit.weibull.shape(),
+                fit.weibull.scale(), fit.weibull.mean(), fit.weibull.variance());
+  };
+  row("System failures", r.interruptions_system);
+  row("Application errors", r.interruptions_application);
+  std::printf("%-22s %10.6f %12.1f %12.0f %14.5e   [paper]\n", "  (paper system)",
+              0.346296, 23075.3, 120454.0, 2.38219e11);
+  std::printf("%-22s %10.6f %12.1f %12.0f %14.5e   [paper]\n", "  (paper application)",
+              0.301397, 23801.7, 215886.0, 1.33603e12);
+
+  std::printf("\nLRT: system p=%.2e -> %s; application p=%.2e -> %s\n",
+              r.interruptions_system.lrt.p_value,
+              r.interruptions_system.lrt.weibull_preferred ? "Weibull" : "exponential",
+              r.interruptions_application.lrt.p_value,
+              r.interruptions_application.lrt.weibull_preferred ? "Weibull" : "exponential");
+
+  const double mtti = r.interruptions_system.weibull.mean();
+  const double mtbf = r.fatal_before_jobfilter.weibull.mean();
+  std::printf("\nMTTI(app)/MTTI(system) = %.2f  [paper: ~1.8x]\n",
+              r.interruptions_application.weibull.mean() / mtti);
+  std::printf("MTTI(system)/MTBF      = %.2f  [paper: 4.07x]\n", mtti / mtbf);
+  std::printf("\nShape check: both shapes < 1; application-error MTTI exceeds\n"
+              "system-failure MTTI; interruption rate far below failure rate.\n");
+  return 0;
+}

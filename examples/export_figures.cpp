@@ -1,0 +1,39 @@
+// CLI: run the co-analysis and dump every figure's data series as CSV files
+// ready for gnuplot/matplotlib — fig3a/b, fig4, fig5, fig6a/b, fig7 and
+// table6.
+//
+//   $ ./example_export_figures [output-dir] [seed] [days]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "coral/core/export.hpp"
+#include "coral/synth/intrepid.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coral;
+  const std::string dir = argc > 1 ? argv[1] : "figures";
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  const int days = argc > 3 ? std::atoi(argv[3]) : 237;
+
+  std::filesystem::create_directories(dir);
+  std::printf("Generating %d days (seed %llu) and running co-analysis...\n", days,
+              static_cast<unsigned long long>(seed));
+  const synth::SynthResult data =
+      synth::generate(days == 237 ? synth::intrepid_scenario(seed)
+                                  : synth::small_scenario(seed, days));
+  const core::CoAnalysisResult r = core::run_coanalysis(data.ras, data.jobs);
+
+  const int written = core::export_all(dir, r);
+  std::printf("Wrote %d CSV series into %s/:\n", written, dir.c_str());
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::printf("  %s (%ju bytes)\n", entry.path().filename().string().c_str(),
+                static_cast<std::uintmax_t>(entry.file_size()));
+  }
+  std::printf("\nExample gnuplot one-liner for Fig. 3a:\n"
+              "  gnuplot -e \"set datafile separator ','; set logscale x; "
+              "plot '%s/fig3a_fatal_cdf_before.csv' every ::1 using 1:2 with steps, "
+              "'' every ::1 using 1:3 with lines, '' every ::1 using 1:4 with lines\"\n",
+              dir.c_str());
+  return 0;
+}

@@ -1,0 +1,202 @@
+#include "coral/bgp/location.hpp"
+
+#include <cstdio>
+
+#include "coral/common/error.hpp"
+#include "coral/common/strings.hpp"
+
+namespace coral::bgp {
+
+const char* to_string(LocationKind kind) {
+  switch (kind) {
+    case LocationKind::Rack: return "rack";
+    case LocationKind::Midplane: return "midplane";
+    case LocationKind::NodeCard: return "node card";
+    case LocationKind::ComputeCard: return "compute card";
+    case LocationKind::ServiceCard: return "service card";
+    case LocationKind::LinkCard: return "link card";
+    case LocationKind::IoNode: return "I/O node";
+  }
+  return "?";
+}
+
+Location Location::rack(int rack) {
+  CORAL_EXPECTS(rack >= 0 && rack < Topology::kRacks);
+  Location loc;
+  loc.kind_ = LocationKind::Rack;
+  loc.rack_ = static_cast<std::int16_t>(rack);
+  return loc;
+}
+
+Location Location::midplane(MidplaneId mid) {
+  CORAL_EXPECTS(mid >= 0 && mid < Topology::kMidplanes);
+  Location loc;
+  loc.kind_ = LocationKind::Midplane;
+  loc.rack_ = static_cast<std::int16_t>(rack_of(mid));
+  loc.midplane_ = static_cast<std::int8_t>(midplane_in_rack_of(mid));
+  return loc;
+}
+
+Location Location::node_card(MidplaneId mid, int card) {
+  CORAL_EXPECTS(card >= 0 && card < Topology::kNodeCardsPerMidplane);
+  Location loc = midplane(mid);
+  loc.kind_ = LocationKind::NodeCard;
+  loc.card_ = static_cast<std::int8_t>(card);
+  return loc;
+}
+
+Location Location::compute_card(MidplaneId mid, int card, int jslot) {
+  CORAL_EXPECTS(jslot >= 4 && jslot < 4 + Topology::kComputeCardsPerNodeCard);
+  Location loc = node_card(mid, card);
+  loc.kind_ = LocationKind::ComputeCard;
+  loc.sub_ = static_cast<std::int8_t>(jslot);
+  return loc;
+}
+
+Location Location::service_card(MidplaneId mid) {
+  Location loc = midplane(mid);
+  loc.kind_ = LocationKind::ServiceCard;
+  return loc;
+}
+
+Location Location::link_card(MidplaneId mid, int slot) {
+  CORAL_EXPECTS(slot >= 0 && slot < Topology::kLinkCardsPerMidplane);
+  Location loc = midplane(mid);
+  loc.kind_ = LocationKind::LinkCard;
+  loc.card_ = static_cast<std::int8_t>(slot);
+  return loc;
+}
+
+Location Location::io_node(MidplaneId mid, int card, int slot) {
+  CORAL_EXPECTS(slot >= 0 && slot < 2);
+  Location loc = node_card(mid, card);
+  loc.kind_ = LocationKind::IoNode;
+  loc.sub_ = static_cast<std::int8_t>(slot);
+  return loc;
+}
+
+namespace {
+
+int parse_num_after(const std::string& part, char prefix, const std::string& whole) {
+  if (part.size() < 2 || part[0] != prefix) {
+    throw ParseError("bad location segment '" + part + "' in '" + whole + "'");
+  }
+  for (std::size_t i = 1; i < part.size(); ++i) {
+    if (part[i] < '0' || part[i] > '9') {
+      throw ParseError("bad location segment '" + part + "' in '" + whole + "'");
+    }
+  }
+  return static_cast<int>(parse_int(part.substr(1)));
+}
+
+}  // namespace
+
+Location Location::parse(const std::string& text) {
+  const auto parts = split(text, '-');
+  if (parts.empty() || parts[0].empty()) throw ParseError("empty location");
+
+  const int rk = parse_num_after(parts[0], 'R', text);
+  if (rk < 0 || rk >= Topology::kRacks) throw ParseError("rack out of range: '" + text + "'");
+  if (parts.size() == 1) return rack(rk);
+
+  const std::string& p1 = parts[1];
+  if (p1 == "S") {
+    // Some logs write "R04-M0-S"; rack-level "R04-S" is not a thing — require
+    // a midplane segment first.
+    throw ParseError("service card requires a midplane: '" + text + "'");
+  }
+  const int mp = parse_num_after(p1, 'M', text);
+  if (mp < 0 || mp >= Topology::kMidplanesPerRack) {
+    throw ParseError("midplane out of range: '" + text + "'");
+  }
+  const MidplaneId mid = bgp::midplane_id(rk, mp);
+  if (parts.size() == 2) return midplane(mid);
+
+  const std::string& p2 = parts[2];
+  if (p2 == "S") {
+    if (parts.size() != 3) throw ParseError("trailing segments after service card: '" + text + "'");
+    return service_card(mid);
+  }
+  if (!p2.empty() && p2[0] == 'L') {
+    if (parts.size() != 3) throw ParseError("trailing segments after link card: '" + text + "'");
+    const int slot = parse_num_after(p2, 'L', text);
+    if (slot < 0 || slot >= Topology::kLinkCardsPerMidplane) {
+      throw ParseError("link card out of range: '" + text + "'");
+    }
+    return link_card(mid, slot);
+  }
+  const int card = parse_num_after(p2, 'N', text);
+  if (card < 0 || card >= Topology::kNodeCardsPerMidplane) {
+    throw ParseError("node card out of range: '" + text + "'");
+  }
+  if (parts.size() == 3) return node_card(mid, card);
+
+  const std::string& p3 = parts[3];
+  if (parts.size() != 4) throw ParseError("too many segments: '" + text + "'");
+  if (!p3.empty() && p3[0] == 'I') {
+    const int slot = parse_num_after(p3, 'I', text);
+    if (slot < 0 || slot >= 2) throw ParseError("I/O node out of range: '" + text + "'");
+    return io_node(mid, card, slot);
+  }
+  const int jslot = parse_num_after(p3, 'J', text);
+  if (jslot < 4 || jslot >= 4 + Topology::kComputeCardsPerNodeCard) {
+    throw ParseError("compute card out of range: '" + text + "'");
+  }
+  return compute_card(mid, card, jslot);
+}
+
+std::optional<MidplaneId> Location::midplane_id() const {
+  if (kind_ == LocationKind::Rack) return std::nullopt;
+  return bgp::midplane_id(rack_, midplane_);
+}
+
+bool Location::is_within(const Location& other) const {
+  if (other.rack_ != rack_) return false;
+  switch (other.kind_) {
+    case LocationKind::Rack:
+      return true;
+    case LocationKind::Midplane:
+      return kind_ != LocationKind::Rack && midplane_ == other.midplane_;
+    case LocationKind::NodeCard:
+      return (kind_ == LocationKind::NodeCard || kind_ == LocationKind::ComputeCard ||
+              kind_ == LocationKind::IoNode) &&
+             midplane_ == other.midplane_ && card_ == other.card_;
+    default:
+      return *this == other;
+  }
+}
+
+bool Location::touches_midplane(MidplaneId mid) const {
+  if (kind_ == LocationKind::Rack) return rack_of(mid) == rack_;
+  return bgp::midplane_id(rack_, midplane_) == mid;
+}
+
+std::string Location::to_string() const {
+  char buf[32];
+  switch (kind_) {
+    case LocationKind::Rack:
+      std::snprintf(buf, sizeof buf, "R%02d", rack_);
+      break;
+    case LocationKind::Midplane:
+      std::snprintf(buf, sizeof buf, "R%02d-M%d", rack_, midplane_);
+      break;
+    case LocationKind::NodeCard:
+      std::snprintf(buf, sizeof buf, "R%02d-M%d-N%02d", rack_, midplane_, card_);
+      break;
+    case LocationKind::ComputeCard:
+      std::snprintf(buf, sizeof buf, "R%02d-M%d-N%02d-J%02d", rack_, midplane_, card_, sub_);
+      break;
+    case LocationKind::ServiceCard:
+      std::snprintf(buf, sizeof buf, "R%02d-M%d-S", rack_, midplane_);
+      break;
+    case LocationKind::LinkCard:
+      std::snprintf(buf, sizeof buf, "R%02d-M%d-L%d", rack_, midplane_, card_);
+      break;
+    case LocationKind::IoNode:
+      std::snprintf(buf, sizeof buf, "R%02d-M%d-N%02d-I%02d", rack_, midplane_, card_, sub_);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace coral::bgp

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "coral/bgp/topology.hpp"
+
+namespace coral::bgp {
+
+/// Hardware element kinds that appear in the RAS LOCATION field.
+enum class LocationKind : std::uint8_t {
+  Rack,         ///< "R04"
+  Midplane,     ///< "R04-M0"
+  NodeCard,     ///< "R04-M0-N08"
+  ComputeCard,  ///< "R04-M0-N08-J12"
+  ServiceCard,  ///< "R04-M0-S"
+  LinkCard,     ///< "R04-M0-L1"
+  IoNode,       ///< "R04-M0-N08-I00" (I/O node on a node card)
+};
+
+/// Short human-readable name of a kind ("midplane", "node card", ...).
+const char* to_string(LocationKind kind);
+
+/// A parsed Blue Gene/P location code.
+///
+/// Location strings are hierarchical: rack > midplane > node card > card.
+/// The co-analysis only needs two operations beyond round-tripping —
+/// which midplane an event touches, and rack-level fan-out — both provided
+/// here. Invalid strings throw ParseError.
+class Location {
+ public:
+  /// Default-constructs as rack R00 (a placeholder; prefer the factories).
+  Location() = default;
+
+  /// Rack-level location, rack in [0, 40).
+  static Location rack(int rack);
+  /// Midplane-level location.
+  static Location midplane(MidplaneId mid);
+  /// Node card on a midplane, card in [0, 16).
+  static Location node_card(MidplaneId mid, int card);
+  /// Compute card: card in [0,16), jslot in [4, 36) (J04..J35 on BG/P).
+  static Location compute_card(MidplaneId mid, int card, int jslot);
+  /// Service card of a midplane.
+  static Location service_card(MidplaneId mid);
+  /// Link card of a midplane, slot in [0, 4).
+  static Location link_card(MidplaneId mid, int slot);
+  /// I/O node on a node card, slot in [0, 2).
+  static Location io_node(MidplaneId mid, int card, int slot);
+
+  /// Parse a location string such as "R04-M0-N08-J12". Throws ParseError.
+  static Location parse(const std::string& text);
+
+  LocationKind kind() const { return kind_; }
+  int rack_index() const { return rack_; }
+
+  /// The midplane this location lives on; nullopt for rack-level locations.
+  std::optional<MidplaneId> midplane_id() const;
+
+  /// True if this location is `other` or contained within it (e.g. a compute
+  /// card is within its midplane and its rack).
+  bool is_within(const Location& other) const;
+
+  /// True if the location denotes hardware on (or containing) midplane `mid`.
+  /// Rack-level locations touch both midplanes of the rack.
+  bool touches_midplane(MidplaneId mid) const;
+
+  /// Canonical string form ("R04-M0-N08-J12").
+  std::string to_string() const;
+
+  /// Dense integer encoding, unique per location — a cheap hash-map key for
+  /// the filtering hot paths (2M-record logs).
+  std::uint32_t packed() const {
+    return (static_cast<std::uint32_t>(kind_) << 24) |
+           (static_cast<std::uint32_t>(static_cast<std::uint8_t>(rack_)) << 16) |
+           ((static_cast<std::uint32_t>(static_cast<std::uint8_t>(midplane_)) & 0xF) << 12) |
+           ((static_cast<std::uint32_t>(static_cast<std::uint8_t>(card_)) & 0x3F) << 6) |
+           (static_cast<std::uint32_t>(static_cast<std::uint8_t>(sub_)) & 0x3F);
+  }
+
+  friend bool operator==(const Location& a, const Location& b) = default;
+
+ private:
+  LocationKind kind_ = LocationKind::Rack;
+  std::int16_t rack_ = 0;      ///< [0, 40)
+  std::int8_t midplane_ = -1;  ///< within rack, [0, 2); -1 when rack-level
+  std::int8_t card_ = -1;      ///< node-card or link-card slot
+  std::int8_t sub_ = -1;       ///< compute-card J-slot or I/O-node slot
+};
+
+}  // namespace coral::bgp

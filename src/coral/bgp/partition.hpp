@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coral/bgp/location.hpp"
+#include "coral/bgp/topology.hpp"
+
+namespace coral::bgp {
+
+/// A schedulable partition: a contiguous, aligned range of midplanes.
+///
+/// The midplane is the minimum scheduling unit on Intrepid (§III-A); larger
+/// partitions are whole racks joined with adjacent racks. Legal sizes (in
+/// midplanes) are 1, 2, 4, 8, 16, 32, 48, 64 and 80 — exactly the job sizes
+/// of Table VI. Sizes >= 2 are rack-aligned; rack counts are aligned to
+/// their own size (24-rack and 32-rack partitions align to 8 racks; the
+/// 80-midplane partition is the full machine).
+class Partition {
+ public:
+  /// Legal partition sizes in midplanes, ascending.
+  static const std::vector<int>& legal_sizes();
+
+  /// Construct from first midplane and size. Throws InvalidArgument if the
+  /// (first, size) pair is not a legal aligned partition.
+  Partition(MidplaneId first, int midplane_count);
+
+  /// Parse a job-log location string: "R04-M0" (one midplane), "R04" (one
+  /// rack = 2 midplanes), "R08-R11" (rack range). Throws ParseError.
+  static Partition parse(const std::string& text);
+
+  /// All legal partitions of a given size on the machine, in address order.
+  static std::vector<Partition> all_of_size(int midplane_count);
+
+  MidplaneId first_midplane() const { return first_; }
+  int midplane_count() const { return count_; }
+  MidplaneId end_midplane() const { return first_ + count_; }
+
+  bool contains(MidplaneId mid) const { return mid >= first_ && mid < first_ + count_; }
+  bool overlaps(const Partition& other) const {
+    return first_ < other.end_midplane() && other.first_ < end_midplane();
+  }
+  /// True if `loc` denotes hardware on one of this partition's midplanes.
+  bool covers(const Location& loc) const;
+
+  /// Midplane ids of this partition, ascending.
+  std::vector<MidplaneId> midplanes() const;
+
+  /// Canonical job-log name ("R04-M0", "R04", "R08-R11").
+  std::string name() const;
+
+  friend bool operator==(const Partition& a, const Partition& b) = default;
+
+ private:
+  MidplaneId first_;
+  int count_;
+};
+
+}  // namespace coral::bgp

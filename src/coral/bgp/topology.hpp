@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+namespace coral::bgp {
+
+/// Intrepid machine constants (ANL 40-rack Blue Gene/P; §III-A of the paper).
+struct Topology {
+  static constexpr int kRacks = 40;            ///< R00..R39
+  static constexpr int kRows = 5;              ///< rows R0..R4, 8 racks each
+  static constexpr int kRacksPerRow = 8;
+  static constexpr int kMidplanesPerRack = 2;  ///< M0 (bottom), M1 (top)
+  static constexpr int kMidplanes = kRacks * kMidplanesPerRack;  ///< 80
+  static constexpr int kNodeCardsPerMidplane = 16;               ///< N00..N15
+  static constexpr int kComputeCardsPerNodeCard = 32;            ///< J04..J35
+  static constexpr int kNodesPerMidplane = 512;
+  static constexpr int kCoresPerNode = 4;
+  static constexpr int kLinkCardsPerMidplane = 4;                ///< L0..L3
+  static constexpr int kIoNodesPerMidplane = 8;                  ///< 1 per 64 nodes
+  static constexpr int kTotalNodes = kMidplanes * kNodesPerMidplane;  ///< 40960
+  static constexpr int kTotalCores = kTotalNodes * kCoresPerNode;     ///< 163840
+};
+
+/// Global midplane index in [0, 80): rack*2 + midplane-within-rack.
+using MidplaneId = std::int32_t;
+
+constexpr MidplaneId midplane_id(int rack, int midplane_in_rack) {
+  return rack * Topology::kMidplanesPerRack + midplane_in_rack;
+}
+constexpr int rack_of(MidplaneId m) { return m / Topology::kMidplanesPerRack; }
+constexpr int midplane_in_rack_of(MidplaneId m) { return m % Topology::kMidplanesPerRack; }
+constexpr int row_of_rack(int rack) { return rack / Topology::kRacksPerRow; }
+
+}  // namespace coral::bgp

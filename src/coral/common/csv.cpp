@@ -1,0 +1,122 @@
+#include "coral/common/csv.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "coral/common/error.hpp"
+
+namespace coral {
+
+namespace {
+
+bool needs_quoting(const std::string& field, char sep) {
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out, char sep) : out_(out), sep_(sep) {}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << sep_;
+    const std::string& f = fields[i];
+    if (needs_quoting(f, sep_)) {
+      out_ << '"';
+      for (char c : f) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+      }
+      out_ << '"';
+    } else {
+      out_ << f;
+    }
+  }
+  out_ << '\n';
+}
+
+CsvReader::CsvReader(std::istream& in, char sep) : in_(in), sep_(sep) {}
+
+bool CsvReader::read_row(std::vector<std::string>& fields) {
+  fields.clear();
+  int c = in_.get();
+  if (c == std::istream::traits_type::eof()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  while (true) {
+    if (c == std::istream::traits_type::eof()) {
+      if (in_quotes) throw ParseError("unterminated quoted CSV field");
+      break;
+    }
+    saw_any = true;
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        const int peek = in_.peek();
+        if (peek == '"') {
+          field += '"';
+          in_.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (ch == sep_) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      break;
+    } else if (ch == '\r') {
+      // swallow; handle \r\n
+      const int peek = in_.peek();
+      if (peek == '\n') in_.get();
+      break;
+    } else {
+      field += ch;
+    }
+    c = in_.get();
+  }
+  (void)saw_any;
+  fields.push_back(std::move(field));
+  return true;
+}
+
+std::vector<std::string> parse_csv_line(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (ch == sep) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += ch;
+    }
+  }
+  if (in_quotes) throw ParseError("unterminated quoted CSV field: '" + line + "'");
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+}  // namespace coral

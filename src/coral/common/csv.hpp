@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coral {
+
+/// Minimal RFC-4180-ish CSV writer: fields containing the separator, quotes,
+/// or newlines are quoted; embedded quotes are doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',');
+
+  /// Write one row; fields are escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+  char sep_;
+};
+
+/// Streaming CSV reader matching CsvWriter's dialect.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in, char sep = ',');
+
+  /// Read the next row into `fields`. Returns false at end of input.
+  /// Throws ParseError on an unterminated quoted field.
+  bool read_row(std::vector<std::string>& fields);
+
+ private:
+  std::istream& in_;
+  char sep_;
+};
+
+/// Parse a single CSV line (no embedded newlines) into fields.
+std::vector<std::string> parse_csv_line(const std::string& line, char sep = ',');
+
+}  // namespace coral

@@ -1,0 +1,9 @@
+#include "coral/common/error.hpp"
+
+namespace coral::detail {
+
+void throw_invalid(const char* expr, const char* file, int line) {
+  throw InvalidArgument(std::string(expr) + " at " + file + ":" + std::to_string(line));
+}
+
+}  // namespace coral::detail

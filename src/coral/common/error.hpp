@@ -1,0 +1,37 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace coral {
+
+/// Base exception for all CORAL errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when parsing a log record, timestamp, or location string fails.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Thrown when a function precondition is violated by the caller.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error("invalid argument: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid(const char* expr, const char* file, int line);
+}  // namespace detail
+
+/// Precondition check that throws InvalidArgument (never compiled out;
+/// analysis code is not on a hot path where a branch matters).
+#define CORAL_EXPECTS(expr)                                   \
+  do {                                                        \
+    if (!(expr)) ::coral::detail::throw_invalid(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+}  // namespace coral

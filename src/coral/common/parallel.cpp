@@ -1,0 +1,91 @@
+#include "coral/common/parallel.hpp"
+
+#include <algorithm>
+
+namespace coral::par {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for_chunks(std::size_t n, std::size_t min_chunk,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         ThreadPool* pool) {
+  if (n == 0) return;
+  const std::size_t threads = pool ? pool->thread_count() : 1;
+  if (threads <= 1 || n <= min_chunk) {
+    body(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(threads * 4, std::max<std::size_t>(1, n / min_chunk));
+  const std::size_t step = (n + chunks - 1) / chunks;
+  for (std::size_t begin = 0; begin < n; begin += step) {
+    const std::size_t end = std::min(n, begin + step);
+    pool->submit([&body, begin, end] { body(begin, end); });
+  }
+  pool->wait_idle();
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace coral::par

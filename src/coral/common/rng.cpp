@@ -1,0 +1,186 @@
+#include "coral/common/rng.hpp"
+
+#include <cmath>
+
+#include "coral/common/error.hpp"
+
+namespace coral {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // Avoid the all-zero state (cannot occur via splitmix64, but be explicit).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xA02BDBF7BB3C0A7ull); }
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  CORAL_EXPECTS(n > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CORAL_EXPECTS(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::exponential(double mean) {
+  CORAL_EXPECTS(mean > 0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);  // guard log(0)
+  return -mean * std::log(u);
+}
+
+double Rng::weibull(double shape, double scale) {
+  CORAL_EXPECTS(shape > 0 && scale > 0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double Rng::normal() {
+  // Box–Muller; the second value is discarded for simplicity (determinism
+  // matters more than one extra log/sqrt here).
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+std::uint64_t Rng::poisson(double mean) {
+  CORAL_EXPECTS(mean >= 0);
+  if (mean == 0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction — adequate for the log
+  // generator's large-count draws.
+  const double v = normal(mean, std::sqrt(mean));
+  return v <= 0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  CORAL_EXPECTS(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    CORAL_EXPECTS(w >= 0);
+    total += w;
+  }
+  CORAL_EXPECTS(total > 0);
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  CORAL_EXPECTS(n > 0);
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += std::pow(static_cast<double>(i + 1), -s);
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < n; ++i) {
+    r -= std::pow(static_cast<double>(i + 1), -s);
+    if (r < 0) return i;
+  }
+  return n - 1;
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  CORAL_EXPECTS(!weights.empty());
+  cdf_.resize(weights.size());
+  double total = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    CORAL_EXPECTS(weights[i] >= 0);
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  CORAL_EXPECTS(total > 0);
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  CORAL_EXPECTS(!cdf_.empty());
+  const double u = rng.uniform();
+  // Binary search for the first cdf entry > u.
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] > u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace coral

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace coral {
+
+/// Deterministic pseudo-random engine (xoshiro256**), seeded via SplitMix64.
+///
+/// The standard library's distribution objects are implementation-defined,
+/// which would make synthetic logs differ across toolchains. CORAL therefore
+/// ships its own engine *and* its own samplers (all inverse-transform or
+/// classic exact algorithms), so a seed reproduces the same log pair on every
+/// platform.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Derive an independent child stream (jump-free splitting: the child is
+  /// seeded from this stream's output through SplitMix64).
+  Rng split();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) using Lemire's rejection method (unbiased).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Exponential variate with given mean (inverse transform).
+  double exponential(double mean);
+
+  /// Weibull variate with shape k and scale lambda (inverse transform).
+  double weibull(double shape, double scale);
+
+  /// Standard normal variate (Box–Muller, both values used).
+  double normal();
+
+  /// Normal variate with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal variate parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Poisson variate (Knuth for small mean, PTRS-like normal approx fallback).
+  std::uint64_t poisson(double mean);
+
+  /// Index drawn from unnormalized weights (linear scan inverse transform).
+  std::size_t categorical(std::span<const double> weights);
+
+  /// Zipf-distributed rank in [0, n): P(i) ∝ 1/(i+1)^s. O(1) draws after an
+  /// O(n) table build are the caller's job; this is the simple O(n) version
+  /// suitable for moderate n.
+  std::size_t zipf(std::size_t n, double s);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Precomputed alias-free cumulative table for repeated categorical draws.
+class DiscreteSampler {
+ public:
+  DiscreteSampler() = default;
+  /// Build from unnormalized non-negative weights; throws InvalidArgument if
+  /// all weights are zero or any is negative.
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  /// Draw an index in [0, size()).
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  bool empty() const { return cdf_.empty(); }
+
+ private:
+  std::vector<double> cdf_;  // normalized, last element == 1.0
+};
+
+}  // namespace coral

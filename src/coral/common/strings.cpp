@@ -1,0 +1,90 @@
+#include "coral/common/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "coral/common/error.hpp"
+
+namespace coral {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string strformat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+std::int64_t parse_int(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) throw ParseError("empty integer");
+  bool neg = false;
+  std::size_t i = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    neg = text[0] == '-';
+    i = 1;
+    if (text.size() == 1) throw ParseError("sign-only integer");
+  }
+  std::int64_t v = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') throw ParseError("non-digit in integer: '" + std::string(text) + "'");
+    v = v * 10 + (c - '0');
+  }
+  return neg ? -v : v;
+}
+
+double parse_double(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) throw ParseError("empty number");
+  const std::string owned(text);
+  char* end = nullptr;
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) {
+    throw ParseError("malformed number: '" + owned + "'");
+  }
+  return v;
+}
+
+}  // namespace coral

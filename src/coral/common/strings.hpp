@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coral {
+
+/// Split `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Join `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parse a non-negative integer; throws ParseError on any non-digit.
+std::int64_t parse_int(std::string_view text);
+
+/// Parse a floating-point number; throws ParseError on malformed input.
+double parse_double(std::string_view text);
+
+}  // namespace coral

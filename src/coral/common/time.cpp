@@ -1,0 +1,136 @@
+#include "coral/common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "coral/common/error.hpp"
+
+namespace coral {
+
+namespace {
+
+// Inverse of days_from_civil (Howard Hinnant's civil_from_days).
+void civil_from_days(std::int64_t z, int& year, int& month, int& day) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const std::int64_t doe = z - era * 146097;                                 // [0,146096]
+  const std::int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0,399]
+  const std::int64_t y = yoe + era * 400;
+  const std::int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0,365]
+  const std::int64_t mp = (5 * doy + 2) / 153;                               // [0,11]
+  const std::int64_t d = doy - (153 * mp + 2) / 5 + 1;                       // [1,31]
+  const std::int64_t m = mp < 10 ? mp + 3 : mp - 9;                          // [1,12]
+  year = static_cast<int>(m <= 2 ? y + 1 : y);
+  month = static_cast<int>(m);
+  day = static_cast<int>(d);
+}
+
+int parse_digits(const std::string& s, size_t pos, size_t count) {
+  if (pos + count > s.size()) throw ParseError("timestamp too short: '" + s + "'");
+  int v = 0;
+  for (size_t i = pos; i < pos + count; ++i) {
+    char c = s[i];
+    if (c < '0' || c > '9') throw ParseError("non-digit in timestamp: '" + s + "'");
+    v = v * 10 + (c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::int64_t days_from_civil(int year, int month, int day) {
+  const std::int64_t y = year - (month <= 2);
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const std::int64_t yoe = y - era * 400;                                    // [0,399]
+  const std::int64_t doy = (153 * (month > 2 ? month - 3 : month + 9) + 2) / 5 + day - 1;
+  const std::int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0,146096]
+  return era * 146097 + doe - 719468;
+}
+
+TimePoint TimePoint::from_unix_seconds(double sec) {
+  return TimePoint(static_cast<Usec>(std::llround(sec * static_cast<double>(kUsecPerSec))));
+}
+
+TimePoint TimePoint::from_calendar(int year, int month, int day, int hour, int minute,
+                                   int second, int usec) {
+  CORAL_EXPECTS(month >= 1 && month <= 12);
+  CORAL_EXPECTS(day >= 1 && day <= 31);
+  CORAL_EXPECTS(hour >= 0 && hour < 24);
+  CORAL_EXPECTS(minute >= 0 && minute < 60);
+  CORAL_EXPECTS(second >= 0 && second < 61);
+  CORAL_EXPECTS(usec >= 0 && usec < kUsecPerSec);
+  const std::int64_t days = days_from_civil(year, month, day);
+  Usec t = days * kUsecPerDay;
+  t += static_cast<Usec>(hour) * kUsecPerHour;
+  t += static_cast<Usec>(minute) * kUsecPerMin;
+  t += static_cast<Usec>(second) * kUsecPerSec;
+  t += usec;
+  return TimePoint(t);
+}
+
+TimePoint TimePoint::parse_ras(const std::string& text) {
+  // "YYYY-MM-DD-HH.MM.SS" with optional ".ffffff".
+  if (text.size() < 19) throw ParseError("RAS timestamp too short: '" + text + "'");
+  if (text[4] != '-' || text[7] != '-' || text[10] != '-' || text[13] != '.' ||
+      text[16] != '.') {
+    throw ParseError("malformed RAS timestamp: '" + text + "'");
+  }
+  const int year = parse_digits(text, 0, 4);
+  const int month = parse_digits(text, 5, 2);
+  const int day = parse_digits(text, 8, 2);
+  const int hour = parse_digits(text, 11, 2);
+  const int minute = parse_digits(text, 14, 2);
+  const int second = parse_digits(text, 17, 2);
+  int usec = 0;
+  if (text.size() > 19) {
+    if (text[19] != '.') throw ParseError("malformed RAS timestamp fraction: '" + text + "'");
+    size_t ndigits = text.size() - 20;
+    if (ndigits == 0 || ndigits > 6) {
+      throw ParseError("bad fraction width in RAS timestamp: '" + text + "'");
+    }
+    usec = parse_digits(text, 20, ndigits);
+    for (size_t i = ndigits; i < 6; ++i) usec *= 10;
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 || minute > 59 ||
+      second > 60) {
+    throw ParseError("out-of-range field in RAS timestamp: '" + text + "'");
+  }
+  return from_calendar(year, month, day, hour, minute, second, usec);
+}
+
+CalendarTime to_calendar(TimePoint t) {
+  Usec u = t.usec();
+  std::int64_t days = u / kUsecPerDay;
+  Usec rem = u % kUsecPerDay;
+  if (rem < 0) {
+    rem += kUsecPerDay;
+    days -= 1;
+  }
+  CalendarTime c;
+  civil_from_days(days, c.year, c.month, c.day);
+  c.hour = static_cast<int>(rem / kUsecPerHour);
+  rem %= kUsecPerHour;
+  c.minute = static_cast<int>(rem / kUsecPerMin);
+  rem %= kUsecPerMin;
+  c.second = static_cast<int>(rem / kUsecPerSec);
+  c.usec = static_cast<int>(rem % kUsecPerSec);
+  return c;
+}
+
+std::string TimePoint::to_ras_string() const {
+  const CalendarTime c = to_calendar(*this);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d-%02d.%02d.%02d.%06d", c.year, c.month,
+                c.day, c.hour, c.minute, c.second, c.usec);
+  return buf;
+}
+
+std::string TimePoint::to_display_string() const {
+  const CalendarTime c = to_calendar(*this);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d", c.year, c.month, c.day,
+                c.hour, c.minute, c.second);
+  return buf;
+}
+
+}  // namespace coral

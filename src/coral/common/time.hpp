@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace coral {
+
+/// Microseconds — the native resolution of BG/P RAS timestamps
+/// (e.g. "2009-01-05-15.08.12.285324").
+using Usec = std::int64_t;
+
+inline constexpr Usec kUsecPerSec = 1'000'000;
+inline constexpr Usec kUsecPerMin = 60 * kUsecPerSec;
+inline constexpr Usec kUsecPerHour = 60 * kUsecPerMin;
+inline constexpr Usec kUsecPerDay = 24 * kUsecPerHour;
+
+/// A point in time, microseconds since the Unix epoch (UTC).
+///
+/// A thin strong type over int64 so that times and durations do not mix
+/// silently. Durations are plain Usec values.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(Usec usec_since_epoch) : usec_(usec_since_epoch) {}
+
+  /// Construct from fractional Unix seconds (the Cobalt job-log encoding,
+  /// e.g. "1209618043.1").
+  static TimePoint from_unix_seconds(double sec);
+
+  /// Construct from calendar fields (UTC). Throws InvalidArgument on
+  /// out-of-range fields.
+  static TimePoint from_calendar(int year, int month, int day, int hour = 0,
+                                 int minute = 0, int second = 0, int usec = 0);
+
+  /// Parse the BG/P RAS timestamp format "YYYY-MM-DD-HH.MM.SS.ffffff".
+  /// The fractional part may have 1..6 digits or be absent.
+  /// Throws ParseError on malformed input.
+  static TimePoint parse_ras(const std::string& text);
+
+  constexpr Usec usec() const { return usec_; }
+  constexpr double unix_seconds() const {
+    return static_cast<double>(usec_) / static_cast<double>(kUsecPerSec);
+  }
+
+  /// Format as the BG/P RAS timestamp "YYYY-MM-DD-HH.MM.SS.ffffff" (UTC).
+  std::string to_ras_string() const;
+
+  /// Format as "YYYY-MM-DD HH:MM:SS" (UTC), for human-readable reports.
+  std::string to_display_string() const;
+
+  /// Days elapsed since `origin` (floor), for per-day bucketing.
+  constexpr std::int64_t days_since(TimePoint origin) const {
+    Usec d = usec_ - origin.usec_;
+    if (d < 0) d -= kUsecPerDay - 1;  // floor toward -inf
+    return d / kUsecPerDay;
+  }
+
+  friend constexpr bool operator==(TimePoint a, TimePoint b) = default;
+  friend constexpr auto operator<=>(TimePoint a, TimePoint b) = default;
+
+  friend constexpr TimePoint operator+(TimePoint t, Usec d) { return TimePoint(t.usec_ + d); }
+  friend constexpr TimePoint operator-(TimePoint t, Usec d) { return TimePoint(t.usec_ - d); }
+  friend constexpr Usec operator-(TimePoint a, TimePoint b) { return a.usec_ - b.usec_; }
+
+ private:
+  Usec usec_ = 0;
+};
+
+/// Calendar date/time fields (UTC); conversion helpers for formatting.
+struct CalendarTime {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+  int hour = 0;
+  int minute = 0;
+  int second = 0;
+  int usec = 0;
+};
+
+/// Decompose a TimePoint into calendar fields (UTC, proleptic Gregorian).
+CalendarTime to_calendar(TimePoint t);
+
+/// Days from the civil (Gregorian) date to the epoch 1970-01-01
+/// (Howard Hinnant's algorithm; exact over the int range we use).
+std::int64_t days_from_civil(int year, int month, int day);
+
+}  // namespace coral

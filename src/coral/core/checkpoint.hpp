@@ -1,0 +1,44 @@
+#pragma once
+
+#include "coral/core/pipeline.hpp"
+
+namespace coral::core {
+
+/// Checkpoint-policy simulation over a finished log pair — the §VII
+/// discussion turned into an experiment. Each job checkpoints on a schedule;
+/// an interrupted job loses the work since its last completed checkpoint,
+/// while every job (interrupted or not) pays the checkpoint overhead.
+enum class CheckpointMode {
+  None,               ///< no checkpoints: interruptions lose the whole run
+  FixedInterval,      ///< checkpoint every `interval`, all jobs alike
+  YoungFromMtti,      ///< per-job Young interval from the fitted system MTTI
+                      ///< scaled by job width (a W-midplane job sees W/80 of
+                      ///< the machine's interruptions — Obs. 10) [13]
+  YoungSkipFirstHour, ///< Young + Obs. 9/11: executables with an application-
+                      ///< error history skip checkpoints in their first hour
+};
+
+struct CheckpointPlan {
+  CheckpointMode mode = CheckpointMode::YoungFromMtti;
+  Usec interval = kUsecPerHour;            ///< used by FixedInterval
+  Usec overhead = 5 * kUsecPerMin;         ///< wall-clock cost per checkpoint
+};
+
+struct CheckpointOutcome {
+  double lost_node_hours = 0;      ///< work lost to interruptions
+  double overhead_node_hours = 0;  ///< checkpoint cost across all jobs
+  std::size_t checkpoints = 0;
+  std::size_t skipped_first_hour_jobs = 0;  ///< jobs the Obs.-11 rule applied to
+
+  double total_waste() const { return lost_node_hours + overhead_node_hours; }
+};
+
+/// Young's first-order optimal interval: sqrt(2 * overhead * MTTI) [13].
+Usec young_interval(Usec overhead, double mtti_sec);
+
+/// Simulate a checkpoint plan against the analyzed log pair.
+CheckpointOutcome simulate_checkpointing(const CoAnalysisResult& analysis,
+                                         const joblog::JobLog& jobs,
+                                         const CheckpointPlan& plan);
+
+}  // namespace coral::core

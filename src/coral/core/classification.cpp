@@ -1,0 +1,194 @@
+#include "coral/core/classification.hpp"
+
+#include <algorithm>
+
+#include "coral/stats/correlation.hpp"
+
+namespace coral::core {
+
+const char* to_string(Cause c) {
+  return c == Cause::SystemFailure ? "system failure" : "application error";
+}
+
+const char* to_string(CauseRule r) {
+  switch (r) {
+    case CauseRule::NeverWithJob: return "never observed with a job";
+    case CauseRule::RepeatSameLocation: return "repeats at the same location";
+    case CauseRule::FollowsResubmission: return "follows the resubmitted executable";
+    case CauseRule::CorrelationFallback: return "correlation with labeled codes";
+  }
+  return "?";
+}
+
+int ClassificationResult::system_type_count() const {
+  int n = 0;
+  for (const auto& [code, cc] : by_code) n += cc.cause == Cause::SystemFailure ? 1 : 0;
+  return n;
+}
+
+int ClassificationResult::application_type_count() const {
+  int n = 0;
+  for (const auto& [code, cc] : by_code) n += cc.cause == Cause::ApplicationError ? 1 : 0;
+  return n;
+}
+
+namespace {
+
+/// One interruption enriched with the fields the rules inspect.
+struct Obs {
+  TimePoint time;
+  std::size_t job = 0;
+  joblog::ExecId exec = 0;
+  bgp::Partition partition{0, 1};
+  bgp::Location location;  ///< representative (fault) location of the event
+};
+
+}  // namespace
+
+ClassificationResult classify_causes(const filter::FilterPipelineResult& filtered,
+                                     const MatchResult& matches,
+                                     const IdentificationResult& identification,
+                                     const joblog::JobLog& jobs,
+                                     const ClassificationConfig& config) {
+  ClassificationResult result;
+
+  // Collect the interruptions per errcode, time-ordered.
+  std::map<ras::ErrcodeId, std::vector<Obs>> obs_by_code;
+  for (const Interruption& in : matches.interruptions) {
+    const ras::RasEvent& rep = filtered.fatal_events[filtered.groups[in.group].rep];
+    const joblog::JobRecord& job = jobs[in.job];
+    obs_by_code[rep.errcode].push_back(
+        {in.time, in.job, job.exec_id, job.partition, rep.location});
+  }
+  for (auto& [code, v] : obs_by_code) {
+    std::sort(v.begin(), v.end(), [](const Obs& a, const Obs& b) { return a.time < b.time; });
+  }
+
+  // Completed (non-interrupted) jobs, for rule 3(b): did the old nodes host
+  // an untroubled job afterwards?
+  std::vector<std::size_t> survivors;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (!matches.group_by_job[j]) survivors.push_back(j);
+  }
+
+  // --- Rules 1–3 per errcode -------------------------------------------
+  for (const auto& [code, verdict] : identification.verdicts) {
+    // Rule 1: only observed on idle hardware → system failure.
+    if (verdict == ErrcodeVerdict::Undetermined && obs_by_code.find(code) == obs_by_code.end()) {
+      result.by_code[code] = {Cause::SystemFailure, CauseRule::NeverWithJob, 0};
+      continue;
+    }
+    const auto oit = obs_by_code.find(code);
+    if (oit == obs_by_code.end()) continue;  // non-fatal-to-jobs; resolved below
+    const std::vector<Obs>& v = oit->second;
+
+    // Rule 2: interruptions of different jobs of *different executables*
+    // reported from the *same hardware location* → the scheduler kept
+    // assigning the failed nodes → system. (Distinct executables separate
+    // this from a user resubmitting a buggy code to the same partition;
+    // comparing fault locations rather than job partitions keeps a
+    // propagating shared-file-system error from looking like node repeats.)
+    bool same_location_repeat = false;
+    for (std::size_t i = 0; i + 1 < v.size() && !same_location_repeat; ++i) {
+      for (std::size_t k = i + 1; k < v.size(); ++k) {
+        if (v[k].time - v[i].time > config.same_location_horizon) break;
+        if (v[k].exec != v[i].exec && v[k].location == v[i].location) {
+          same_location_repeat = true;
+          break;
+        }
+      }
+    }
+
+    // Rule 3 (Fig. 2): the same executable is interrupted by the same code
+    // at a *different* location, while the original location later hosts an
+    // untroubled job → the error travels with the code, not the nodes.
+    int follow_evidence = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      bool found_for_i = false;
+      for (std::size_t k = i + 1; k < v.size() && !found_for_i; ++k) {
+        if (v[k].time - v[i].time > config.follow_gap) break;
+        if (v[k].exec != v[i].exec) continue;
+        if (v[k].partition.overlaps(v[i].partition)) continue;
+        // (b) an untroubled job ran on the original partition in between
+        // (it must start inside the gap; it may still be running at the
+        // second interruption — Fig. 2's "job 2 has no interruption").
+        for (std::size_t s : survivors) {
+          const joblog::JobRecord& job = jobs[s];
+          if (job.start_time <= v[i].time || job.start_time >= v[k].time) continue;
+          if (job.partition.overlaps(v[i].partition)) {
+            found_for_i = true;
+            break;
+          }
+        }
+      }
+      if (found_for_i) ++follow_evidence;
+    }
+    const bool follows_exec = follow_evidence >= config.min_follow_evidence;
+
+    // The follows-the-executable evidence is the stronger signal: a code
+    // that travels with a resubmitted binary while its old nodes stay
+    // healthy cannot be a hardware fault, whereas a shared-resource
+    // application error can coincidentally repeat at one location.
+    if (follows_exec) {
+      result.by_code[code] = {Cause::ApplicationError, CauseRule::FollowsResubmission, 0};
+    } else if (same_location_repeat) {
+      result.by_code[code] = {Cause::SystemFailure, CauseRule::RepeatSameLocation, 0};
+    }
+    // else: unlabeled, falls through to the correlation pass.
+  }
+
+  // --- Rule 4: Pearson-correlation fallback ------------------------------
+  // Build aggregate time series of the already-labeled categories and
+  // correlate each unlabeled code's event times against them.
+  if (!filtered.fatal_events.empty()) {
+    const TimePoint begin = filtered.fatal_events.front().event_time;
+    const TimePoint end = filtered.fatal_events.back().event_time + 1;
+
+    std::vector<TimePoint> sys_times, app_times;
+    std::map<ras::ErrcodeId, std::vector<TimePoint>> code_times;
+    for (const filter::EventGroup& g : filtered.groups) {
+      const ras::RasEvent& rep = filtered.fatal_events[g.rep];
+      code_times[rep.errcode].push_back(rep.event_time);
+      const auto cit = result.by_code.find(rep.errcode);
+      if (cit == result.by_code.end()) continue;
+      (cit->second.cause == Cause::SystemFailure ? sys_times : app_times)
+          .push_back(rep.event_time);
+    }
+
+    for (const auto& [code, verdict] : identification.verdicts) {
+      (void)verdict;
+      if (result.by_code.find(code) != result.by_code.end()) continue;
+      const auto& times = code_times[code];
+      double r_sys = 0, r_app = 0;
+      if (!times.empty() && end - begin > config.correlation_window) {
+        if (!sys_times.empty()) {
+          r_sys = stats::event_time_correlation(times, sys_times, begin, end,
+                                                config.correlation_window);
+        }
+        if (!app_times.empty()) {
+          r_app = stats::event_time_correlation(times, app_times, begin, end,
+                                                config.correlation_window);
+        }
+      }
+      const Cause cause = r_app > r_sys ? Cause::ApplicationError : Cause::SystemFailure;
+      result.by_code[code] = {cause, CauseRule::CorrelationFallback, std::max(r_sys, r_app)};
+    }
+  }
+
+  // Event-level application fraction (Observation 2: 17.73%).
+  if (!filtered.groups.empty()) {
+    std::size_t app_events = 0;
+    for (const filter::EventGroup& g : filtered.groups) {
+      const ras::RasEvent& rep = filtered.fatal_events[g.rep];
+      const auto cit = result.by_code.find(rep.errcode);
+      if (cit != result.by_code.end() && cit->second.cause == Cause::ApplicationError) {
+        ++app_events;
+      }
+    }
+    result.application_event_fraction =
+        static_cast<double>(app_events) / static_cast<double>(filtered.groups.size());
+  }
+  return result;
+}
+
+}  // namespace coral::core

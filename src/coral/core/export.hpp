@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "coral/core/pipeline.hpp"
+
+namespace coral::core {
+
+/// CSV exporters for every figure's data series, so external plotting
+/// tools (gnuplot, matplotlib, ...) can redraw the paper's plots from a
+/// CoAnalysisResult. Each writer emits a header row and plain columns.
+
+/// Fig. 3 / Fig. 6 panels: empirical CDF plus fitted Weibull/exponential
+/// CDFs. Columns: interarrival_s, empirical, weibull, exponential.
+void export_cdf_csv(std::ostream& out, const InterarrivalFit& fit,
+                    std::size_t max_points = 256);
+
+/// Fig. 4: per-midplane series. Columns: midplane, fatal_events,
+/// workload_hours, wide_workload_hours.
+void export_midplane_csv(std::ostream& out, const CoAnalysisResult& r);
+
+/// Fig. 5: interruptions per day. Columns: day, interruptions.
+void export_daily_csv(std::ostream& out, const CoAnalysisResult& r);
+
+/// Fig. 7: resubmission statistics. Columns: category, k, resubmissions,
+/// interrupted, probability.
+void export_resubmission_csv(std::ostream& out, const CoAnalysisResult& r);
+
+/// Table VI. Columns: size_midplanes, runtime_bucket, interrupted, total,
+/// proportion.
+void export_grid_csv(std::ostream& out, const CoAnalysisResult& r);
+
+/// Write all of the above into `directory` with canonical file names
+/// (fig3a/fig3b/fig4/fig5/fig6a/fig6b/fig7/table6 .csv). Returns the
+/// number of files written. Throws coral::Error when the directory is not
+/// writable.
+int export_all(const std::string& directory, const CoAnalysisResult& r);
+
+}  // namespace coral::core

@@ -1,0 +1,70 @@
+#include "coral/core/feed.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace coral::core {
+
+namespace {
+
+enum class Kind : std::uint8_t { JobStart = 0, Ras = 1, JobEnd = 2 };
+
+struct Entry {
+  TimePoint time;
+  Kind kind;
+  std::size_t index;
+
+  friend bool operator<(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return static_cast<std::uint8_t>(a.kind) < static_cast<std::uint8_t>(b.kind);
+  }
+};
+
+}  // namespace
+
+EventFeed::EventFeed(const ras::RasLog& ras, const joblog::JobLog& jobs)
+    : ras_(ras), jobs_(jobs) {}
+
+std::size_t EventFeed::replay() {
+  TimePoint lo(std::numeric_limits<Usec>::min());
+  TimePoint hi(std::numeric_limits<Usec>::max());
+  return replay(lo, hi);
+}
+
+std::size_t EventFeed::replay(TimePoint begin, TimePoint end) {
+  std::vector<Entry> entries;
+  entries.reserve(ras_.size() + 2 * jobs_.size());
+  if (ras_handler_) {
+    for (std::size_t i = 0; i < ras_.size(); ++i) {
+      if (ras_[i].severity < min_severity_) continue;
+      if (ras_[i].event_time < begin || ras_[i].event_time >= end) continue;
+      entries.push_back({ras_[i].event_time, Kind::Ras, i});
+    }
+  }
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (job_start_ && jobs_[i].start_time >= begin && jobs_[i].start_time < end) {
+      entries.push_back({jobs_[i].start_time, Kind::JobStart, i});
+    }
+    if (job_end_ && jobs_[i].end_time >= begin && jobs_[i].end_time < end) {
+      entries.push_back({jobs_[i].end_time, Kind::JobEnd, i});
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end());
+
+  for (const Entry& e : entries) {
+    switch (e.kind) {
+      case Kind::JobStart:
+        job_start_(e.time, JobStart{&jobs_[e.index]});
+        break;
+      case Kind::Ras:
+        ras_handler_(e.time, RasRecord{&ras_[e.index]});
+        break;
+      case Kind::JobEnd:
+        job_end_(e.time, JobEnd{&jobs_[e.index]});
+        break;
+    }
+  }
+  return entries.size();
+}
+
+}  // namespace coral::core

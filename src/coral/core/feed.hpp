@@ -1,0 +1,59 @@
+#pragma once
+
+#include <functional>
+
+#include "coral/joblog/log.hpp"
+#include "coral/ras/log.hpp"
+
+namespace coral::core {
+
+/// A time-ordered replay of a log pair as one merged event stream — the
+/// CiFTS-style "subscribe to failure-related information" interface the
+/// paper's §VII proposes for schedulers and checkpointing libraries.
+///
+/// Subscribers receive three kinds of events, strictly ordered by time
+/// (ties broken as: job starts, then RAS records, then job ends, so a
+/// consumer tracking machine occupancy sees a kill *while* the job is still
+/// known to be running).
+class EventFeed {
+ public:
+  struct JobStart {
+    const joblog::JobRecord* job;
+  };
+  struct JobEnd {
+    const joblog::JobRecord* job;
+  };
+  struct RasRecord {
+    const ras::RasEvent* event;
+  };
+
+  using JobStartHandler = std::function<void(TimePoint, const JobStart&)>;
+  using JobEndHandler = std::function<void(TimePoint, const JobEnd&)>;
+  using RasHandler = std::function<void(TimePoint, const RasRecord&)>;
+
+  /// Both logs must stay alive for the lifetime of the feed.
+  EventFeed(const ras::RasLog& ras, const joblog::JobLog& jobs);
+
+  void on_job_start(JobStartHandler handler) { job_start_ = std::move(handler); }
+  void on_job_end(JobEndHandler handler) { job_end_ = std::move(handler); }
+  /// Only records at or above `min_severity` are delivered.
+  void on_ras(RasHandler handler, ras::Severity min_severity = ras::Severity::Info) {
+    ras_handler_ = std::move(handler);
+    min_severity_ = min_severity;
+  }
+
+  /// Replay everything in [begin, end); with no arguments, the whole pair.
+  /// Returns the number of delivered events.
+  std::size_t replay();
+  std::size_t replay(TimePoint begin, TimePoint end);
+
+ private:
+  const ras::RasLog& ras_;
+  const joblog::JobLog& jobs_;
+  JobStartHandler job_start_;
+  JobEndHandler job_end_;
+  RasHandler ras_handler_;
+  ras::Severity min_severity_ = ras::Severity::Info;
+};
+
+}  // namespace coral::core

@@ -1,0 +1,101 @@
+#include "coral/core/identification.hpp"
+
+namespace coral::core {
+
+const char* to_string(EventCase c) {
+  switch (c) {
+    case EventCase::InterruptsJob: return "interrupts job";
+    case EventCase::NoJobAtLocation: return "no job at location";
+    case EventCase::JobSurvives: return "job survives";
+  }
+  return "?";
+}
+
+const char* to_string(ErrcodeVerdict v) {
+  switch (v) {
+    case ErrcodeVerdict::InterruptionRelated: return "interruption-related";
+    case ErrcodeVerdict::NonFatalToJobs: return "non-fatal to jobs";
+    case ErrcodeVerdict::Undetermined: return "undetermined";
+  }
+  return "?";
+}
+
+int IdentificationResult::count(ErrcodeVerdict v) const {
+  int n = 0;
+  for (const auto& [code, verdict] : verdicts) {
+    if (verdict == v) ++n;
+  }
+  return n;
+}
+
+IdentificationResult identify_interruption_related(
+    const filter::FilterPipelineResult& filtered, const MatchResult& matches,
+    const joblog::JobLog& jobs, const IdentificationConfig& config) {
+  IdentificationResult result;
+  result.event_cases.reserve(filtered.groups.size());
+
+  struct CaseCount {
+    int c1 = 0, c2 = 0, c3 = 0;
+  };
+  std::map<ras::ErrcodeId, CaseCount> counts;
+
+  for (std::size_t g = 0; g < filtered.groups.size(); ++g) {
+    const ras::RasEvent& rep = filtered.fatal_events[filtered.groups[g].rep];
+    EventCase ec;
+    if (!matches.jobs_by_group[g].empty()) {
+      ec = EventCase::InterruptsJob;
+    } else {
+      // Does any job run atop any member location at the event time?
+      bool any_job = false;
+      for (std::size_t member : filtered.groups[g].members) {
+        const ras::RasEvent& ev = filtered.fatal_events[member];
+        if (!jobs.running_at(rep.event_time, ev.location).empty()) {
+          any_job = true;
+          break;
+        }
+      }
+      ec = any_job ? EventCase::JobSurvives : EventCase::NoJobAtLocation;
+    }
+    result.event_cases.push_back(ec);
+    CaseCount& c = counts[rep.errcode];
+    if (ec == EventCase::InterruptsJob) ++c.c1;
+    if (ec == EventCase::NoJobAtLocation) ++c.c2;
+    if (ec == EventCase::JobSurvives) ++c.c3;
+  }
+
+  // Rules of §IV-A (with a small noise tolerance; see config).
+  for (const auto& [code, c] : counts) {
+    const double with_jobs = c.c1 + c.c3;
+    ErrcodeVerdict verdict;
+    if (with_jobs == 0) {
+      // Only case 2: undetermined; the paper treats these pessimistically
+      // as interruption-related downstream.
+      verdict = ErrcodeVerdict::Undetermined;
+    } else if (c.c3 <= config.noise_tolerance * with_jobs && c.c1 > 0) {
+      verdict = ErrcodeVerdict::InterruptionRelated;
+    } else if (c.c1 <= config.noise_tolerance * with_jobs && c.c3 > 0) {
+      verdict = ErrcodeVerdict::NonFatalToJobs;
+    } else {
+      verdict = ErrcodeVerdict::Undetermined;
+    }
+    result.verdicts[code] = verdict;
+  }
+
+  // Event-level fractions for Observations 1 and 7.
+  std::size_t nonfatal_events = 0, idle_events = 0;
+  for (std::size_t g = 0; g < filtered.groups.size(); ++g) {
+    const ras::RasEvent& rep = filtered.fatal_events[filtered.groups[g].rep];
+    if (result.verdicts.at(rep.errcode) == ErrcodeVerdict::NonFatalToJobs) {
+      ++nonfatal_events;
+    }
+    if (result.event_cases[g] == EventCase::NoJobAtLocation) ++idle_events;
+  }
+  if (!filtered.groups.empty()) {
+    const auto n = static_cast<double>(filtered.groups.size());
+    result.nonfatal_event_fraction = static_cast<double>(nonfatal_events) / n;
+    result.idle_event_fraction = static_cast<double>(idle_events) / n;
+  }
+  return result;
+}
+
+}  // namespace coral::core

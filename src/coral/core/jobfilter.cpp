@@ -1,0 +1,104 @@
+#include "coral/core/jobfilter.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace coral::core {
+
+namespace {
+
+struct GroupObs {
+  std::size_t group = 0;
+  TimePoint time;
+  bgp::Location location;         ///< representative (fault) location
+  std::vector<std::size_t> jobs;  ///< interrupted job indices
+};
+
+}  // namespace
+
+JobFilterResult job_related_filter(const filter::FilterPipelineResult& filtered,
+                                   const MatchResult& matches,
+                                   const ClassificationResult& classification,
+                                   const joblog::JobLog& jobs,
+                                   const JobFilterConfig& config) {
+  JobFilterResult result;
+
+  // Interrupting groups per errcode, in time order.
+  std::map<ras::ErrcodeId, std::vector<GroupObs>> by_code;
+  for (std::size_t g = 0; g < filtered.groups.size(); ++g) {
+    if (matches.jobs_by_group[g].empty()) continue;
+    const ras::RasEvent& rep = filtered.fatal_events[filtered.groups[g].rep];
+    by_code[rep.errcode].push_back(
+        {g, rep.event_time, rep.location, matches.jobs_by_group[g]});
+  }
+
+  // Survivor jobs (not interrupted), used for the "no job executed in
+  // between" test of the system-failure rule.
+  std::vector<std::size_t> survivors;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (!matches.group_by_job[j]) survivors.push_back(j);
+  }
+
+  // Did any untroubled job run *on the failed hardware itself* between the
+  // two reports? (The paper's "no job executed between these two events".)
+  const auto survivor_between = [&](const bgp::Location& where, TimePoint a, TimePoint b) {
+    for (std::size_t s : survivors) {
+      const joblog::JobRecord& job = jobs[s];
+      if (job.start_time <= a || job.end_time >= b) continue;
+      if (job.partition.covers(where)) return true;
+    }
+    return false;
+  };
+
+  std::set<std::size_t> redundant;
+  for (auto& [code, v] : by_code) {
+    std::sort(v.begin(), v.end(),
+              [](const GroupObs& a, const GroupObs& b) { return a.time < b.time; });
+    const bool app_error =
+        classification.by_code.count(code) != 0 &&
+        classification.by_code.at(code).cause == Cause::ApplicationError;
+
+    // anchor[i] = the group each later observation may be redundant to;
+    // transitivity: the anchor of a redundant observation is the anchor of
+    // its predecessor.
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      for (std::size_t k = i; k-- > 0;) {
+        if (v[i].time - v[k].time > config.horizon) break;
+        if (redundant.count(v[k].group)) continue;  // compare against anchors only
+        bool is_redundant = false;
+        if (app_error) {
+          // Same executable interrupted by the same code before.
+          for (std::size_t ji : v[i].jobs) {
+            for (std::size_t jk : v[k].jobs) {
+              if (jobs[ji].exec_id == jobs[jk].exec_id) {
+                is_redundant = true;
+                break;
+              }
+            }
+            if (is_redundant) break;
+          }
+        } else {
+          // Same failed hardware, and no untroubled job ran on it in
+          // between.
+          if (v[i].location == v[k].location &&
+              !survivor_between(v[k].location, v[k].time, v[i].time)) {
+            is_redundant = true;
+          }
+        }
+        if (is_redundant) {
+          redundant.insert(v[i].group);
+          result.redundant_to[v[i].group] = v[k].group;
+          break;
+        }
+      }
+    }
+  }
+
+  for (std::size_t g = 0; g < filtered.groups.size(); ++g) {
+    if (!redundant.count(g)) result.kept.push_back(g);
+  }
+  return result;
+}
+
+}  // namespace coral::core

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "coral/core/pipeline.hpp"
+
+namespace coral::core {
+
+/// Render the whole co-analysis as a self-contained Markdown report —
+/// filter stages, fitted distributions, the Table IV/V/VI equivalents and
+/// all twelve observations — suitable for pasting into an issue tracker or
+/// operations wiki.
+std::string render_markdown_report(const CoAnalysisResult& r,
+                                   const ras::RasLogSummary& ras,
+                                   const joblog::JobLogSummary& jobs);
+
+}  // namespace coral::core

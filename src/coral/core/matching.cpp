@@ -1,0 +1,95 @@
+#include "coral/core/matching.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace coral::core {
+
+namespace {
+
+/// Sorted-by-end-time view of the job log for window queries.
+struct EndIndex {
+  std::vector<std::size_t> by_end;
+  std::vector<TimePoint> end_times;
+
+  explicit EndIndex(const joblog::JobLog& jobs) {
+    by_end.resize(jobs.size());
+    for (std::size_t i = 0; i < by_end.size(); ++i) by_end[i] = i;
+    std::sort(by_end.begin(), by_end.end(), [&jobs](std::size_t a, std::size_t b) {
+      return jobs[a].end_time < jobs[b].end_time;
+    });
+    end_times.resize(by_end.size());
+    for (std::size_t i = 0; i < by_end.size(); ++i) end_times[i] = jobs[by_end[i]].end_time;
+  }
+};
+
+/// Jobs matched by one group: the per-group work item (independent of every
+/// other group, hence trivially parallel).
+std::vector<std::size_t> match_one_group(const filter::FilterPipelineResult& filtered,
+                                         const joblog::JobLog& jobs, const EndIndex& index,
+                                         const filter::EventGroup& group, Usec window) {
+  // The independent event happens at the representative record's time;
+  // later member records are redundant re-reports. Jobs are therefore
+  // matched against a window around the representative time, but the
+  // location test runs over every member record (a shared-file-system
+  // fault's records land inside each victim job's partition).
+  const TimePoint rep_time = filtered.fatal_events[group.rep].event_time;
+  const TimePoint lo = rep_time - window;
+  const TimePoint hi = rep_time + window;
+
+  std::set<std::size_t> matched;
+  auto it = std::lower_bound(index.end_times.begin(), index.end_times.end(), lo);
+  for (; it != index.end_times.end() && *it <= hi; ++it) {
+    const std::size_t job_idx =
+        index.by_end[static_cast<std::size_t>(it - index.end_times.begin())];
+    const joblog::JobRecord& job = jobs[job_idx];
+    if (job.start_time > rep_time + window) continue;  // not yet running
+    for (std::size_t member : group.members) {
+      if (job.partition.covers(filtered.fatal_events[member].location)) {
+        matched.insert(job_idx);
+        break;
+      }
+    }
+  }
+  return {matched.begin(), matched.end()};
+}
+
+}  // namespace
+
+MatchResult match_interruptions(const filter::FilterPipelineResult& filtered,
+                                const joblog::JobLog& jobs, const MatchConfig& config) {
+  MatchResult result;
+  result.jobs_by_group.resize(filtered.groups.size());
+  result.group_by_job.assign(jobs.size(), std::nullopt);
+
+  const EndIndex index(jobs);
+
+  // Phase 1 (parallel): per-group candidate lists. Writes go to disjoint
+  // slots of jobs_by_group, so no synchronization is needed.
+  par::parallel_for_chunks(
+      filtered.groups.size(), 64,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t g = begin; g < end; ++g) {
+          result.jobs_by_group[g] =
+              match_one_group(filtered, jobs, index, filtered.groups[g], config.window);
+        }
+      },
+      config.pool);
+
+  // Phase 2 (sequential, deterministic): a job belongs to its *first*
+  // matching group (groups are ordered by representative time).
+  for (std::size_t g = 0; g < filtered.groups.size(); ++g) {
+    for (std::size_t job_idx : result.jobs_by_group[g]) {
+      if (!result.group_by_job[job_idx]) {
+        result.group_by_job[job_idx] = g;
+        result.interruptions.push_back({g, job_idx, jobs[job_idx].end_time});
+      }
+    }
+  }
+
+  std::sort(result.interruptions.begin(), result.interruptions.end(),
+            [](const Interruption& a, const Interruption& b) { return a.time < b.time; });
+  return result;
+}
+
+}  // namespace coral::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <optional>
+
+#include "coral/common/parallel.hpp"
+#include "coral/filter/pipeline.hpp"
+#include "coral/joblog/log.hpp"
+
+namespace coral::core {
+
+/// RAS↔job matching knobs (§IV): a job is interrupted by an event when its
+/// End Time lies within `window` of one of the event's member records and
+/// its partition covers that record's location.
+struct MatchConfig {
+  Usec window = 120 * kUsecPerSec;
+  /// Optional worker pool: groups are matched in parallel chunks and merged
+  /// deterministically (results are identical with or without the pool).
+  par::ThreadPool* pool = nullptr;
+};
+
+/// One matched (event group, job) pair.
+struct Interruption {
+  std::size_t group = 0;  ///< index into the filter result's groups
+  std::size_t job = 0;    ///< index into the JobLog
+  TimePoint time;         ///< the job's end time
+};
+
+/// The complete matching between filtered fatal events and job
+/// terminations.
+struct MatchResult {
+  std::vector<Interruption> interruptions;  ///< sorted by job end time
+  /// Per group: indices of interrupted jobs (empty when none).
+  std::vector<std::vector<std::size_t>> jobs_by_group;
+  /// Per job: the matching group, if any.
+  std::vector<std::optional<std::size_t>> group_by_job;
+
+  std::size_t interrupted_job_count() const { return interruptions.size(); }
+};
+
+/// Match filtered fatal-event groups against the job log.
+MatchResult match_interruptions(const filter::FilterPipelineResult& filtered,
+                                const joblog::JobLog& jobs,
+                                const MatchConfig& config = {});
+
+}  // namespace coral::core

@@ -1,0 +1,32 @@
+#include "coral/core/midplane.hpp"
+
+#include <algorithm>
+
+namespace coral::core {
+
+MidplaneFits fit_midplane_interarrivals(const filter::FilterPipelineResult& filtered,
+                                        const MidplaneFitConfig& config) {
+  MidplaneFits out;
+  std::array<std::vector<TimePoint>, bgp::Topology::kMidplanes> times;
+  for (const filter::EventGroup& g : filtered.groups) {
+    const ras::RasEvent& rep = filtered.fatal_events[g.rep];
+    if (const auto mid = rep.location.midplane_id()) {
+      times[static_cast<std::size_t>(*mid)].push_back(rep.event_time);
+    } else {
+      const int rack = rep.location.rack_index();
+      times[static_cast<std::size_t>(bgp::midplane_id(rack, 0))].push_back(rep.event_time);
+      times[static_cast<std::size_t>(bgp::midplane_id(rack, 1))].push_back(rep.event_time);
+    }
+  }
+  for (std::size_t m = 0; m < times.size(); ++m) {
+    if (times[m].size() < config.min_events) continue;
+    std::sort(times[m].begin(), times[m].end());
+    out.fits[m] = fit_interarrivals(interarrival_seconds(times[m]));
+    out.fitted_count += 1;
+    if (out.fits[m]->lrt.weibull_preferred) out.weibull_preferred_count += 1;
+    if (out.fits[m]->weibull.shape() < 1.0) out.shape_below_one_count += 1;
+  }
+  return out;
+}
+
+}  // namespace coral::core

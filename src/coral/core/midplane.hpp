@@ -1,0 +1,37 @@
+#pragma once
+
+#include <optional>
+
+#include "coral/core/interarrival.hpp"
+
+namespace coral::core {
+
+/// Midplane-level failure characteristics (§V-B): the paper reports that
+/// Weibull still fits the per-midplane interarrival distributions even
+/// though the failure *rates* differ strongly across midplanes.
+struct MidplaneFits {
+  /// Fit per midplane; nullopt when fewer than `min_events` events landed
+  /// there.
+  std::array<std::optional<InterarrivalFit>, bgp::Topology::kMidplanes> fits;
+  std::size_t fitted_count = 0;
+  std::size_t weibull_preferred_count = 0;  ///< LRT favors Weibull
+  std::size_t shape_below_one_count = 0;
+
+  double weibull_preferred_fraction() const {
+    return fitted_count == 0 ? 0.0
+                             : static_cast<double>(weibull_preferred_count) /
+                                   static_cast<double>(fitted_count);
+  }
+};
+
+struct MidplaneFitConfig {
+  std::size_t min_events = 12;  ///< events needed to attempt a fit
+};
+
+/// Fit per-midplane fatal-event interarrival distributions from the
+/// filtered groups (rack-level events count toward both midplanes of the
+/// rack).
+MidplaneFits fit_midplane_interarrivals(const filter::FilterPipelineResult& filtered,
+                                        const MidplaneFitConfig& config = {});
+
+}  // namespace coral::core

@@ -1,0 +1,113 @@
+#include "coral/core/pipeline.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace coral::core {
+
+CoAnalysisResult run_coanalysis(const ras::RasLog& ras, const joblog::JobLog& jobs,
+                                const CoAnalysisConfig& config) {
+  CoAnalysisResult r;
+
+  // Step 0: temporal-spatial + causality filtering of FATAL records.
+  filter::FilterPipelineConfig filter_config = config.filters;
+  if (filter_config.causality.pool == nullptr) filter_config.causality.pool = config.pool;
+  r.filtered = filter::run_filter_pipeline(ras, filter_config);
+
+  // Step 1: match fatal events against job terminations, then identify the
+  // interruption-related errcodes (§IV-A).
+  MatchConfig match_config = config.matching;
+  if (match_config.pool == nullptr) match_config.pool = config.pool;
+  r.matches = match_interruptions(r.filtered, jobs, match_config);
+  r.identification =
+      identify_interruption_related(r.filtered, r.matches, jobs, config.identification);
+
+  // Step 2: separate system failures from application errors (§IV-B).
+  r.classification = classify_causes(r.filtered, r.matches, r.identification, jobs,
+                                     config.classification);
+
+  // Step 3: job-related filtering (§IV-C).
+  r.job_filter =
+      job_related_filter(r.filtered, r.matches, r.classification, jobs, config.job_filter);
+
+  // Characterization: propagation and vulnerability (§VI-C, §VI-D).
+  r.propagation = analyze_propagation(r.filtered, r.matches, jobs, config.propagation);
+  r.vulnerability =
+      analyze_vulnerability(r.filtered, r.matches, r.classification, jobs,
+                            config.vulnerability);
+
+  // Interarrival fits (§V-A, Table IV; Fig. 3).
+  const auto all = all_groups(r.filtered);
+  const auto times_before = group_times(r.filtered, all);
+  if (times_before.size() >= 3) {
+    r.fatal_before_jobfilter = fit_interarrivals(interarrival_seconds(times_before));
+  }
+  const auto times_after = group_times(r.filtered, r.job_filter.kept);
+  if (times_after.size() >= 3) {
+    r.fatal_after_jobfilter = fit_interarrivals(interarrival_seconds(times_after));
+  }
+
+  // Interruption interarrivals by cause (§VI-B, Table V; Fig. 6).
+  std::vector<TimePoint> sys_times, app_times;
+  for (const Interruption& in : r.matches.interruptions) {
+    const ras::ErrcodeId code =
+        r.filtered.fatal_events[r.filtered.groups[in.group].rep].errcode;
+    const bool app = r.classification.by_code.count(code) != 0 &&
+                     r.classification.by_code.at(code).cause == Cause::ApplicationError;
+    (app ? app_times : sys_times).push_back(in.time);
+  }
+  r.system_interruptions = sys_times.size();
+  r.application_interruptions = app_times.size();
+  if (sys_times.size() >= 3) {
+    r.interruptions_system = fit_interarrivals(interarrival_seconds(sys_times));
+  }
+  if (app_times.size() >= 3) {
+    r.interruptions_application = fit_interarrivals(interarrival_seconds(app_times));
+  }
+
+  // Distinct interrupted executables (paper: 308 jobs, 167 distinct).
+  std::set<joblog::ExecId> distinct;
+  for (const Interruption& in : r.matches.interruptions) {
+    distinct.insert(jobs[in.job].exec_id);
+  }
+  r.distinct_interrupted_jobs = distinct.size();
+
+  // Fig. 5: interruptions per day.
+  if (!jobs.empty()) {
+    const TimePoint origin = jobs.summary().first_submit;
+    std::int64_t max_day = 0;
+    for (const Interruption& in : r.matches.interruptions) {
+      max_day = std::max(max_day, in.time.days_since(origin));
+    }
+    r.interruptions_per_day.assign(static_cast<std::size_t>(max_day + 1), 0);
+    for (const Interruption& in : r.matches.interruptions) {
+      r.interruptions_per_day[static_cast<std::size_t>(in.time.days_since(origin))] += 1;
+    }
+  }
+
+  // Fig. 4 series.
+  for (const filter::EventGroup& g : r.filtered.groups) {
+    const auto mid = r.filtered.fatal_events[g.rep].location.midplane_id();
+    if (mid) {
+      r.fatal_events_per_midplane[static_cast<std::size_t>(*mid)] += 1;
+    } else {
+      // Rack-level events touch both midplanes; split the count.
+      const int rack = r.filtered.fatal_events[g.rep].location.rack_index();
+      r.fatal_events_per_midplane[static_cast<std::size_t>(bgp::midplane_id(rack, 0))] += 0.5;
+      r.fatal_events_per_midplane[static_cast<std::size_t>(bgp::midplane_id(rack, 1))] += 0.5;
+    }
+  }
+  for (const joblog::JobRecord& job : jobs) {
+    const double seconds =
+        static_cast<double>(job.runtime()) / static_cast<double>(kUsecPerSec);
+    for (bgp::MidplaneId m : job.partition.midplanes()) {
+      r.workload_per_midplane[static_cast<std::size_t>(m)] += seconds;
+      if (job.size_midplanes() >= 32) {
+        r.wide_workload_per_midplane[static_cast<std::size_t>(m)] += seconds;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace coral::core

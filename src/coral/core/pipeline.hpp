@@ -1,0 +1,61 @@
+#pragma once
+
+#include "coral/core/interarrival.hpp"
+#include "coral/core/propagation.hpp"
+#include "coral/core/vulnerability.hpp"
+
+namespace coral::core {
+
+/// Every knob of the co-analysis, in one place.
+struct CoAnalysisConfig {
+  filter::FilterPipelineConfig filters;
+  MatchConfig matching;
+  IdentificationConfig identification;
+  ClassificationConfig classification;
+  JobFilterConfig job_filter;
+  PropagationConfig propagation;
+  VulnerabilityConfig vulnerability;
+  /// Optional worker pool, forwarded to the data-parallel stages (causality
+  /// mining, RAS↔job matching). Results are identical either way.
+  par::ThreadPool* pool = nullptr;
+};
+
+/// Complete output of the paper's methodology (Fig. 1) over one log pair.
+struct CoAnalysisResult {
+  filter::FilterPipelineResult filtered;     ///< temporal+spatial+causality
+  MatchResult matches;                       ///< RAS ↔ job interruptions
+  IdentificationResult identification;       ///< §IV-A
+  ClassificationResult classification;       ///< §IV-B
+  JobFilterResult job_filter;                ///< §IV-C
+  PropagationResult propagation;             ///< §VI-C
+  VulnerabilityResult vulnerability;         ///< §VI-D
+
+  // Interarrival fits (Fig. 3 / Table IV): fatal events before and after
+  // job-related filtering.
+  InterarrivalFit fatal_before_jobfilter;
+  InterarrivalFit fatal_after_jobfilter;
+  // Interruption interarrival fits by cause (Fig. 6 / Table V).
+  InterarrivalFit interruptions_system;
+  InterarrivalFit interruptions_application;
+
+  // Fig. 5: interruptions per day (index = day since log start).
+  std::vector<int> interruptions_per_day;
+  // Fig. 4 inputs, per midplane: fatal-event count, total workload
+  // (midplane-seconds of jobs), and wide-job (>= 32 midplanes) workload.
+  std::array<double, bgp::Topology::kMidplanes> fatal_events_per_midplane{};
+  std::array<double, bgp::Topology::kMidplanes> workload_per_midplane{};
+  std::array<double, bgp::Topology::kMidplanes> wide_workload_per_midplane{};
+
+  // Convenience census.
+  std::size_t interruption_count() const { return matches.interruptions.size(); }
+  std::size_t system_interruptions = 0;
+  std::size_t application_interruptions = 0;
+  std::size_t distinct_interrupted_jobs = 0;  ///< distinct executables
+};
+
+/// Run the full co-analysis (all three methodology steps plus the §V/§VI
+/// characterization analyses) on a RAS log + job log pair.
+CoAnalysisResult run_coanalysis(const ras::RasLog& ras, const joblog::JobLog& jobs,
+                                const CoAnalysisConfig& config = {});
+
+}  // namespace coral::core

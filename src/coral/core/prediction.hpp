@@ -1,0 +1,48 @@
+#pragma once
+
+#include "coral/core/pipeline.hpp"
+
+namespace coral::core {
+
+/// A replay-based evaluation of the failure-prediction recommendation in
+/// §VII: a predictor should (a) alarm only on interruption-related fatal
+/// events and (b) carry location information, so proactive actions are not
+/// wasted on benign events or idle hardware (Observations 1 and 7).
+///
+/// The predictor replayed here is deliberately simple — every filtered
+/// fatal event whose errcode is interruption-related (or undetermined,
+/// pessimistically) raises an alarm for `horizon` at its location — because
+/// the point of the experiment is to quantify what *location awareness* and
+/// *interruption-relatedness* are worth, not to engineer a model.
+struct PredictorConfig {
+  Usec horizon = 4 * kUsecPerHour;  ///< how long an alarm stays active
+  bool use_location = true;   ///< alarms cover the event location (vs whole machine)
+  bool use_identification = true;  ///< skip codes identified as non-fatal-to-jobs
+};
+
+struct PredictionOutcome {
+  std::size_t alarms = 0;
+  std::size_t true_alarms = 0;   ///< alarms followed by a covered interruption
+  std::size_t caught = 0;        ///< interruptions preceded by a covering alarm
+  std::size_t total_interruptions = 0;
+  /// Node-hours of healthy jobs that proactive actions would have touched
+  /// (the cost of acting on an alarm).
+  double disturbed_node_hours = 0;
+
+  double precision() const {
+    return alarms == 0 ? 0.0
+                       : static_cast<double>(true_alarms) / static_cast<double>(alarms);
+  }
+  double recall() const {
+    return total_interruptions == 0 ? 0.0
+                                    : static_cast<double>(caught) /
+                                          static_cast<double>(total_interruptions);
+  }
+};
+
+/// Replay the log pair and score the predictor.
+PredictionOutcome evaluate_predictor(const CoAnalysisResult& analysis,
+                                     const joblog::JobLog& jobs,
+                                     const PredictorConfig& config = {});
+
+}  // namespace coral::core

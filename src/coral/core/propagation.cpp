@@ -1,0 +1,59 @@
+#include "coral/core/propagation.hpp"
+
+#include <algorithm>
+
+namespace coral::core {
+
+PropagationResult analyze_propagation(const filter::FilterPipelineResult& filtered,
+                                      const MatchResult& matches,
+                                      const joblog::JobLog& jobs,
+                                      const PropagationConfig& config) {
+  PropagationResult result;
+
+  // --- Spatial propagation: one event, several victim jobs elsewhere ----
+  for (std::size_t g = 0; g < filtered.groups.size(); ++g) {
+    const auto& victims = matches.jobs_by_group[g];
+    if (victims.size() < 2) continue;
+    bool disjoint = false;
+    for (std::size_t i = 0; i + 1 < victims.size() && !disjoint; ++i) {
+      for (std::size_t k = i + 1; k < victims.size(); ++k) {
+        if (!jobs[victims[i]].partition.overlaps(jobs[victims[k]].partition)) {
+          disjoint = true;
+          break;
+        }
+      }
+    }
+    if (disjoint) {
+      result.propagating_groups.push_back(g);
+      result.propagating_codes.insert(
+          filtered.fatal_events[filtered.groups[g].rep].errcode);
+    }
+  }
+  if (!filtered.groups.empty()) {
+    result.propagating_event_fraction =
+        static_cast<double>(result.propagating_groups.size()) /
+        static_cast<double>(filtered.groups.size());
+  }
+
+  // --- Temporal propagation: resubmission placement ----------------------
+  // Jobs of each executable in start order; a run that follows an
+  // interrupted run within the gap is its resubmission.
+  std::map<joblog::ExecId, std::vector<std::size_t>> runs;
+  for (std::size_t j = 0; j < jobs.size(); ++j) runs[jobs[j].exec_id].push_back(j);
+  for (auto& [exec, v] : runs) {
+    std::sort(v.begin(), v.end(), [&jobs](std::size_t a, std::size_t b) {
+      return jobs[a].start_time < jobs[b].start_time;
+    });
+    for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+      if (!matches.group_by_job[v[i]]) continue;  // prior run not interrupted
+      const joblog::JobRecord& prev = jobs[v[i]];
+      const joblog::JobRecord& next = jobs[v[i + 1]];
+      if (next.queue_time - prev.end_time > config.resubmit_gap) continue;
+      result.resubmissions_after_interruption += 1;
+      if (next.partition == prev.partition) result.resubmissions_same_partition += 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace coral::core

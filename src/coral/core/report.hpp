@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "coral/core/pipeline.hpp"
+#include "coral/joblog/log.hpp"
+#include "coral/ras/log.hpp"
+
+namespace coral::core {
+
+/// Render the 12-observation co-analysis report (the paper's highlighted
+/// observations, §IV–§VI) with the metric behind each observation.
+std::string render_observations(const CoAnalysisResult& r, const ras::RasLogSummary& ras,
+                                const joblog::JobLogSummary& jobs);
+
+/// Render the filtering pipeline stage table (Fig. 1 flow with counts).
+std::string render_filter_stages(const CoAnalysisResult& r);
+
+/// Render an interarrival fit as a one-line summary (shape/scale/mean/var +
+/// LRT verdict).
+std::string render_fit(const char* name, const InterarrivalFit& fit);
+
+}  // namespace coral::core

@@ -1,0 +1,95 @@
+#include "coral/fault/storm.hpp"
+
+#include <algorithm>
+
+#include "coral/fault/process.hpp"
+
+namespace coral::fault {
+
+using ras::Catalog;
+using ras::ErrcodeId;
+using ras::ErrcodeInfo;
+
+StormModel::StormModel(const StormConfig& config) : config_(config) {}
+
+std::optional<ErrcodeId> StormModel::cascade_partner(ErrcodeId primary) {
+  // Causally coupled pairs: a primary fatal drags a correlated secondary
+  // fatal at the same location. Kept small and static — these are the
+  // frequent co-occurring sets the causality filter mines.
+  const Catalog& c = Catalog::instance();
+  static const std::pair<const char*, const char*> kPairs[] = {
+      {ras::codes::kRasStormFatal, "_bgp_err_kernel_panic"},
+      {ras::codes::kDdrController, "_bgp_err_l3_ecc_fatal"},
+      {"_bgp_err_tree_fatal", "_bgp_err_dma_fatal"},
+      {ras::codes::kLinkCardError, "mmcs_control_conn_lost"},
+      {ras::codes::kCiodHungProxy, "_bgp_err_fs_operation"},
+  };
+  const ErrcodeInfo& info = c.info(primary);
+  for (const auto& [from, to] : kPairs) {
+    if (info.name == from) return c.find(to);
+  }
+  return std::nullopt;
+}
+
+void StormModel::expand(const Manifestation& m, Rng& rng,
+                        std::vector<TaggedEvent>& out) const {
+  const Catalog& catalog = Catalog::instance();
+  const ErrcodeInfo& info = catalog.info(m.code);
+
+  const auto emit = [&](ras::ErrcodeId code, TimePoint t, const bgp::Location& loc) {
+    TaggedEvent te;
+    te.event.errcode = code;
+    te.event.severity = catalog.info(code).severity;
+    te.event.event_time = t;
+    te.event.location = loc;
+    te.event.serial = static_cast<std::uint32_t>(rng.next() & 0xFFFFFF);
+    te.truth_tag = m.truth_tag;
+    out.push_back(te);
+  };
+
+  const auto jitter = [&](double mean_fraction) {
+    const double w = static_cast<double>(config_.temporal_window);
+    return static_cast<Usec>(rng.uniform(0.0, w * mean_fraction));
+  };
+
+  // Primary record at the manifestation time.
+  emit(m.code, m.time, m.location);
+
+  // Temporal redundancy at the primary location.
+  const double extra_mean =
+      m.job_partition ? config_.temporal_extra_mean : config_.idle_extra_mean;
+  const auto n_temporal = rng.poisson(extra_mean);
+  for (std::uint64_t i = 0; i < n_temporal; ++i) {
+    emit(m.code, m.time + jitter(1.0), m.location);
+  }
+
+  // Spatial fan-out: a parallel job's interrupt is reported from many of
+  // its nodes.
+  if (m.job_partition) {
+    const auto n_nodes = rng.poisson(config_.spatial_nodes_mean);
+    const auto midplanes = m.job_partition->midplanes();
+    for (std::uint64_t i = 0; i < n_nodes; ++i) {
+      const bgp::MidplaneId mid =
+          midplanes[rng.uniform_index(midplanes.size())];
+      const bgp::Location node = location_on_midplane(info.loc_kind, mid, rng);
+      const auto reps = 1 + rng.uniform_index(
+                                static_cast<std::uint64_t>(config_.max_records_per_node));
+      for (std::uint64_t r = 0; r < reps; ++r) {
+        emit(m.code, m.time + jitter(1.0), node);
+      }
+    }
+  }
+
+  // Causal cascade: a correlated secondary errcode at the same location,
+  // slightly later.
+  if (const auto partner = cascade_partner(m.code);
+      partner && rng.uniform() < config_.cascade_prob) {
+    const auto n_cascade = 1 + rng.poisson(config_.cascade_extra_mean);
+    const Usec offset = 2 * kUsecPerSec + jitter(0.2);
+    for (std::uint64_t i = 0; i < n_cascade; ++i) {
+      emit(*partner, m.time + offset + jitter(0.5), m.location);
+    }
+  }
+}
+
+}  // namespace coral::fault

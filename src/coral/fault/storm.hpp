@@ -1,0 +1,61 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "coral/bgp/partition.hpp"
+#include "coral/common/rng.hpp"
+#include "coral/ras/event.hpp"
+
+namespace coral::fault {
+
+/// How a single ground-truth fault manifestation explodes into raw RAS
+/// records (the redundancy the paper's filters must undo, §IV):
+///   - temporal: the primary location re-reports within a short burst;
+///   - spatial: an interrupt to a parallel job is reported from many of the
+///     job's nodes (§VI-C);
+///   - causal: correlated secondary errcodes fire at the same location
+///     (the co-occurring sets of [7]).
+struct StormConfig {
+  double temporal_extra_mean = 5.0;  ///< extra same-location records (Poisson)
+  Usec temporal_window = 150 * kUsecPerSec;
+  double spatial_nodes_mean = 18.0;  ///< job nodes that report the interrupt
+  int max_records_per_node = 3;
+  double cascade_prob = 0.35;        ///< chance of a secondary-errcode burst
+  double cascade_extra_mean = 2.5;
+  double idle_extra_mean = 7.0;      ///< extra records for idle-hardware faults
+};
+
+/// One ground-truth fault manifestation to expand into records.
+struct Manifestation {
+  TimePoint time;
+  ras::ErrcodeId code = 0;
+  bgp::Location location;                      ///< primary report location
+  std::optional<bgp::Partition> job_partition; ///< set when a job was hit
+  std::int32_t truth_tag = -1;                 ///< ground-truth fault instance id
+};
+
+/// A raw record plus its ground-truth tag.
+struct TaggedEvent {
+  ras::RasEvent event;
+  std::int32_t truth_tag = -1;
+};
+
+/// Expands manifestations into raw RAS records.
+class StormModel {
+ public:
+  explicit StormModel(const StormConfig& config);
+
+  /// Append the records for `m` to `out`. All records carry `m.truth_tag`.
+  void expand(const Manifestation& m, Rng& rng, std::vector<TaggedEvent>& out) const;
+
+  /// The secondary errcode that a primary code drags along (the causal
+  /// cascade), if any. Exposed so the causality filter's tests can assert
+  /// against the ground truth.
+  static std::optional<ras::ErrcodeId> cascade_partner(ras::ErrcodeId primary);
+
+ private:
+  StormConfig config_;
+};
+
+}  // namespace coral::fault

@@ -1,0 +1,96 @@
+#include "coral/filter/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace coral::filter {
+
+namespace {
+
+std::uint64_t key_of(const ras::RasEvent& ev) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ev.errcode)) << 32) |
+         ev.location.packed();
+}
+
+}  // namespace
+
+AdaptiveThresholds learn_adaptive_thresholds(std::span<const ras::RasEvent> events,
+                                             const AdaptiveFilterConfig& config) {
+  // Collect successive same-(code, location) gaps per errcode.
+  std::unordered_map<std::uint64_t, TimePoint> last_at_key;
+  std::unordered_map<ras::ErrcodeId, std::vector<double>> gaps_sec;
+  for (const ras::RasEvent& ev : events) {
+    const std::uint64_t key = key_of(ev);
+    const auto it = last_at_key.find(key);
+    if (it != last_at_key.end()) {
+      gaps_sec[ev.errcode].push_back(static_cast<double>(ev.event_time - it->second) /
+                                     static_cast<double>(kUsecPerSec));
+      it->second = ev.event_time;
+    } else {
+      last_at_key.emplace(key, ev.event_time);
+    }
+  }
+
+  AdaptiveThresholds out;
+  out.fallback = config.fallback;
+  const double lo = static_cast<double>(config.min_threshold) / kUsecPerSec;
+  const double hi = static_cast<double>(config.max_threshold) / kUsecPerSec;
+
+  for (auto& [code, gaps] : gaps_sec) {
+    if (gaps.size() < config.min_samples) continue;
+    std::sort(gaps.begin(), gaps.end());
+    // Find the largest multiplicative jump between consecutive sorted gaps
+    // inside the clamp range; the threshold lands in the middle of that
+    // jump (geometric mean).
+    double best_ratio = 0;
+    double best_threshold = -1;
+    for (std::size_t i = 1; i < gaps.size(); ++i) {
+      const double a = std::max(gaps[i - 1], 0.5);
+      const double b = std::max(gaps[i], 0.5);
+      if (b < lo || a > hi) continue;
+      const double ratio = b / a;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_threshold = std::sqrt(a * b);
+      }
+    }
+    // Require a clear knee (an order of magnitude) to trust the fit.
+    if (best_ratio >= 8.0 && best_threshold > 0) {
+      const double clamped = std::clamp(best_threshold, lo, hi);
+      out.by_code[code] = static_cast<Usec>(clamped * kUsecPerSec);
+    }
+  }
+  return out;
+}
+
+std::vector<EventGroup> adaptive_temporal_filter(std::span<const ras::RasEvent> events,
+                                                 std::vector<EventGroup> groups,
+                                                 const AdaptiveThresholds& thresholds) {
+  struct Open {
+    std::size_t out_index;
+    TimePoint last;
+  };
+  std::unordered_map<std::uint64_t, Open> open;
+  open.reserve(groups.size());
+  std::vector<EventGroup> out;
+  out.reserve(groups.size());
+
+  for (EventGroup& g : groups) {
+    const ras::RasEvent& rep = events[g.rep];
+    const std::uint64_t key = key_of(rep);
+    const Usec threshold = thresholds.threshold_for(rep.errcode);
+    const auto it = open.find(key);
+    if (it != open.end() && rep.event_time - it->second.last <= threshold) {
+      it->second.last = rep.event_time;
+      merge_groups(out[it->second.out_index], std::move(g));
+      continue;
+    }
+    open[key] = Open{out.size(), rep.event_time};
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace coral::filter

@@ -1,0 +1,107 @@
+#include "coral/filter/causality.hpp"
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace coral::filter {
+
+std::vector<CausalPair> mine_causal_pairs(std::span<const ras::RasEvent> events,
+                                          std::span<const EventGroup> groups,
+                                          const CausalityFilterConfig& config) {
+  // Count unordered co-occurrences of distinct codes among group reps
+  // within the window (each pair of groups counted once). The outer loop is
+  // embarrassingly parallel: each chunk owns disjoint left-endpoints i and
+  // accumulates into a local map; maps are merged afterwards, so the result
+  // is independent of the chunking.
+  using Counts = std::map<std::pair<ras::ErrcodeId, ras::ErrcodeId>, int>;
+  const auto count_range = [&](std::size_t begin, std::size_t end, Counts& counts) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const ras::RasEvent& a = events[groups[i].rep];
+      for (std::size_t j = i + 1; j < groups.size(); ++j) {
+        const ras::RasEvent& b = events[groups[j].rep];
+        if (b.event_time - a.event_time > config.window) break;
+        if (a.errcode == b.errcode) continue;
+        const auto key = a.errcode < b.errcode ? std::pair{a.errcode, b.errcode}
+                                               : std::pair{b.errcode, a.errcode};
+        counts[key] += 1;
+      }
+    }
+  };
+
+  Counts counts;
+  if (config.pool != nullptr && config.pool->thread_count() > 1) {
+    std::vector<Counts> partial(config.pool->thread_count() * 4);
+    std::atomic<std::size_t> slot{0};
+    par::parallel_for_chunks(
+        groups.size(), 256,
+        [&](std::size_t begin, std::size_t end) {
+          count_range(begin, end, partial[slot.fetch_add(1) % partial.size()]);
+        },
+        config.pool);
+    for (const Counts& p : partial) {
+      for (const auto& [key, n] : p) counts[key] += n;
+    }
+  } else {
+    count_range(0, groups.size(), counts);
+  }
+
+  std::vector<CausalPair> pairs;
+  for (const auto& [key, n] : counts) {
+    if (n >= config.min_support) pairs.push_back(key);
+  }
+  return pairs;
+}
+
+std::vector<EventGroup> causality_filter(std::span<const ras::RasEvent> events,
+                                         std::vector<EventGroup> groups,
+                                         std::span<const CausalPair> pairs,
+                                         const CausalityFilterConfig& config) {
+  // partner[c] = set of codes causally coupled with c.
+  std::unordered_map<ras::ErrcodeId, std::set<ras::ErrcodeId>> partner;
+  for (const auto& [a, b] : pairs) {
+    partner[a].insert(b);
+    partner[b].insert(a);
+  }
+
+  struct Open {
+    std::size_t out_index;
+    TimePoint last;
+  };
+  std::unordered_map<ras::ErrcodeId, Open> open;  // last group per code
+  std::vector<EventGroup> out;
+  out.reserve(groups.size());
+
+  for (EventGroup& g : groups) {
+    const ras::RasEvent& rep = events[g.rep];
+    bool merged = false;
+    if (const auto pit = partner.find(rep.errcode); pit != partner.end()) {
+      // Merge into the most recent partner group within the window.
+      std::size_t best_out = 0;
+      TimePoint best_time;
+      bool found = false;
+      for (ras::ErrcodeId p : pit->second) {
+        const auto oit = open.find(p);
+        if (oit == open.end()) continue;
+        if (rep.event_time - oit->second.last > config.window) continue;
+        if (!found || oit->second.last > best_time) {
+          found = true;
+          best_time = oit->second.last;
+          best_out = oit->second.out_index;
+        }
+      }
+      if (found) {
+        merge_groups(out[best_out], std::move(g));
+        merged = true;
+      }
+    }
+    if (!merged) {
+      open[rep.errcode] = Open{out.size(), rep.event_time};
+      out.push_back(std::move(g));
+    }
+  }
+  return out;
+}
+
+}  // namespace coral::filter

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <utility>
+
+#include "coral/common/parallel.hpp"
+#include "coral/filter/groups.hpp"
+
+namespace coral::filter {
+
+/// Causality-related filtering [7]: different ERRCODEs that co-occur
+/// frequently within a short window are causally coupled (e.g. an L1 cache
+/// parity error dragging a kernel panic). The filter first *mines* the
+/// frequently co-occurring code pairs from the data, then merges each
+/// follower group into the leader group it trails.
+struct CausalityFilterConfig {
+  Usec window = 120 * kUsecPerSec;  ///< co-occurrence window
+  int min_support = 5;              ///< occurrences needed to accept a pair
+  /// Optional worker pool for the mining pass (the only O(n·w) step in the
+  /// filter chain). Results are identical with or without it.
+  par::ThreadPool* pool = nullptr;
+};
+
+/// An accepted causally-coupled pair (leader first by convention of first
+/// observation order).
+using CausalPair = std::pair<ras::ErrcodeId, ras::ErrcodeId>;
+
+/// Mine frequently co-occurring errcode pairs from grouped events. Counting
+/// is done on group representatives (post temporal/spatial), so storms do
+/// not inflate support.
+std::vector<CausalPair> mine_causal_pairs(std::span<const ras::RasEvent> events,
+                                          std::span<const EventGroup> groups,
+                                          const CausalityFilterConfig& config);
+
+/// Merge each group whose code is causally paired with a group seen within
+/// the window into that earlier group.
+std::vector<EventGroup> causality_filter(std::span<const ras::RasEvent> events,
+                                         std::vector<EventGroup> groups,
+                                         std::span<const CausalPair> pairs,
+                                         const CausalityFilterConfig& config);
+
+}  // namespace coral::filter

@@ -1,0 +1,24 @@
+#include "coral/filter/groups.hpp"
+
+namespace coral::filter {
+
+std::vector<EventGroup> singleton_groups(std::size_t count) {
+  std::vector<EventGroup> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i].rep = i;
+    out[i].members = {i};
+  }
+  return out;
+}
+
+void merge_groups(EventGroup& dst, EventGroup&& src) {
+  dst.members.insert(dst.members.end(), src.members.begin(), src.members.end());
+  src.members.clear();
+}
+
+double compression_ratio(std::size_t input_records, std::size_t output_groups) {
+  if (input_records == 0) return 0.0;
+  return 1.0 - static_cast<double>(output_groups) / static_cast<double>(input_records);
+}
+
+}  // namespace coral::filter

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "coral/ras/event.hpp"
+
+namespace coral::filter {
+
+/// A set of raw RAS records that the filters decided describe one
+/// independent event. `rep` is the representative (earliest) record; the
+/// members keep their own times and locations so downstream analysis (job
+/// matching, propagation) can still see the full footprint of the event.
+struct EventGroup {
+  std::size_t rep = 0;               ///< index into the filtered event span
+  std::vector<std::size_t> members;  ///< all record indices, rep first
+};
+
+/// One group per record: the state before any filtering.
+std::vector<EventGroup> singleton_groups(std::size_t count);
+
+/// Merge `src` into `dst` (keeps dst.rep; members concatenated).
+void merge_groups(EventGroup& dst, EventGroup&& src);
+
+/// Compression ratio 1 - out/in, as the paper reports it (98.35% etc.).
+double compression_ratio(std::size_t input_records, std::size_t output_groups);
+
+}  // namespace coral::filter

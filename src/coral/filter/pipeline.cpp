@@ -1,0 +1,34 @@
+#include "coral/filter/pipeline.hpp"
+
+namespace coral::filter {
+
+FilterPipelineResult run_filter_pipeline(const ras::RasLog& log,
+                                         const FilterPipelineConfig& config) {
+  FilterPipelineResult result;
+  result.fatal_events = log.fatal_events();
+  const auto& events = result.fatal_events;
+
+  std::vector<EventGroup> groups = singleton_groups(events.size());
+  result.stages.push_back({"raw FATAL records", events.size(), groups.size()});
+
+  const std::size_t before_temporal = groups.size();
+  groups = temporal_filter(events, std::move(groups), config.temporal);
+  result.stages.push_back({"temporal", before_temporal, groups.size()});
+
+  const std::size_t before_spatial = groups.size();
+  groups = spatial_filter(events, std::move(groups), config.spatial);
+  result.stages.push_back({"spatial", before_spatial, groups.size()});
+
+  if (config.enable_causality) {
+    const std::size_t before_causality = groups.size();
+    result.causal_pairs = mine_causal_pairs(events, groups, config.causality);
+    groups = causality_filter(events, std::move(groups), result.causal_pairs,
+                              config.causality);
+    result.stages.push_back({"causality", before_causality, groups.size()});
+  }
+
+  result.groups = std::move(groups);
+  return result;
+}
+
+}  // namespace coral::filter

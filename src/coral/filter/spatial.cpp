@@ -1,0 +1,32 @@
+#include "coral/filter/spatial.hpp"
+
+#include <unordered_map>
+
+namespace coral::filter {
+
+std::vector<EventGroup> spatial_filter(std::span<const ras::RasEvent> events,
+                                       std::vector<EventGroup> groups,
+                                       const SpatialFilterConfig& config) {
+  struct Open {
+    std::size_t out_index;
+    TimePoint last;
+  };
+  std::unordered_map<std::int32_t, Open> open;  // keyed by errcode
+  std::vector<EventGroup> out;
+  out.reserve(groups.size());
+
+  for (EventGroup& g : groups) {
+    const ras::RasEvent& rep = events[g.rep];
+    const auto it = open.find(rep.errcode);
+    if (it != open.end() && rep.event_time - it->second.last <= config.threshold) {
+      it->second.last = rep.event_time;
+      merge_groups(out[it->second.out_index], std::move(g));
+      continue;
+    }
+    open[rep.errcode] = Open{out.size(), rep.event_time};
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace coral::filter

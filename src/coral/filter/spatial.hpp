@@ -1,0 +1,20 @@
+#pragma once
+
+#include "coral/filter/groups.hpp"
+
+namespace coral::filter {
+
+/// Spatial filtering [12], [9]: the same ERRCODE reported from *different*
+/// locations within `threshold` is one event seen from many vantage points
+/// (a parallel job's interrupt is reported by every allocated node).
+struct SpatialFilterConfig {
+  Usec threshold = 300 * kUsecPerSec;
+};
+
+/// Merge groups per the spatial rule (same errcode, any location, within
+/// the renewing window). Input ordering as for temporal_filter.
+std::vector<EventGroup> spatial_filter(std::span<const ras::RasEvent> events,
+                                       std::vector<EventGroup> groups,
+                                       const SpatialFilterConfig& config);
+
+}  // namespace coral::filter

@@ -1,0 +1,43 @@
+#include "coral/filter/temporal.hpp"
+
+#include <unordered_map>
+
+namespace coral::filter {
+
+namespace {
+
+std::uint64_t key_of(const ras::RasEvent& ev) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ev.errcode)) << 32) |
+         ev.location.packed();
+}
+
+}  // namespace
+
+std::vector<EventGroup> temporal_filter(std::span<const ras::RasEvent> events,
+                                        std::vector<EventGroup> groups,
+                                        const TemporalFilterConfig& config) {
+  struct Open {
+    std::size_t out_index;
+    TimePoint last;
+  };
+  std::unordered_map<std::uint64_t, Open> open;
+  open.reserve(groups.size());
+  std::vector<EventGroup> out;
+  out.reserve(groups.size());
+
+  for (EventGroup& g : groups) {
+    const ras::RasEvent& rep = events[g.rep];
+    const std::uint64_t key = key_of(rep);
+    const auto it = open.find(key);
+    if (it != open.end() && rep.event_time - it->second.last <= config.threshold) {
+      it->second.last = rep.event_time;  // chain renews the window
+      merge_groups(out[it->second.out_index], std::move(g));
+      continue;
+    }
+    open[key] = Open{out.size(), rep.event_time};
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace coral::filter

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "coral/filter/groups.hpp"
+
+namespace coral::filter {
+
+/// Temporal filtering [12]: records of the same ERRCODE at the same
+/// LOCATION within `threshold` of the previous record are redundant
+/// re-reports of one event. The chain extends: each absorbed record renews
+/// the window (a 10-minute storm of 5-second repeats is one event).
+struct TemporalFilterConfig {
+  Usec threshold = 300 * kUsecPerSec;
+};
+
+/// Merge groups per the temporal rule. `events` must be time-sorted and
+/// `groups` ordered by representative time (as produced by
+/// singleton_groups or an earlier filter stage).
+std::vector<EventGroup> temporal_filter(std::span<const ras::RasEvent> events,
+                                        std::vector<EventGroup> groups,
+                                        const TemporalFilterConfig& config);
+
+}  // namespace coral::filter

@@ -1,0 +1,36 @@
+#include "coral/joblog/anonymize.hpp"
+
+#include <unordered_map>
+
+#include "coral/common/strings.hpp"
+
+namespace coral::joblog {
+
+JobLog anonymize(const JobLog& log) {
+  JobLog out;
+  std::unordered_map<std::int32_t, std::int32_t> exec_map, user_map, project_map;
+
+  for (const JobRecord& job : log) {
+    JobRecord copy = job;
+
+    auto remap = [&out](std::unordered_map<std::int32_t, std::int32_t>& map,
+                        std::int32_t old_id, const char* prefix,
+                        auto intern) -> std::int32_t {
+      const auto it = map.find(old_id);
+      if (it != map.end()) return it->second;
+      const auto fresh = static_cast<std::int32_t>(map.size() + 1);
+      const std::int32_t id = (out.*intern)(strformat("%s_%04d", prefix, fresh));
+      map.emplace(old_id, id);
+      return id;
+    };
+
+    copy.exec_id = remap(exec_map, job.exec_id, "app", &JobLog::intern_exec);
+    copy.user_id = remap(user_map, job.user_id, "user", &JobLog::intern_user);
+    copy.project_id = remap(project_map, job.project_id, "project", &JobLog::intern_project);
+    out.append(copy);
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace coral::joblog

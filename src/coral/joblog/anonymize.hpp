@@ -1,0 +1,17 @@
+#pragma once
+
+#include "coral/joblog/log.hpp"
+
+namespace coral::joblog {
+
+/// Anonymize a job log for public release (the paper released the Intrepid
+/// logs through the Parallel Workloads Archive / USENIX CFDR with exactly
+/// this kind of scrubbing): execution-file paths, user names and project
+/// names are replaced by stable pseudonyms ("app_0001", "user_0001",
+/// "project_0001"), keyed by first appearance in *submission order* so
+/// repeated releases of the same log anonymize identically. Times,
+/// locations, sizes and exit codes — everything the co-analysis uses — are
+/// preserved bit-for-bit.
+JobLog anonymize(const JobLog& log);
+
+}  // namespace coral::joblog

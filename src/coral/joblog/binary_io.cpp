@@ -1,0 +1,134 @@
+#include "coral/joblog/binary_io.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "coral/common/error.hpp"
+
+namespace coral::joblog {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'J', 'O', 'B'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw ParseError("truncated binary job log");
+  return value;
+}
+
+void write_table(std::ostream& out, const std::vector<std::string>& table) {
+  put(out, static_cast<std::uint32_t>(table.size()));
+  for (const std::string& s : table) {
+    put(out, static_cast<std::uint16_t>(s.size()));
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+}
+
+std::vector<std::string> read_table(std::istream& in) {
+  const auto count = get<std::uint32_t>(in);
+  if (count > 10'000'000) throw ParseError("implausible table size in binary job log");
+  std::vector<std::string> table(count);
+  for (auto& s : table) {
+    const auto len = get<std::uint16_t>(in);
+    s.resize(len);
+    in.read(s.data(), len);
+    if (!in) throw ParseError("truncated string table in binary job log");
+  }
+  return table;
+}
+
+struct PackedJob {
+  std::int64_t job_id;
+  std::int32_t exec;
+  std::int32_t user;
+  std::int32_t project;
+  std::int32_t first_midplane;
+  std::int64_t queue_usec;
+  std::int64_t start_usec;
+  std::int64_t end_usec;
+  std::int32_t midplane_count;
+  std::int32_t exit_code;
+};
+static_assert(sizeof(PackedJob) == 56);
+
+}  // namespace
+
+void write_binary(std::ostream& out, const JobLog& log) {
+  out.write(kMagic, sizeof kMagic);
+  put(out, kVersion);
+  write_table(out, log.exec_files());
+  write_table(out, log.users());
+  write_table(out, log.projects());
+  put(out, static_cast<std::uint64_t>(log.size()));
+  for (const JobRecord& j : log) {
+    PackedJob rec{};
+    rec.job_id = j.job_id;
+    rec.exec = j.exec_id;
+    rec.user = j.user_id;
+    rec.project = j.project_id;
+    rec.queue_usec = j.queue_time.usec();
+    rec.start_usec = j.start_time.usec();
+    rec.end_usec = j.end_time.usec();
+    rec.first_midplane = j.partition.first_midplane();
+    rec.midplane_count = j.partition.midplane_count();
+    rec.exit_code = j.exit_code;
+    out.write(reinterpret_cast<const char*>(&rec), sizeof rec);
+  }
+}
+
+JobLog read_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw ParseError("not a binary job log (bad magic)");
+  }
+  const auto version = get<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw ParseError("unsupported binary job log version " + std::to_string(version));
+  }
+  const auto execs = read_table(in);
+  const auto users = read_table(in);
+  const auto projects = read_table(in);
+
+  JobLog log;
+  for (const auto& s : execs) log.intern_exec(s);
+  for (const auto& s : users) log.intern_user(s);
+  for (const auto& s : projects) log.intern_project(s);
+
+  const auto count = get<std::uint64_t>(in);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PackedJob rec{};
+    in.read(reinterpret_cast<char*>(&rec), sizeof rec);
+    if (!in) throw ParseError("truncated records in binary job log");
+    if (rec.exec < 0 || static_cast<std::size_t>(rec.exec) >= execs.size() ||
+        rec.user < 0 || static_cast<std::size_t>(rec.user) >= users.size() ||
+        rec.project < 0 || static_cast<std::size_t>(rec.project) >= projects.size()) {
+      throw ParseError("bad table index in binary job log");
+    }
+    JobRecord j;
+    j.job_id = rec.job_id;
+    j.exec_id = rec.exec;
+    j.user_id = rec.user;
+    j.project_id = rec.project;
+    j.queue_time = TimePoint(rec.queue_usec);
+    j.start_time = TimePoint(rec.start_usec);
+    j.end_time = TimePoint(rec.end_usec);
+    j.partition = bgp::Partition(rec.first_midplane, rec.midplane_count);
+    j.exit_code = rec.exit_code;
+    log.append(j);
+  }
+  log.finalize();
+  return log;
+}
+
+}  // namespace coral::joblog

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "coral/joblog/log.hpp"
+
+namespace coral::joblog {
+
+/// Compact binary serialization of a JobLog. Format (little-endian):
+///
+///   magic "CJOB" | u32 version | three string tables (exec files, users,
+///   projects: u32 count, then u16 length + bytes each) | u64 record count
+///   | records { i64 job_id, i32 exec, i32 user, i32 project, i64 queue,
+///   i64 start, i64 end (usec), i32 first_midplane, i32 midplane_count,
+///   i32 exit_code }
+void write_binary(std::ostream& out, const JobLog& log);
+
+/// Load a binary JobLog. Throws ParseError on malformed input.
+JobLog read_binary(std::istream& in);
+
+}  // namespace coral::joblog

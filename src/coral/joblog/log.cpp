@@ -1,0 +1,158 @@
+#include "coral/joblog/log.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "coral/common/csv.hpp"
+#include "coral/common/error.hpp"
+#include "coral/common/strings.hpp"
+
+namespace coral::joblog {
+
+namespace {
+
+std::int32_t intern(const std::string& value, std::vector<std::string>& table,
+                    std::unordered_map<std::string, std::int32_t>& index) {
+  const auto it = index.find(value);
+  if (it != index.end()) return it->second;
+  const auto id = static_cast<std::int32_t>(table.size());
+  table.push_back(value);
+  index.emplace(value, id);
+  return id;
+}
+
+}  // namespace
+
+ExecId JobLog::intern_exec(const std::string& path) {
+  return intern(path, exec_files_, exec_index_);
+}
+UserId JobLog::intern_user(const std::string& name) {
+  return intern(name, users_, user_index_);
+}
+ProjectId JobLog::intern_project(const std::string& name) {
+  return intern(name, projects_, project_index_);
+}
+
+void JobLog::append(JobRecord job) {
+  CORAL_EXPECTS(job.end_time >= job.start_time);
+  CORAL_EXPECTS(job.exec_id >= 0 &&
+                static_cast<std::size_t>(job.exec_id) < exec_files_.size());
+  finalized_ = false;
+  jobs_.push_back(job);
+}
+
+void JobLog::finalize() {
+  std::stable_sort(jobs_.begin(), jobs_.end(), [](const JobRecord& a, const JobRecord& b) {
+    return a.start_time < b.start_time;
+  });
+  max_end_prefix_.resize(jobs_.size());
+  TimePoint running_max;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (i == 0 || jobs_[i].end_time > running_max) running_max = jobs_[i].end_time;
+    max_end_prefix_[i] = running_max;
+  }
+  finalized_ = true;
+}
+
+template <typename Pred>
+std::vector<std::size_t> JobLog::running_matching(TimePoint t, Pred pred) const {
+  CORAL_EXPECTS(finalized_);
+  std::vector<std::size_t> out;
+  // First job with start_time > t.
+  const auto it = std::upper_bound(jobs_.begin(), jobs_.end(), t,
+                                   [](TimePoint tp, const JobRecord& j) {
+                                     return tp < j.start_time;
+                                   });
+  for (auto i = static_cast<std::ptrdiff_t>(it - jobs_.begin()) - 1; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (max_end_prefix_[idx] <= t) break;  // nothing earlier can still be running
+    const JobRecord& j = jobs_[idx];
+    if (j.end_time > t && pred(j)) out.push_back(idx);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> JobLog::running_at(TimePoint t, const bgp::Location& loc) const {
+  return running_matching(t, [&loc](const JobRecord& j) { return j.partition.covers(loc); });
+}
+
+std::vector<std::size_t> JobLog::running_at(TimePoint t, const bgp::Partition& part) const {
+  return running_matching(t,
+                          [&part](const JobRecord& j) { return j.partition.overlaps(part); });
+}
+
+std::vector<std::size_t> JobLog::overlapping(TimePoint begin, TimePoint end) const {
+  CORAL_EXPECTS(finalized_);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i].start_time >= end) break;
+    if (jobs_[i].end_time > begin) out.push_back(i);
+  }
+  return out;
+}
+
+JobLogSummary JobLog::summary() const {
+  JobLogSummary s;
+  s.total_jobs = jobs_.size();
+  s.users = users_.size();
+  s.projects = projects_.size();
+  std::vector<int> submits(exec_files_.size(), 0);
+  for (const auto& j : jobs_) submits[static_cast<std::size_t>(j.exec_id)] += 1;
+  for (int n : submits) {
+    if (n > 0) s.distinct_jobs += 1;
+    if (n > 1) s.resubmitted_jobs += 1;
+  }
+  if (!jobs_.empty()) {
+    s.first_submit = jobs_.front().queue_time;
+    s.last_end = jobs_.front().end_time;
+    for (const auto& j : jobs_) {
+      if (j.queue_time < s.first_submit) s.first_submit = j.queue_time;
+      if (j.end_time > s.last_end) s.last_end = j.end_time;
+    }
+  }
+  return s;
+}
+
+void JobLog::write_csv(std::ostream& out) const {
+  CsvWriter w(out);
+  w.write_row({"JOB_ID", "EXEC_FILE", "USER", "PROJECT", "QUEUE_TIME", "START_TIME",
+               "END_TIME", "LOCATION", "EXIT"});
+  for (const auto& j : jobs_) {
+    w.write_row({std::to_string(j.job_id), exec_files_[static_cast<std::size_t>(j.exec_id)],
+                 users_[static_cast<std::size_t>(j.user_id)],
+                 projects_[static_cast<std::size_t>(j.project_id)],
+                 strformat("%.2f", j.queue_time.unix_seconds()),
+                 strformat("%.2f", j.start_time.unix_seconds()),
+                 strformat("%.2f", j.end_time.unix_seconds()), j.partition.name(),
+                 std::to_string(j.exit_code)});
+  }
+}
+
+JobLog JobLog::read_csv(std::istream& in) {
+  CsvReader r(in);
+  std::vector<std::string> row;
+  if (!r.read_row(row)) throw ParseError("empty job CSV");
+  if (row.size() != 9 || row[0] != "JOB_ID") throw ParseError("bad job CSV header");
+  JobLog log;
+  while (r.read_row(row)) {
+    if (row.size() == 1 && row[0].empty()) continue;
+    if (row.size() != 9) throw ParseError("bad job CSV row width");
+    JobRecord j;
+    j.job_id = parse_int(row[0]);
+    j.exec_id = log.intern_exec(row[1]);
+    j.user_id = log.intern_user(row[2]);
+    j.project_id = log.intern_project(row[3]);
+    j.queue_time = TimePoint::from_unix_seconds(parse_double(row[4]));
+    j.start_time = TimePoint::from_unix_seconds(parse_double(row[5]));
+    j.end_time = TimePoint::from_unix_seconds(parse_double(row[6]));
+    j.partition = bgp::Partition::parse(row[7]);
+    j.exit_code = static_cast<int>(parse_int(row[8]));
+    log.append(j);
+  }
+  log.finalize();
+  return log;
+}
+
+}  // namespace coral::joblog

@@ -1,0 +1,110 @@
+#include "coral/joblog/stats.hpp"
+
+#include <algorithm>
+
+#include "coral/bgp/partition.hpp"
+#include "coral/common/error.hpp"
+
+namespace coral::joblog {
+
+namespace {
+
+std::size_t size_class(int midplanes) {
+  switch (midplanes) {
+    case 1: return 0;
+    case 2: return 1;
+    case 4: return 2;
+    case 8: return 3;
+    case 16: return 4;
+    case 32: return 5;
+    case 48: return 6;
+    case 64: return 7;
+    case 80: return 8;
+    default:
+      throw InvalidArgument("unexpected job size: " + std::to_string(midplanes));
+  }
+}
+
+}  // namespace
+
+WorkloadStats workload_stats(const JobLog& jobs, int wide_threshold) {
+  WorkloadStats s;
+  s.wide_threshold = wide_threshold;
+  if (jobs.empty()) return s;
+
+  TimePoint first = jobs[0].start_time;
+  TimePoint last = jobs[0].end_time;
+  double wait_sum = 0;
+  for (const JobRecord& job : jobs) {
+    const double sec =
+        static_cast<double>(job.runtime()) / static_cast<double>(kUsecPerSec);
+    for (bgp::MidplaneId m : job.partition.midplanes()) {
+      s.midplane_busy_sec[static_cast<std::size_t>(m)] += sec;
+      if (job.size_midplanes() >= wide_threshold) {
+        s.midplane_wide_sec[static_cast<std::size_t>(m)] += sec;
+      }
+    }
+    s.jobs_per_size[size_class(job.size_midplanes())] += 1;
+    wait_sum += static_cast<double>(job.start_time - job.queue_time) /
+                static_cast<double>(kUsecPerSec);
+    first = std::min(first, job.start_time);
+    last = std::max(last, job.end_time);
+  }
+  double busy = 0;
+  for (double b : s.midplane_busy_sec) busy += b;
+  const double wall = static_cast<double>(last - first) / static_cast<double>(kUsecPerSec);
+  if (wall > 0) {
+    s.utilization = busy / (wall * bgp::Topology::kMidplanes);
+  }
+  s.mean_wait_sec = wait_sum / static_cast<double>(jobs.size());
+  return s;
+}
+
+std::map<UserId, PartyStats> stats_by_user(const JobLog& jobs) {
+  std::map<UserId, PartyStats> out;
+  for (const JobRecord& job : jobs) {
+    PartyStats& p = out[job.user_id];
+    p.jobs += 1;
+    p.node_seconds += static_cast<double>(job.runtime()) /
+                      static_cast<double>(kUsecPerSec) * job.size_midplanes();
+  }
+  return out;
+}
+
+std::map<ProjectId, PartyStats> stats_by_project(const JobLog& jobs) {
+  std::map<ProjectId, PartyStats> out;
+  for (const JobRecord& job : jobs) {
+    PartyStats& p = out[job.project_id];
+    p.jobs += 1;
+    p.node_seconds += static_cast<double>(job.runtime()) /
+                      static_cast<double>(kUsecPerSec) * job.size_midplanes();
+  }
+  return out;
+}
+
+std::vector<double> utilization_timeline(const JobLog& jobs, TimePoint begin,
+                                         TimePoint end, Usec step) {
+  CORAL_EXPECTS(step > 0);
+  CORAL_EXPECTS(end > begin);
+  const auto n = static_cast<std::size_t>((end - begin + step - 1) / step);
+  // Time-weighted busy midplanes per bucket.
+  std::vector<double> busy(n, 0.0);
+  for (const JobRecord& job : jobs) {
+    if (job.end_time <= begin || job.start_time >= end) continue;
+    const Usec s0 = std::max<Usec>(0, job.start_time - begin);
+    const Usec e0 = std::min<Usec>(end - begin, job.end_time - begin);
+    const auto b0 = static_cast<std::size_t>(s0 / step);
+    const auto b1 = std::min(n - 1, static_cast<std::size_t>((e0 - 1) / step));
+    for (std::size_t b = b0; b <= b1; ++b) {
+      const Usec bucket_begin = static_cast<Usec>(b) * step;
+      const Usec bucket_end = std::min<Usec>(end - begin, bucket_begin + step);
+      const Usec overlap = std::min(e0, bucket_end) - std::max(s0, bucket_begin);
+      busy[b] += static_cast<double>(job.size_midplanes()) *
+                 static_cast<double>(overlap) / static_cast<double>(bucket_end - bucket_begin);
+    }
+  }
+  for (double& b : busy) b /= bgp::Topology::kMidplanes;
+  return busy;
+}
+
+}  // namespace coral::joblog

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "coral/bgp/topology.hpp"
+#include "coral/joblog/log.hpp"
+
+namespace coral::joblog {
+
+/// Machine-utilization and workload statistics over a job log — the §V-B
+/// inputs (Fig. 4b/4c) plus the per-user/per-project aggregates that the
+/// suspicious-user analysis (§VI-D) builds on.
+struct WorkloadStats {
+  /// Busy midplane-seconds per midplane (Fig. 4b).
+  std::array<double, bgp::Topology::kMidplanes> midplane_busy_sec{};
+  /// Busy midplane-seconds from jobs >= `wide_threshold` midplanes (Fig. 4c).
+  std::array<double, bgp::Topology::kMidplanes> midplane_wide_sec{};
+  /// Jobs per Table VI size class {1,2,4,8,16,32,48,64,80}.
+  std::array<std::size_t, 9> jobs_per_size{};
+  /// Machine-wide utilization in [0, 1] (busy midplane-seconds over
+  /// 80 * wall-clock).
+  double utilization = 0;
+  /// Average queue wait in seconds.
+  double mean_wait_sec = 0;
+
+  int wide_threshold = 32;
+};
+
+/// Aggregates for one user or project.
+struct PartyStats {
+  std::size_t jobs = 0;
+  double node_seconds = 0;  ///< midplane-seconds submitted
+};
+
+/// Compute workload statistics. `wide_threshold` is in midplanes.
+WorkloadStats workload_stats(const JobLog& jobs, int wide_threshold = 32);
+
+/// Per-user aggregates, keyed by UserId.
+std::map<UserId, PartyStats> stats_by_user(const JobLog& jobs);
+
+/// Per-project aggregates, keyed by ProjectId.
+std::map<ProjectId, PartyStats> stats_by_project(const JobLog& jobs);
+
+/// Machine utilization sampled on a fixed grid: fraction of midplanes busy
+/// at each sample point. Useful for plotting load over time.
+std::vector<double> utilization_timeline(const JobLog& jobs, TimePoint begin,
+                                         TimePoint end, Usec step);
+
+}  // namespace coral::joblog

@@ -1,0 +1,145 @@
+#include "coral/ras/binary_io.hpp"
+
+#include <cstring>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "coral/common/error.hpp"
+
+namespace coral::ras {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'R', 'A', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw ParseError("truncated binary RAS log");
+  return value;
+}
+
+struct PackedRecord {
+  std::int64_t time_usec;
+  std::uint32_t packed_location;
+  std::uint32_t dict_index;
+  std::uint32_t serial;
+  std::uint8_t severity;
+  std::uint8_t pad[3];
+};
+static_assert(sizeof(PackedRecord) == 24);
+
+// Rebuild a Location from its packed form (inverse of Location::packed()).
+bgp::Location unpack_location(std::uint32_t packed) {
+  const auto kind = static_cast<bgp::LocationKind>((packed >> 24) & 0xFF);
+  const int rack = static_cast<int>((packed >> 16) & 0xFF);
+  const int mid_in_rack = static_cast<int>((packed >> 12) & 0xF) == 0xF
+                              ? -1
+                              : static_cast<int>((packed >> 12) & 0xF);
+  const int card = static_cast<int>((packed >> 6) & 0x3F) == 0x3F
+                       ? -1
+                       : static_cast<int>((packed >> 6) & 0x3F);
+  const int sub =
+      static_cast<int>(packed & 0x3F) == 0x3F ? -1 : static_cast<int>(packed & 0x3F);
+  using bgp::Location;
+  using bgp::LocationKind;
+  switch (kind) {
+    case LocationKind::Rack:
+      return Location::rack(rack);
+    case LocationKind::Midplane:
+      return Location::midplane(bgp::midplane_id(rack, mid_in_rack));
+    case LocationKind::NodeCard:
+      return Location::node_card(bgp::midplane_id(rack, mid_in_rack), card);
+    case LocationKind::ComputeCard:
+      return Location::compute_card(bgp::midplane_id(rack, mid_in_rack), card, sub);
+    case LocationKind::ServiceCard:
+      return Location::service_card(bgp::midplane_id(rack, mid_in_rack));
+    case LocationKind::LinkCard:
+      return Location::link_card(bgp::midplane_id(rack, mid_in_rack), card);
+    case LocationKind::IoNode:
+      return Location::io_node(bgp::midplane_id(rack, mid_in_rack), card, sub);
+  }
+  throw ParseError("bad location kind in binary RAS log");
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const RasLog& log) {
+  out.write(kMagic, sizeof kMagic);
+  put(out, kVersion);
+
+  // Dictionary: every catalog errcode name, indexed by ErrcodeId.
+  const Catalog& catalog = Catalog::instance();
+  put(out, static_cast<std::uint32_t>(catalog.size()));
+  for (const ErrcodeInfo& info : catalog.all()) {
+    put(out, static_cast<std::uint16_t>(info.name.size()));
+    out.write(info.name.data(), static_cast<std::streamsize>(info.name.size()));
+  }
+
+  put(out, static_cast<std::uint64_t>(log.size()));
+  for (const RasEvent& ev : log) {
+    PackedRecord rec{};
+    rec.time_usec = ev.event_time.usec();
+    rec.packed_location = ev.location.packed();
+    rec.dict_index = static_cast<std::uint32_t>(ev.errcode);
+    rec.serial = ev.serial;
+    rec.severity = static_cast<std::uint8_t>(ev.severity);
+    out.write(reinterpret_cast<const char*>(&rec), sizeof rec);
+  }
+}
+
+RasLog read_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw ParseError("not a binary RAS log (bad magic)");
+  }
+  const auto version = get<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw ParseError("unsupported binary RAS log version " + std::to_string(version));
+  }
+
+  // Dictionary -> current catalog id mapping.
+  const Catalog& catalog = Catalog::instance();
+  const auto dict_size = get<std::uint32_t>(in);
+  if (dict_size > 1'000'000) throw ParseError("implausible dictionary size");
+  std::vector<ErrcodeId> remap(dict_size);
+  std::string name;
+  for (std::uint32_t i = 0; i < dict_size; ++i) {
+    const auto len = get<std::uint16_t>(in);
+    name.resize(len);
+    in.read(name.data(), len);
+    if (!in) throw ParseError("truncated dictionary in binary RAS log");
+    const auto id = catalog.find(name);
+    if (!id) throw ParseError("unknown errcode in binary RAS log: '" + name + "'");
+    remap[i] = *id;
+  }
+
+  const auto count = get<std::uint64_t>(in);
+  std::vector<RasEvent> events;
+  events.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PackedRecord rec{};
+    in.read(reinterpret_cast<char*>(&rec), sizeof rec);
+    if (!in) throw ParseError("truncated records in binary RAS log");
+    if (rec.dict_index >= dict_size) throw ParseError("bad dictionary index");
+    RasEvent ev;
+    ev.event_time = TimePoint(rec.time_usec);
+    ev.location = unpack_location(rec.packed_location);
+    ev.errcode = remap[rec.dict_index];
+    ev.serial = rec.serial;
+    ev.severity = static_cast<Severity>(rec.severity);
+    events.push_back(ev);
+  }
+  return RasLog(std::move(events));
+}
+
+}  // namespace coral::ras

@@ -1,0 +1,254 @@
+#include "coral/ras/catalog.hpp"
+
+#include "coral/common/error.hpp"
+#include "coral/common/strings.hpp"
+
+namespace coral::ras {
+
+namespace {
+
+using bgp::LocationKind;
+
+struct Builder {
+  std::vector<ErrcodeInfo> entries;
+
+  void add(ErrcodeInfo info) { entries.push_back(std::move(info)); }
+
+  // Interrupting system failure (non-persistent).
+  void sys(const char* name, const char* msg_id, Component comp, const char* sub,
+           LocationKind kind, double weight, const char* msg) {
+    add({name, msg_id, comp, sub, Severity::Fatal, FaultNature::SystemFailure,
+         JobImpact::Interrupting, /*propagates=*/false, /*persistent=*/false,
+         /*idle_bias=*/false, kind, weight, msg});
+  }
+
+  // Persistent system failure: re-hits jobs until repaired.
+  void sys_persistent(const char* name, const char* msg_id, Component comp, const char* sub,
+                      LocationKind kind, double weight, const char* msg) {
+    add({name, msg_id, comp, sub, Severity::Fatal, FaultNature::SystemFailure,
+         JobImpact::Interrupting, false, /*persistent=*/true, false, kind, weight, msg});
+  }
+
+  // System failure biased to idle hardware (no job ever sees it).
+  void sys_idle(const std::string& name, const std::string& msg_id, Component comp,
+                const std::string& sub, LocationKind kind, double weight,
+                const std::string& msg) {
+    add({name, msg_id, comp, sub, Severity::Fatal, FaultNature::SystemFailure,
+         JobImpact::Interrupting, false, false, /*idle_bias=*/true, kind, weight, msg});
+  }
+
+  // Application error; may propagate through the shared file system.
+  void app(const char* name, const char* msg_id, const char* sub, LocationKind kind,
+           bool propagates, double weight, const char* msg) {
+    add({name, msg_id, Component::Kernel, sub, Severity::Fatal,
+         FaultNature::ApplicationError, JobImpact::Interrupting, propagates, false, false,
+         kind, weight, msg});
+  }
+
+  // FATAL-severity code that never interrupts jobs.
+  void benign(const char* name, const char* msg_id, Component comp, const char* sub,
+              LocationKind kind, double weight, const char* msg) {
+    add({name, msg_id, comp, sub, Severity::Fatal, FaultNature::SystemFailure,
+         JobImpact::Benign, false, false, false, kind, weight, msg});
+  }
+
+  // Non-fatal background record type.
+  void noise(const char* name, const char* msg_id, Component comp, const char* sub,
+             Severity sev, LocationKind kind, double weight, const char* msg) {
+    add({name, msg_id, comp, sub, sev, FaultNature::SystemFailure, JobImpact::Benign,
+         false, false, false, kind, weight, msg});
+  }
+};
+
+}  // namespace
+
+Catalog::Catalog() {
+  Builder b;
+
+  // --- Application errors (8; §IV-B). Reported from the KERNEL domain ---
+  // (the paper notes no FATAL ever comes from APPLICATION). Weights are the
+  // relative popularity of each bug class among buggy distinct jobs.
+  b.app(codes::kScriptError, "KERN_1301", "CIOD", LocationKind::IoNode, /*propagates=*/true,
+        3.6, "Job script error detected while accessing the file system");
+  b.app(codes::kCiodHungProxy, "KERN_1302", "CIOD", LocationKind::IoNode, /*propagates=*/true,
+        3.0, "CIOD proxy hung during file system operation");
+  b.app("_bgp_err_invalid_mem_address", "KERN_1303", "CNK", LocationKind::ComputeCard, false,
+        2.4, "Application fault: invalid memory address");
+  b.app("_bgp_err_out_of_memory", "KERN_1304", "CNK", LocationKind::ComputeCard, false, 1.8,
+        "Out of memory: application heap exhausted");
+  b.app("_bgp_err_fs_operation", "KERN_1305", "CIOD", LocationKind::IoNode, false, 1.4,
+        "File system operation failed for application I/O");
+  b.app("_bgp_err_collective_op", "KERN_1306", "CNK", LocationKind::ComputeCard, false, 1.0,
+        "Collective operation mismatch detected");
+  b.app("_bgp_err_user_abort", "KERN_1307", "CNK", LocationKind::ComputeCard, false, 0.8,
+        "Application aborted by user signal");
+  b.app("CiodExitedChild", "KERN_1308", "CIOD", LocationKind::IoNode, false, 0.6,
+        "CIOD child process exited unexpectedly");
+
+  // --- Benign FATAL-severity codes (2; §IV-A) ---
+  b.benign(codes::kBulkPowerFatal, "CARD_0702", Component::Card, "PALOMINO_P",
+           LocationKind::Rack, 0.9,
+           "An error was detected in a bulk power module; diagnostics running");
+  b.benign(codes::kTorusFatalSum, "KERN_0901", Component::Kernel, "CNS_TORUS",
+           LocationKind::ComputeCard, 2.9,
+           "Torus fatal summary: error recovered by higher-level protocol");
+
+  // --- Persistent system failures (4; §IV-B: repeatedly interrupt jobs
+  //     at the same location until repaired) ---
+  b.sys_persistent(codes::kRasStormFatal, "KERN_0802", Component::Kernel, "CNS",
+                   LocationKind::ComputeCard, 2.0, "L1 data cache parity error");
+  b.sys_persistent(codes::kDdrController, "KERN_0803", Component::Kernel, "DDR",
+                   LocationKind::NodeCard, 1.6, "DDR controller error: uncorrectable");
+  b.sys_persistent(codes::kFsConfig, "MMCS_0310", Component::Mmcs, "FS",
+                   LocationKind::IoNode, 1.0,
+                   "File system configuration error on I/O node");
+  b.sys_persistent(codes::kLinkCardError, "CARD_0412", Component::Card, "LINKCARD",
+                   LocationKind::LinkCard, 0.5, "Link card error: connection lost");
+
+  // --- Other interrupting system failures (19) ---
+  b.sys("_bgp_err_l2_array_fatal", "KERN_0804", Component::Kernel, "CNS",
+        LocationKind::ComputeCard, 1.6, "L2 array uncorrectable error");
+  b.sys("_bgp_err_l3_ecc_fatal", "KERN_0805", Component::Kernel, "L3",
+        LocationKind::ComputeCard, 1.5, "L3 EDRAM ECC uncorrectable error");
+  b.sys("_bgp_err_snoop_fatal", "KERN_0806", Component::Kernel, "CNS",
+        LocationKind::ComputeCard, 0.5, "Snoop unit fatal error");
+  b.sys("_bgp_err_tree_fatal", "KERN_0807", Component::Kernel, "CNS_TREE",
+        LocationKind::ComputeCard, 1.3, "Tree network fatal error");
+  b.sys("_bgp_err_dma_fatal", "KERN_0808", Component::Kernel, "DMA",
+        LocationKind::ComputeCard, 1.1, "DMA unit fatal error");
+  b.sys("_bgp_err_sram_parity", "KERN_0809", Component::Kernel, "CNS",
+        LocationKind::ComputeCard, 0.5, "SRAM parity error");
+  b.sys("_bgp_err_fpu_unavailable", "KERN_0810", Component::Kernel, "CNK",
+        LocationKind::ComputeCard, 0.4, "FPU unavailable exception in kernel");
+  b.sys("_bgp_err_kernel_panic", "KERN_0811", Component::Kernel, "CNK",
+        LocationKind::ComputeCard, 1.5, "Compute node kernel panic");
+  b.sys("_bgp_err_cns_assertion", "KERN_0812", Component::Kernel, "CNS",
+        LocationKind::ComputeCard, 0.5, "CNS assertion failed");
+  b.sys("mc_node_power_fault", "MC_0201", Component::Mc, "POWER",
+        LocationKind::NodeCard, 0.5, "Machine controller detected node power fault");
+  b.sys("mc_jtag_failure", "MC_0202", Component::Mc, "JTAG", LocationKind::NodeCard, 0.4,
+        "JTAG communication failure");
+  b.sys("mmcs_boot_failure", "MMCS_0301", Component::Mmcs, "BOOT",
+        LocationKind::Midplane, 0.6, "Block boot failed");
+  b.sys("mmcs_block_boot_timeout", "MMCS_0302", Component::Mmcs, "BOOT",
+        LocationKind::Midplane, 0.5, "Block boot timed out");
+  b.sys("mmcs_control_conn_lost", "MMCS_0303", Component::Mmcs, "CTRL",
+        LocationKind::Midplane, 0.4, "Control connection to midplane lost");
+  b.sys("DetectedClockCardErrors", "CARD_0411", Component::Card, "PALOMINO_S",
+        LocationKind::ServiceCard, 0.5,
+        "An error(s) was detected by the Clock card : Error=Loss of reference input");
+  b.sys("node_card_power_fault", "CARD_0413", Component::Card, "PALOMINO_N",
+        LocationKind::NodeCard, 0.6, "Node card power module fault");
+  b.sys("fan_module_failure", "CARD_0414", Component::Card, "PALOMINO_F",
+        LocationKind::Midplane, 0.4, "Fan module failure");
+  b.sys("baremetal_env_fatal", "BM_0101", Component::BareMetal, "ENV",
+        LocationKind::ServiceCard, 0.3, "Environmental monitor fatal reading");
+  b.sys("diags_memory_fatal", "DIAG_0501", Component::Diags, "MEMDIAG",
+        LocationKind::NodeCard, 0.3, "Memory diagnostic detected fatal fault");
+
+  // --- System failures biased to idle hardware (49; the paper's
+  //     "undetermined" codes — no job ever observed at their location) ---
+  struct IdleFamily {
+    const char* name_fmt;
+    const char* msgid_fmt;
+    Component comp;
+    const char* sub;
+    LocationKind kind;
+    int count;
+    double weight;
+    const char* msg;
+  };
+  const IdleFamily families[] = {
+      {"diags_lattice_fail_%02d", "DIAG_06%02d", Component::Diags, "LATTICE",
+       LocationKind::NodeCard, 8, 0.10, "Diagnostic lattice test failure"},
+      {"service_card_env_fatal_%02d", "CARD_08%02d", Component::Card, "PALOMINO_S",
+       LocationKind::ServiceCard, 6, 0.10, "Service card environmental fatal"},
+      {"link_channel_fatal_%02d", "CARD_09%02d", Component::Card, "LINKCARD",
+       LocationKind::LinkCard, 8, 0.09, "Link channel fatal error"},
+      {"mc_palomino_fatal_%02d", "MC_07%02d", Component::Mc, "PALOMINO",
+       LocationKind::Rack, 6, 0.09, "Machine controller palomino fatal"},
+      {"mmcs_db_fatal_%02d", "MMCS_08%02d", Component::Mmcs, "DB",
+       LocationKind::Midplane, 5, 0.08, "MMCS database access fatal"},
+      {"baremetal_svc_fatal_%02d", "BM_09%02d", Component::BareMetal, "SVC",
+       LocationKind::ServiceCard, 6, 0.09, "Bare metal service fatal"},
+      {"_bgp_err_boot_fatal_%02d", "KERN_10%02d", Component::Kernel, "BOOT",
+       LocationKind::NodeCard, 10, 0.18, "Boot-time fatal detected on idle node"},
+  };
+  for (const auto& fam : families) {
+    for (int i = 0; i < fam.count; ++i) {
+      b.sys_idle(strformat(fam.name_fmt, i), strformat(fam.msgid_fmt, i), fam.comp, fam.sub,
+                 fam.kind, fam.weight, fam.msg);
+    }
+  }
+
+  // --- Non-fatal background codes (noise; §III-B severities) ---
+  b.noise("ecc_correctable", "KERN_0101", Component::Kernel, "DDR", Severity::Warning,
+          LocationKind::ComputeCard, 40.0, "ECC correctable single-symbol error");
+  b.noise("ddr_single_symbol", "KERN_0102", Component::Kernel, "DDR", Severity::Warning,
+          LocationKind::ComputeCard, 25.0, "DDR single symbol error corrected");
+  b.noise("torus_retransmit", "KERN_0103", Component::Kernel, "CNS_TORUS", Severity::Info,
+          LocationKind::ComputeCard, 18.0, "Torus packet retransmitted");
+  b.noise("boot_progress", "MMCS_0101", Component::Mmcs, "BOOT", Severity::Info,
+          LocationKind::Midplane, 30.0, "Block boot progress");
+  b.noise("recovery_progress", "MMCS_0102", Component::Mmcs, "RECOV", Severity::Info,
+          LocationKind::Midplane, 8.0, "Automatic recovery in progress");
+  b.noise("redundant_psu_fail", "CARD_0103", Component::Card, "PALOMINO_P",
+          Severity::Error, LocationKind::Rack, 2.0, "Redundant power supply failed");
+  b.noise("ciod_retry", "KERN_0104", Component::Kernel, "CIOD", Severity::Warning,
+          LocationKind::IoNode, 10.0, "CIOD operation retried");
+  b.noise("gpfs_latency_warn", "KERN_0105", Component::Kernel, "CIOD", Severity::Warning,
+          LocationKind::IoNode, 6.0, "File system latency above threshold");
+  b.noise("ntp_drift", "BM_0102", Component::BareMetal, "NTP", Severity::Info,
+          LocationKind::ServiceCard, 3.0, "Clock drift corrected");
+  b.noise("env_temp_warn", "CARD_0104", Component::Card, "PALOMINO_S", Severity::Warning,
+          LocationKind::ServiceCard, 5.0, "Temperature above warning threshold");
+  b.noise("block_boot_info", "MMCS_0103", Component::Mmcs, "BOOT", Severity::Info,
+          LocationKind::Midplane, 20.0, "Block boot step complete");
+  b.noise("sn_failover_error", "MMCS_0104", Component::Mmcs, "CTRL", Severity::Error,
+          LocationKind::Midplane, 1.5, "Service node failover error");
+
+  entries_ = std::move(b.entries);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto id = static_cast<ErrcodeId>(i);
+    if (entries_[i].severity == Severity::Fatal) {
+      fatal_ids_.push_back(id);
+    } else {
+      nonfatal_ids_.push_back(id);
+    }
+  }
+}
+
+const Catalog& Catalog::instance() {
+  static const Catalog catalog;
+  return catalog;
+}
+
+const ErrcodeInfo& Catalog::info(ErrcodeId id) const {
+  CORAL_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < entries_.size());
+  return entries_[static_cast<std::size_t>(id)];
+}
+
+std::optional<ErrcodeId> Catalog::find(const std::string& name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return static_cast<ErrcodeId>(i);
+  }
+  return std::nullopt;
+}
+
+int Catalog::application_error_count() const {
+  int n = 0;
+  for (ErrcodeId id : fatal_ids_) {
+    if (info(id).nature == FaultNature::ApplicationError) ++n;
+  }
+  return n;
+}
+
+int Catalog::benign_count() const {
+  int n = 0;
+  for (ErrcodeId id : fatal_ids_) {
+    if (info(id).impact == JobImpact::Benign) ++n;
+  }
+  return n;
+}
+
+}  // namespace coral::ras

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coral/bgp/location.hpp"
+#include "coral/ras/types.hpp"
+
+namespace coral::ras {
+
+/// Index into the errcode catalog; stable across a process.
+using ErrcodeId = std::int32_t;
+
+/// Static description of one ERRCODE.
+///
+/// The catalog plays two roles. For the *generator* it is ground truth: the
+/// `nature`, `impact`, `propagates`, `persistent` and `idle_bias` fields
+/// drive fault injection. For the *analysis* side only the identifying
+/// fields (name, msg_id, component, subcomponent, severity, message) are
+/// meaningful — the co-analysis pipeline must rediscover the ground-truth
+/// labels from the logs alone, and tests score it against these fields.
+struct ErrcodeInfo {
+  std::string name;          ///< ERRCODE, e.g. "_bgp_err_cns_ras_storm_fatal"
+  std::string msg_id;        ///< MSG_ID, e.g. "KERN_0802"
+  Component component;       ///< COMPONENT
+  std::string subcomponent;  ///< SUBCOMPONENT functional area
+  Severity severity;         ///< severity this code is reported with
+  FaultNature nature;        ///< ground truth: system failure vs app error
+  JobImpact impact;          ///< ground truth: interrupts jobs at location?
+  bool propagates;           ///< shared-resource fault hitting all running jobs
+  bool persistent;           ///< persists until repaired (re-hits later jobs)
+  bool idle_bias;            ///< manifests on idle hardware (diagnostics etc.)
+  bgp::LocationKind loc_kind;  ///< hardware level the event is reported at
+  double weight;             ///< relative ground-truth fault frequency
+  std::string message;       ///< MESSAGE template
+};
+
+/// The full Intrepid errcode catalog: 82 FATAL errcodes across six
+/// components (§III-B) plus non-fatal background codes. Composition of the
+/// FATAL codes matches the paper's co-analysis result (§IV):
+///   - 8 application-error codes (two of which propagate via the shared
+///     file system: bg_code_script_error, CiodHungProxy),
+///   - 2 benign codes (BULK_POWER_FATAL, _bgp_err_torus_fatal_sum),
+///   - 4 persistent system-failure codes (L1 cache parity, DDR controller,
+///     file-system configuration, link card),
+///   - 19 further interrupting system-failure codes,
+///   - 49 system-failure codes biased to idle hardware (the paper's
+///     "undetermined" codes — no job ever ran at their locations).
+class Catalog {
+ public:
+  /// The process-wide catalog (immutable after construction).
+  static const Catalog& instance();
+
+  const ErrcodeInfo& info(ErrcodeId id) const;
+  std::size_t size() const { return entries_.size(); }
+  std::span<const ErrcodeInfo> all() const { return entries_; }
+
+  /// Ids of all FATAL-severity errcodes (the 82 the paper studies).
+  std::span<const ErrcodeId> fatal_ids() const { return fatal_ids_; }
+  /// Ids of non-fatal (INFO/WARNING/ERROR) background codes.
+  std::span<const ErrcodeId> nonfatal_ids() const { return nonfatal_ids_; }
+
+  /// Look up an errcode by name; nullopt if unknown.
+  std::optional<ErrcodeId> find(const std::string& name) const;
+
+  /// Convenience ground-truth counters (used by tests and EXPERIMENTS.md).
+  int fatal_count() const { return static_cast<int>(fatal_ids_.size()); }
+  int application_error_count() const;
+  int benign_count() const;
+
+ private:
+  Catalog();
+
+  std::vector<ErrcodeInfo> entries_;
+  std::vector<ErrcodeId> fatal_ids_;
+  std::vector<ErrcodeId> nonfatal_ids_;
+};
+
+/// Well-known errcode names used throughout tests and benches.
+namespace codes {
+inline constexpr const char* kBulkPowerFatal = "BULK_POWER_FATAL";
+inline constexpr const char* kTorusFatalSum = "_bgp_err_torus_fatal_sum";
+inline constexpr const char* kRasStormFatal = "_bgp_err_cns_ras_storm_fatal";
+inline constexpr const char* kCiodHungProxy = "CiodHungProxy";
+inline constexpr const char* kScriptError = "bg_code_script_error";
+inline constexpr const char* kDdrController = "_bgp_err_ddr_controller_fatal";
+inline constexpr const char* kFsConfig = "fs_configuration_error";
+inline constexpr const char* kLinkCardError = "link_card_error";
+}  // namespace codes
+
+}  // namespace coral::ras

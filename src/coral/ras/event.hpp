@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "coral/bgp/location.hpp"
+#include "coral/common/time.hpp"
+#include "coral/ras/catalog.hpp"
+#include "coral/ras/types.hpp"
+
+namespace coral::ras {
+
+/// One RAS record (Table II of the paper), stored compactly: identity fields
+/// that are functions of the errcode (MSG_ID, COMPONENT, SUBCOMPONENT,
+/// MESSAGE) live in the Catalog and are materialized only on serialization.
+struct RasEvent {
+  std::int64_t recid = 0;       ///< RECID: sequence number in the log
+  TimePoint event_time;         ///< EVENT_TIME
+  bgp::Location location;       ///< LOCATION
+  ErrcodeId errcode = 0;        ///< index into Catalog
+  Severity severity = Severity::Info;  ///< SEVERITY as recorded
+  std::uint32_t serial = 0;     ///< hardware serial-number surrogate
+
+  const ErrcodeInfo& info() const { return Catalog::instance().info(errcode); }
+  bool is_fatal() const { return severity == Severity::Fatal; }
+};
+
+}  // namespace coral::ras

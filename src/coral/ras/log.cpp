@@ -1,0 +1,117 @@
+#include "coral/ras/log.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <set>
+
+#include "coral/common/csv.hpp"
+#include "coral/common/error.hpp"
+#include "coral/common/strings.hpp"
+
+namespace coral::ras {
+
+RasLog::RasLog(std::vector<RasEvent> events) : events_(std::move(events)) { finalize(); }
+
+void RasLog::append(RasEvent ev) {
+  finalized_ = false;
+  events_.push_back(ev);
+}
+
+void RasLog::finalize() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const RasEvent& a, const RasEvent& b) {
+                     return a.event_time < b.event_time;
+                   });
+  std::int64_t recid = 1;
+  for (auto& ev : events_) ev.recid = recid++;
+  finalized_ = true;
+}
+
+std::vector<RasEvent> RasLog::fatal_events() const {
+  std::vector<RasEvent> out;
+  for (const auto& ev : events_) {
+    if (ev.is_fatal()) out.push_back(ev);
+  }
+  return out;
+}
+
+std::size_t RasLog::lower_bound(TimePoint t) const {
+  CORAL_EXPECTS(finalized_);
+  const auto it = std::lower_bound(events_.begin(), events_.end(), t,
+                                   [](const RasEvent& ev, TimePoint tp) {
+                                     return ev.event_time < tp;
+                                   });
+  return static_cast<std::size_t>(it - events_.begin());
+}
+
+std::vector<RasEvent> RasLog::in_range(TimePoint begin, TimePoint end) const {
+  std::vector<RasEvent> out;
+  for (std::size_t i = lower_bound(begin); i < events_.size(); ++i) {
+    if (events_[i].event_time >= end) break;
+    out.push_back(events_[i]);
+  }
+  return out;
+}
+
+RasLogSummary RasLog::summary() const {
+  RasLogSummary s;
+  s.total_records = events_.size();
+  std::set<ErrcodeId> fatal_codes;
+  std::set<Component> fatal_components;
+  for (const auto& ev : events_) {
+    s.by_severity[ev.severity] += 1;
+    if (ev.is_fatal()) {
+      s.fatal_records += 1;
+      fatal_codes.insert(ev.errcode);
+      fatal_components.insert(ev.info().component);
+      s.fatal_by_component[ev.info().component] += 1;
+    }
+  }
+  s.fatal_errcode_types = fatal_codes.size();
+  s.fatal_component_types = fatal_components.size();
+  if (!events_.empty()) {
+    s.first_time = events_.front().event_time;
+    s.last_time = events_.back().event_time;
+  }
+  return s;
+}
+
+void RasLog::write_csv(std::ostream& out) const {
+  CsvWriter w(out);
+  w.write_row({"RECID", "MSG_ID", "COMPONENT", "SUBCOMPONENT", "ERRCODE", "SEVERITY",
+               "EVENT_TIME", "LOCATION", "SERIAL", "MESSAGE"});
+  for (const auto& ev : events_) {
+    const ErrcodeInfo& info = ev.info();
+    w.write_row({std::to_string(ev.recid), info.msg_id, to_string(info.component),
+                 info.subcomponent, info.name, to_string(ev.severity),
+                 ev.event_time.to_ras_string(), ev.location.to_string(),
+                 std::to_string(ev.serial), info.message});
+  }
+}
+
+RasLog RasLog::read_csv(std::istream& in) {
+  CsvReader r(in);
+  std::vector<std::string> row;
+  if (!r.read_row(row)) throw ParseError("empty RAS CSV");
+  if (row.size() != 10 || row[0] != "RECID") throw ParseError("bad RAS CSV header");
+  const Catalog& catalog = Catalog::instance();
+  std::vector<RasEvent> events;
+  while (r.read_row(row)) {
+    if (row.size() == 1 && row[0].empty()) continue;  // trailing newline
+    if (row.size() != 10) throw ParseError("bad RAS CSV row width");
+    RasEvent ev;
+    ev.recid = parse_int(row[0]);
+    const auto code = catalog.find(row[4]);
+    if (!code) throw ParseError("unknown ERRCODE in CSV: '" + row[4] + "'");
+    ev.errcode = *code;
+    ev.severity = parse_severity(row[5]);
+    ev.event_time = TimePoint::parse_ras(row[6]);
+    ev.location = bgp::Location::parse(row[7]);
+    ev.serial = static_cast<std::uint32_t>(parse_int(row[8]));
+    events.push_back(ev);
+  }
+  return RasLog(std::move(events));
+}
+
+}  // namespace coral::ras

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "coral/ras/event.hpp"
+
+namespace coral::ras {
+
+/// Summary counts for a RAS log (Table I material).
+struct RasLogSummary {
+  std::size_t total_records = 0;
+  std::size_t fatal_records = 0;
+  std::size_t fatal_errcode_types = 0;     ///< distinct ERRCODEs seen at FATAL
+  std::size_t fatal_component_types = 0;   ///< distinct COMPONENTs seen at FATAL
+  TimePoint first_time;
+  TimePoint last_time;
+  std::map<Severity, std::size_t> by_severity;
+  std::map<Component, std::size_t> fatal_by_component;
+};
+
+/// An in-memory RAS log: records sorted by EVENT_TIME, RECIDs assigned in
+/// time order (as the CMCS backend does).
+class RasLog {
+ public:
+  RasLog() = default;
+  explicit RasLog(std::vector<RasEvent> events);
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const RasEvent& operator[](std::size_t i) const { return events_[i]; }
+  const std::vector<RasEvent>& events() const { return events_; }
+
+  auto begin() const { return events_.begin(); }
+  auto end() const { return events_.end(); }
+
+  /// Append a record (time-ordered append is cheap; out-of-order appends are
+  /// fixed up by finalize()).
+  void append(RasEvent ev);
+
+  /// Sort by time and assign RECIDs 1..N. Must be called after out-of-order
+  /// appends and before analysis.
+  void finalize();
+
+  /// Copy of all FATAL-severity records, time-ordered.
+  std::vector<RasEvent> fatal_events() const;
+
+  /// Index of the first event with time >= t (log must be finalized).
+  std::size_t lower_bound(TimePoint t) const;
+
+  /// Events within [begin, end), time-ordered (log must be finalized).
+  std::vector<RasEvent> in_range(TimePoint begin, TimePoint end) const;
+
+  RasLogSummary summary() const;
+
+  /// CSV serialization with the Table II column set:
+  /// RECID,MSG_ID,COMPONENT,SUBCOMPONENT,ERRCODE,SEVERITY,EVENT_TIME,LOCATION,SERIAL,MESSAGE
+  void write_csv(std::ostream& out) const;
+  static RasLog read_csv(std::istream& in);
+
+ private:
+  std::vector<RasEvent> events_;
+  bool finalized_ = false;
+};
+
+}  // namespace coral::ras

@@ -1,0 +1,57 @@
+#include "coral/ras/types.hpp"
+
+#include "coral/common/error.hpp"
+
+namespace coral::ras {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Debug: return "DEBUG";
+    case Severity::Trace: return "TRACE";
+    case Severity::Info: return "INFO";
+    case Severity::Warning: return "WARNING";
+    case Severity::Error: return "ERROR";
+    case Severity::Fatal: return "FATAL";
+  }
+  return "?";
+}
+
+const char* to_string(Component c) {
+  switch (c) {
+    case Component::Application: return "APPLICATION";
+    case Component::Kernel: return "KERNEL";
+    case Component::Mc: return "MC";
+    case Component::Mmcs: return "MMCS";
+    case Component::BareMetal: return "BAREMETAL";
+    case Component::Card: return "CARD";
+    case Component::Diags: return "DIAGS";
+  }
+  return "?";
+}
+
+const char* to_string(FaultNature n) {
+  return n == FaultNature::SystemFailure ? "system failure" : "application error";
+}
+
+const char* to_string(JobImpact i) {
+  return i == JobImpact::Interrupting ? "interrupting" : "benign";
+}
+
+Severity parse_severity(const std::string& text) {
+  for (Severity s : {Severity::Debug, Severity::Trace, Severity::Info, Severity::Warning,
+                     Severity::Error, Severity::Fatal}) {
+    if (text == to_string(s)) return s;
+  }
+  throw ParseError("unknown severity: '" + text + "'");
+}
+
+Component parse_component(const std::string& text) {
+  for (Component c : {Component::Application, Component::Kernel, Component::Mc,
+                      Component::Mmcs, Component::BareMetal, Component::Card,
+                      Component::Diags}) {
+    if (text == to_string(c)) return c;
+  }
+  throw ParseError("unknown component: '" + text + "'");
+}
+
+}  // namespace coral::ras

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace coral::ras {
+
+/// RAS record severity (§III-B). DEBUG/TRACE never occur in the studied log
+/// but are accepted by the parser.
+enum class Severity : std::uint8_t { Debug, Trace, Info, Warning, Error, Fatal };
+
+/// Software component reporting the event (§III-B COMPONENT field).
+enum class Component : std::uint8_t {
+  Application,  ///< the running job (reports no FATAL events in the log)
+  Kernel,       ///< OS kernel domain (~75% of fatal events)
+  Mc,           ///< machine controller
+  Mmcs,         ///< control system on the service node
+  BareMetal,    ///< service-related facilities
+  Card,         ///< card controller
+  Diags,        ///< diagnostics
+};
+
+/// Ground-truth cause of a fault (generator-side label; §IV terms).
+enum class FaultNature : std::uint8_t {
+  SystemFailure,     ///< hardware or system software
+  ApplicationError,  ///< buggy code or user mistake
+};
+
+/// Ground-truth effect of a fatal event on jobs running at its location.
+enum class JobImpact : std::uint8_t {
+  Interrupting,  ///< kills jobs at the location
+  Benign,        ///< transient/recovered; jobs keep running
+};
+
+const char* to_string(Severity s);
+const char* to_string(Component c);
+const char* to_string(FaultNature n);
+const char* to_string(JobImpact i);
+
+/// Parse a severity name ("FATAL", case-sensitive). Throws ParseError.
+Severity parse_severity(const std::string& text);
+/// Parse a component name ("KERNEL"). Throws ParseError.
+Component parse_component(const std::string& text);
+
+}  // namespace coral::ras

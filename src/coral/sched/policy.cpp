@@ -1,0 +1,74 @@
+#include "coral/sched/policy.hpp"
+
+#include <algorithm>
+
+namespace coral::sched {
+
+namespace {
+
+bool within(const bgp::Partition& part, bgp::MidplaneId lo, bgp::MidplaneId hi) {
+  return part.first_midplane() >= lo && part.end_midplane() <= hi + 1;
+}
+
+}  // namespace
+
+int placement_rank(const SchedulerConfig& config, const bgp::Partition& part,
+                   Usec runtime_hint) {
+  const int size = part.midplane_count();
+  if (size == 1) {
+    const bool is_short = runtime_hint < config.short_job_threshold;
+    if (is_short) {
+      // Short narrow jobs: midplanes 0–1 first, then the high midplanes.
+      if (within(part, 0, 1)) return 0;
+      if (within(part, 64, 79)) return 1;
+      if (within(part, 2, 31)) return 2;
+      return 3;
+    }
+    // Other narrow jobs: high midplanes first, keep the wide-job region last.
+    if (within(part, 64, 79)) return 0;
+    if (within(part, 0, 1)) return 1;
+    if (within(part, 2, 31)) return 2;
+    return 3;
+  }
+  if (size < 32) {
+    // Small multi-midplane jobs: the low-middle racks, then high midplanes,
+    // keeping the wide-job reservation (32–63) as a last resort.
+    if (within(part, 2, 31)) return 0;
+    if (within(part, 64, 79)) return 1;
+    if (within(part, 0, 1)) return 2;
+    return 3;
+  }
+  // Wide jobs: steer into the reserved block (midplanes 32–63).
+  if (within(part, 32, 63)) return 0;
+  if (part.first_midplane() >= 16) return 1;  // overlaps the reservation
+  return 2;
+}
+
+std::optional<bgp::Partition> choose_partition(const SchedulerConfig& config,
+                                               const PartitionPool& pool,
+                                               int midplane_count, Usec runtime_hint,
+                                               const std::optional<bgp::Partition>& previous,
+                                               Rng& rng) {
+  // Resubmission affinity: reuse the previous partition when free.
+  if (previous && previous->midplane_count() == midplane_count && pool.is_free(*previous) &&
+      rng.bernoulli(config.resubmit_same_partition_prob)) {
+    return *previous;
+  }
+  std::vector<bgp::Partition> candidates = pool.free_partitions(midplane_count);
+  if (candidates.empty()) return std::nullopt;
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](const bgp::Partition& a, const bgp::Partition& b) {
+                     return placement_rank(config, a, runtime_hint) <
+                            placement_rank(config, b, runtime_hint);
+                   });
+  // Randomize among the equally best-ranked candidates so load spreads.
+  const int best = placement_rank(config, candidates.front(), runtime_hint);
+  std::size_t n_best = 0;
+  while (n_best < candidates.size() &&
+         placement_rank(config, candidates[n_best], runtime_hint) == best) {
+    ++n_best;
+  }
+  return candidates[rng.uniform_index(n_best)];
+}
+
+}  // namespace coral::sched

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+
+#include "coral/common/rng.hpp"
+#include "coral/common/time.hpp"
+#include "coral/sched/pool.hpp"
+
+namespace coral::sched {
+
+/// Placement and resubmission policy of the Cobalt-like scheduler,
+/// modelling the Intrepid behaviours the paper documents (§V-B, §VI-D):
+///   - short narrow jobs concentrate on midplanes 0–1,
+///   - other small jobs prefer the high midplanes (64–79),
+///   - wide jobs (>= 32 midplanes) are steered into midplanes 32–63,
+///   - a resubmitted job lands on its previous partition with high
+///     probability (paper: 57.44%).
+struct SchedulerConfig {
+  /// Probability that a resubmission is placed on its previous partition
+  /// when that partition is free.
+  double resubmit_same_partition_prob = 0.80;
+  /// Runtime below which 1-midplane jobs are steered to midplanes 0–1.
+  Usec short_job_threshold = 400 * kUsecPerSec;
+  /// Reboot-before-execution: number of boot INFO records emitted per
+  /// midplane at each job start (0 disables).
+  int boot_records_per_midplane = 5;
+  /// How long a resubmitted job waits for its previous partition (held for
+  /// post-failure cleanup) before accepting any other placement.
+  Usec resubmit_affinity_window = 70 * kUsecPerMin;
+  /// Fault-aware placement (§VII what-if): avoid partitions containing a
+  /// midplane that reported a FATAL event within this window, unless no
+  /// other partition of the requested size is free. 0 disables.
+  Usec avoid_failed_window = 0;
+};
+
+/// Choose a free partition for a job of `midplane_count` midplanes.
+///
+/// `previous` is the partition of the job's previous run, if this is a
+/// resubmission; `runtime_hint` is the requested runtime. Returns nullopt
+/// when no partition of that size is free.
+std::optional<bgp::Partition> choose_partition(const SchedulerConfig& config,
+                                               const PartitionPool& pool,
+                                               int midplane_count, Usec runtime_hint,
+                                               const std::optional<bgp::Partition>& previous,
+                                               Rng& rng);
+
+/// The placement preference score used by choose_partition: lower is more
+/// preferred. Exposed for tests and ablation benches.
+int placement_rank(const SchedulerConfig& config, const bgp::Partition& part,
+                   Usec runtime_hint);
+
+}  // namespace coral::sched

@@ -1,0 +1,42 @@
+#include "coral/sched/pool.hpp"
+
+#include "coral/common/error.hpp"
+
+namespace coral::sched {
+
+bool PartitionPool::is_free(const bgp::Partition& part) const {
+  for (bgp::MidplaneId m = part.first_midplane(); m < part.end_midplane(); ++m) {
+    if (busy_.test(static_cast<std::size_t>(m))) return false;
+  }
+  return true;
+}
+
+void PartitionPool::acquire(const bgp::Partition& part) {
+  CORAL_EXPECTS(is_free(part));
+  for (bgp::MidplaneId m = part.first_midplane(); m < part.end_midplane(); ++m) {
+    busy_.set(static_cast<std::size_t>(m));
+  }
+}
+
+void PartitionPool::release(const bgp::Partition& part) {
+  for (bgp::MidplaneId m = part.first_midplane(); m < part.end_midplane(); ++m) {
+    CORAL_EXPECTS(busy_.test(static_cast<std::size_t>(m)));
+    busy_.reset(static_cast<std::size_t>(m));
+  }
+}
+
+void PartitionPool::force_acquire(const bgp::Partition& part) {
+  for (bgp::MidplaneId m = part.first_midplane(); m < part.end_midplane(); ++m) {
+    busy_.set(static_cast<std::size_t>(m));
+  }
+}
+
+std::vector<bgp::Partition> PartitionPool::free_partitions(int midplane_count) const {
+  std::vector<bgp::Partition> out;
+  for (const bgp::Partition& p : bgp::Partition::all_of_size(midplane_count)) {
+    if (is_free(p)) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace coral::sched

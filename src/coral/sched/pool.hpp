@@ -1,0 +1,39 @@
+#pragma once
+
+#include <bitset>
+#include <optional>
+#include <vector>
+
+#include "coral/bgp/partition.hpp"
+
+namespace coral::sched {
+
+/// Tracks which midplanes are occupied (by jobs or by diagnostics holds).
+class PartitionPool {
+ public:
+  bool is_free(const bgp::Partition& part) const;
+  bool midplane_busy(bgp::MidplaneId mid) const { return busy_.test(static_cast<std::size_t>(mid)); }
+
+  /// Mark a partition's midplanes busy. Throws InvalidArgument if any is
+  /// already busy (double allocation is a scheduler bug).
+  void acquire(const bgp::Partition& part);
+
+  /// Release a partition's midplanes. Throws InvalidArgument if any is
+  /// already free.
+  void release(const bgp::Partition& part);
+
+  /// Mark midplanes busy regardless of current state (used for head-of-queue
+  /// reservations and diagnostics holds over an overlay copy of the pool).
+  void force_acquire(const bgp::Partition& part);
+
+  /// Midplanes currently busy.
+  std::size_t busy_count() const { return busy_.count(); }
+
+  /// All free partitions of the given size, in address order.
+  std::vector<bgp::Partition> free_partitions(int midplane_count) const;
+
+ private:
+  std::bitset<bgp::Topology::kMidplanes> busy_;
+};
+
+}  // namespace coral::sched

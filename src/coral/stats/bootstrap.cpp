@@ -1,0 +1,50 @@
+#include "coral/stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "coral/common/error.hpp"
+#include "coral/stats/distributions.hpp"
+
+namespace coral::stats {
+
+BootstrapCi bootstrap_ci(std::span<const double> samples,
+                         const std::function<double(std::span<const double>)>& statistic,
+                         const BootstrapConfig& config) {
+  CORAL_EXPECTS(!samples.empty());
+  CORAL_EXPECTS(config.resamples >= 10);
+  CORAL_EXPECTS(config.confidence > 0 && config.confidence < 1);
+
+  BootstrapCi ci;
+  ci.point = statistic(samples);
+  ci.resamples = config.resamples;
+
+  Rng rng(config.seed);
+  std::vector<double> resample(samples.size());
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(config.resamples));
+  for (int r = 0; r < config.resamples; ++r) {
+    for (double& x : resample) {
+      x = samples[rng.uniform_index(samples.size())];
+    }
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - config.confidence) / 2.0;
+  const auto idx = [&](double q) {
+    const auto i = static_cast<std::size_t>(q * static_cast<double>(stats.size() - 1));
+    return stats[i];
+  };
+  ci.lo = idx(alpha);
+  ci.hi = idx(1.0 - alpha);
+  return ci;
+}
+
+BootstrapCi bootstrap_weibull_shape(std::span<const double> samples,
+                                    const BootstrapConfig& config) {
+  return bootstrap_ci(
+      samples,
+      [](std::span<const double> xs) { return Weibull::fit_mle(xs).shape(); }, config);
+}
+
+}  // namespace coral::stats

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "coral/common/rng.hpp"
+
+namespace coral::stats {
+
+/// A percentile bootstrap confidence interval for any scalar statistic.
+struct BootstrapCi {
+  double point = 0;  ///< statistic on the original sample
+  double lo = 0;     ///< lower percentile bound
+  double hi = 0;     ///< upper percentile bound
+  int resamples = 0;
+
+  bool contains(double value) const { return value >= lo && value <= hi; }
+};
+
+struct BootstrapConfig {
+  int resamples = 400;
+  double confidence = 0.95;
+  std::uint64_t seed = 0xB007;
+};
+
+/// Percentile bootstrap of `statistic` over `samples`. The statistic is
+/// called with resampled (with replacement) copies of the data; it must be
+/// a pure function of its input.
+BootstrapCi bootstrap_ci(std::span<const double> samples,
+                         const std::function<double(std::span<const double>)>& statistic,
+                         const BootstrapConfig& config = {});
+
+/// Convenience: bootstrap CI of the fitted Weibull shape parameter — used
+/// to put error bars on the Table IV/V claims (shape < 1, and the
+/// before/after filtering difference).
+BootstrapCi bootstrap_weibull_shape(std::span<const double> samples,
+                                    const BootstrapConfig& config = {});
+
+}  // namespace coral::stats

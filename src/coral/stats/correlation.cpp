@@ -1,0 +1,47 @@
+#include "coral/stats/correlation.hpp"
+
+#include <cmath>
+
+#include "coral/common/error.hpp"
+
+namespace coral::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  CORAL_EXPECTS(x.size() == y.size());
+  CORAL_EXPECTS(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double event_time_correlation(std::span<const TimePoint> a, std::span<const TimePoint> b,
+                              TimePoint begin, TimePoint end, Usec window) {
+  CORAL_EXPECTS(window > 0);
+  CORAL_EXPECTS(end > begin);
+  const auto buckets = static_cast<std::size_t>((end - begin + window - 1) / window);
+  if (buckets < 2) return 0.0;
+  std::vector<double> ca(buckets, 0.0), cb(buckets, 0.0);
+  const auto bucket_of = [&](TimePoint t) -> std::size_t {
+    const Usec off = t - begin;
+    if (off < 0) return 0;
+    return std::min(buckets - 1, static_cast<std::size_t>(off / window));
+  };
+  for (TimePoint t : a) ca[bucket_of(t)] += 1.0;
+  for (TimePoint t : b) cb[bucket_of(t)] += 1.0;
+  return pearson(ca, cb);
+}
+
+}  // namespace coral::stats

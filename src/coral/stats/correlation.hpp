@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coral/common/time.hpp"
+
+namespace coral::stats {
+
+/// Pearson's correlation coefficient of two equal-length samples.
+/// Returns 0 when either sample has zero variance.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Correlation between two event-time sequences, computed the way the
+/// paper's classifier needs it (§IV-B): bucket both sequences into fixed
+/// windows over [begin, end), count events per window, and correlate the
+/// two count vectors.
+double event_time_correlation(std::span<const TimePoint> a, std::span<const TimePoint> b,
+                              TimePoint begin, TimePoint end, Usec window);
+
+}  // namespace coral::stats

@@ -1,0 +1,55 @@
+#include "coral/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coral/common/error.hpp"
+
+namespace coral::stats {
+
+double mean(std::span<const double> xs) {
+  CORAL_EXPECTS(!xs.empty());
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  CORAL_EXPECTS(xs.size() >= 2);
+  const double m = mean(xs);
+  double ss = 0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double quantile(std::span<const double> xs, double q) {
+  CORAL_EXPECTS(!xs.empty());
+  CORAL_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+Summary summarize(std::span<const double> xs) {
+  CORAL_EXPECTS(!xs.empty());
+  Summary s;
+  s.n = xs.size();
+  s.mean = mean(xs);
+  s.stddev = xs.size() >= 2 ? stddev(xs) : 0.0;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.q25 = quantile(xs, 0.25);
+  s.median = quantile(xs, 0.5);
+  s.q75 = quantile(xs, 0.75);
+  return s;
+}
+
+}  // namespace coral::stats

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace coral::stats {
+
+/// Arithmetic mean; throws InvalidArgument on empty input.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); requires n >= 2.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// q-quantile (0 <= q <= 1) with linear interpolation on the sorted copy.
+double quantile(std::span<const double> xs, double q);
+
+double median(std::span<const double> xs);
+
+/// Five-number-plus summary used in reports.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double q25 = 0;
+  double median = 0;
+  double q75 = 0;
+  double max = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace coral::stats

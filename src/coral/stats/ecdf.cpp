@@ -1,0 +1,41 @@
+#include "coral/stats/ecdf.hpp"
+
+#include <algorithm>
+
+#include "coral/common/error.hpp"
+
+namespace coral::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  CORAL_EXPECTS(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  CORAL_EXPECTS(q >= 0 && q <= 1);
+  if (q >= 1.0) return sorted_.back();
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted_.size()));
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::points(std::size_t max_points) const {
+  CORAL_EXPECTS(max_points >= 2);
+  std::vector<std::pair<double, double>> out;
+  const std::size_t n = sorted_.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    out.emplace_back(sorted_[i], static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (out.back().first != sorted_.back()) {
+    out.emplace_back(sorted_.back(), 1.0);
+  }
+  return out;
+}
+
+}  // namespace coral::stats

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace coral::stats {
+
+/// Empirical cumulative distribution function of a sample.
+class EmpiricalCdf {
+ public:
+  /// Builds from (possibly unsorted) samples; keeps a sorted copy.
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  /// Fraction of samples <= x.
+  double operator()(double x) const;
+
+  /// Empirical q-quantile (inverse CDF, lower interpolation).
+  double quantile(double q) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+  /// (x, F(x)) step points suitable for plotting/printing, thinned to at
+  /// most `max_points` evenly spaced steps.
+  std::vector<std::pair<double, double>> points(std::size_t max_points = 64) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace coral::stats

@@ -1,0 +1,72 @@
+#include "coral/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coral/common/error.hpp"
+#include "coral/common/strings.hpp"
+
+namespace coral::stats {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  CORAL_EXPECTS(edges_.size() >= 2);
+  CORAL_EXPECTS(std::is_sorted(edges_.begin(), edges_.end()));
+  for (std::size_t i = 1; i < edges_.size(); ++i) CORAL_EXPECTS(edges_[i] > edges_[i - 1]);
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+void Histogram::add(double x) {
+  if (x < edges_.front()) {
+    ++underflow_;
+    return;
+  }
+  if (x >= edges_.back()) {
+    ++overflow_;
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  counts_[static_cast<std::size_t>(it - edges_.begin()) - 1] += 1;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::total() const {
+  std::size_t t = underflow_ + overflow_;
+  for (std::size_t c : counts_) t += c;
+  return t;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t max_count = 1;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) * static_cast<double>(width) /
+                     static_cast<double>(max_count)));
+    out += strformat("[%12.1f, %12.1f) %8zu |", edges_[i], edges_[i + 1], counts_[i]);
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ascii_bars(std::span<const double> values, std::span<const std::string> labels,
+                       std::size_t width) {
+  CORAL_EXPECTS(values.size() == labels.size());
+  double max_value = 1e-12;
+  for (double v : values) max_value = std::max(max_value, v);
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::llround(values[i] * static_cast<double>(width) / max_value));
+    out += strformat("%-12s %12.2f |", labels[i].c_str(), values[i]);
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace coral::stats

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace coral::stats {
+
+/// Fixed-edge histogram: bin i covers [edges[i], edges[i+1]); values outside
+/// the edge range are counted in underflow/overflow.
+class Histogram {
+ public:
+  /// `edges` must be strictly increasing with at least two entries.
+  explicit Histogram(std::vector<double> edges);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const;
+  const std::vector<double>& edges() const { return edges_; }
+
+  /// Render a fixed-width ASCII bar chart (used by the figure benches).
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// Render a labeled series as an ASCII bar chart, one row per element —
+/// the common shape of the paper's per-midplane and per-day figures.
+std::string ascii_bars(std::span<const double> values, std::span<const std::string> labels,
+                       std::size_t width = 50);
+
+}  // namespace coral::stats

@@ -1,0 +1,72 @@
+#include "coral/stats/infogain.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "coral/common/error.hpp"
+
+namespace coral::stats {
+
+double entropy(std::span<const std::size_t> counts) {
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+GainScore gain_ratio(const FeatureColumn& feature, std::span<const std::uint8_t> labels) {
+  CORAL_EXPECTS(feature.values.size() == labels.size());
+  CORAL_EXPECTS(!labels.empty());
+  GainScore score;
+  score.name = feature.name;
+
+  const auto n = labels.size();
+  std::size_t pos = 0;
+  for (std::uint8_t l : labels) pos += l ? 1 : 0;
+  const std::size_t class_counts[2] = {n - pos, pos};
+  const double h_class = entropy(class_counts);
+
+  // Per-feature-value class counts.
+  std::map<int, std::array<std::size_t, 2>> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    groups[feature.values[i]][labels[i] ? 1 : 0] += 1;
+  }
+
+  double h_cond = 0;
+  std::vector<std::size_t> value_counts;
+  value_counts.reserve(groups.size());
+  for (const auto& [value, counts] : groups) {
+    (void)value;
+    const std::size_t group_n = counts[0] + counts[1];
+    value_counts.push_back(group_n);
+    const double w = static_cast<double>(group_n) / static_cast<double>(n);
+    h_cond += w * entropy(counts);
+  }
+
+  score.info_gain = h_class - h_cond;
+  score.split_info = entropy(value_counts);
+  score.gain_ratio = score.split_info > 0 ? score.info_gain / score.split_info : 0.0;
+  return score;
+}
+
+std::vector<GainScore> rank_features(std::span<const FeatureColumn> features,
+                                     std::span<const std::uint8_t> labels) {
+  std::vector<GainScore> out;
+  out.reserve(features.size());
+  for (const auto& f : features) out.push_back(gain_ratio(f, labels));
+  std::stable_sort(out.begin(), out.end(),
+                   [](const GainScore& a, const GainScore& b) {
+                     return a.gain_ratio > b.gain_ratio;
+                   });
+  return out;
+}
+
+}  // namespace coral::stats

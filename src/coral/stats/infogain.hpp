@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace coral::stats {
+
+/// Shannon entropy (bits) of a discrete label distribution given counts.
+double entropy(std::span<const std::size_t> counts);
+
+/// Feature data for information-gain evaluation: for each instance, a
+/// categorical feature value (small int) and a binary class label.
+struct FeatureColumn {
+  std::string name;
+  std::vector<int> values;  ///< categorical value per instance
+};
+
+/// Information-gain-ratio scores for one feature against binary labels
+/// (the feature-ranking method of §VI-D / [26]).
+struct GainScore {
+  std::string name;
+  double info_gain = 0;       ///< H(class) − H(class|feature)
+  double split_info = 0;      ///< H(feature)
+  double gain_ratio = 0;      ///< info_gain / split_info (0 if split_info==0)
+};
+
+/// Score one feature. `labels[i]` is the binary class of instance i.
+GainScore gain_ratio(const FeatureColumn& feature, std::span<const std::uint8_t> labels);
+
+/// Score and rank several features, highest gain ratio first.
+std::vector<GainScore> rank_features(std::span<const FeatureColumn> features,
+                                     std::span<const std::uint8_t> labels);
+
+}  // namespace coral::stats

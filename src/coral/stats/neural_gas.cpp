@@ -1,0 +1,108 @@
+#include "coral/stats/neural_gas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "coral/common/error.hpp"
+
+namespace coral::stats {
+
+namespace {
+
+double sq_dist(std::span<const double> a, std::span<const double> b) {
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+NeuralGas NeuralGas::train(std::span<const std::vector<double>> points,
+                           const NeuralGasConfig& config) {
+  CORAL_EXPECTS(!points.empty());
+  CORAL_EXPECTS(config.units >= 1);
+  const std::size_t dim = points[0].size();
+  CORAL_EXPECTS(dim >= 1);
+  for (const auto& p : points) CORAL_EXPECTS(p.size() == dim);
+
+  NeuralGas ng;
+  Rng rng(config.seed);
+
+  // Initialize units on random data points.
+  const std::size_t k = std::min(config.units, points.size());
+  ng.units_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    ng.units_.push_back(points[rng.uniform_index(points.size())]);
+  }
+
+  const auto total_steps =
+      static_cast<double>(config.epochs) * static_cast<double>(points.size());
+  double step = 0;
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::pair<double, std::size_t>> ranked(k);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // Shuffle presentation order (Fisher–Yates with our deterministic rng).
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    }
+    for (std::size_t idx : order) {
+      const double t = step / total_steps;
+      const double lambda =
+          config.lambda_start * std::pow(config.lambda_end / config.lambda_start, t);
+      const double eps =
+          config.eps_start * std::pow(config.eps_end / config.eps_start, t);
+
+      const auto& x = points[idx];
+      for (std::size_t u = 0; u < k; ++u) {
+        ranked[u] = {sq_dist(x, ng.units_[u]), u};
+      }
+      std::sort(ranked.begin(), ranked.end());
+      for (std::size_t rank = 0; rank < k; ++rank) {
+        const double h = std::exp(-static_cast<double>(rank) / lambda);
+        auto& unit = ng.units_[ranked[rank].second];
+        for (std::size_t d = 0; d < dim; ++d) {
+          unit[d] += eps * h * (x[d] - unit[d]);
+        }
+      }
+      step += 1;
+    }
+  }
+  return ng;
+}
+
+std::size_t NeuralGas::nearest(std::span<const double> point) const {
+  CORAL_EXPECTS(!units_.empty());
+  std::size_t best = 0;
+  double best_d = sq_dist(point, units_[0]);
+  for (std::size_t u = 1; u < units_.size(); ++u) {
+    const double d = sq_dist(point, units_[u]);
+    if (d < best_d) {
+      best_d = d;
+      best = u;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> NeuralGas::assign(
+    std::span<const std::vector<double>> points) const {
+  std::vector<std::size_t> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(nearest(p));
+  return out;
+}
+
+double NeuralGas::quantization_error(std::span<const std::vector<double>> points) const {
+  CORAL_EXPECTS(!points.empty());
+  double total = 0;
+  for (const auto& p : points) total += sq_dist(p, units_[nearest(p)]);
+  return total / static_cast<double>(points.size());
+}
+
+}  // namespace coral::stats

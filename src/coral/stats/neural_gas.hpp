@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coral/common/rng.hpp"
+
+namespace coral::stats {
+
+/// A small classic neural-gas vector quantizer (Martinetz & Schulten).
+///
+/// Hacker, Romero and Carothers [10] — one of the paper's two comparator
+/// filtering approaches — identify independent fatal events by clustering
+/// RAS records in the temporal/spatial/severity domain with neural gas and
+/// treating each cluster as one event. This is the quantizer that backs the
+/// `filter::neural_gas_filter` baseline.
+struct NeuralGasConfig {
+  std::size_t units = 32;      ///< codebook size
+  int epochs = 5;              ///< passes over the data
+  double lambda_start = 10.0;  ///< neighborhood range, annealed
+  double lambda_end = 0.5;
+  double eps_start = 0.5;      ///< learning rate, annealed
+  double eps_end = 0.01;
+  std::uint64_t seed = 0x6A5;
+};
+
+/// The trained codebook: `units[k]` is a centroid in feature space.
+class NeuralGas {
+ public:
+  /// Train on `points` (all rows must share the same dimension, >= 1).
+  /// Throws InvalidArgument on empty/ragged input.
+  static NeuralGas train(std::span<const std::vector<double>> points,
+                         const NeuralGasConfig& config = {});
+
+  const std::vector<std::vector<double>>& units() const { return units_; }
+
+  /// Index of the unit closest to `point` (Euclidean).
+  std::size_t nearest(std::span<const double> point) const;
+
+  /// Assign every point to its nearest unit.
+  std::vector<std::size_t> assign(std::span<const std::vector<double>> points) const;
+
+  /// Mean squared quantization error over `points`.
+  double quantization_error(std::span<const std::vector<double>> points) const;
+
+ private:
+  std::vector<std::vector<double>> units_;
+};
+
+}  // namespace coral::stats

@@ -1,0 +1,75 @@
+#include "coral/stats/special.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "coral/common/error.hpp"
+
+namespace coral::stats {
+
+namespace {
+
+// Series representation of P(a,x); converges quickly for x < a+1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued-fraction representation of Q(a,x); converges for x >= a+1.
+double gamma_q_cf(double a, double x) {
+  constexpr double kFpMin = std::numeric_limits<double>::min() / 1e-15;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  CORAL_EXPECTS(a > 0 && x >= 0);
+  if (x == 0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  CORAL_EXPECTS(a > 0 && x >= 0);
+  if (x == 0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_cf(a, x);
+}
+
+double chi2_sf(double x, double k) {
+  CORAL_EXPECTS(k > 0);
+  if (x <= 0) return 1.0;
+  return gamma_q(k / 2.0, x / 2.0);
+}
+
+double gamma_fn(double x) {
+  CORAL_EXPECTS(x > 0);
+  return std::exp(std::lgamma(x));
+}
+
+}  // namespace coral::stats

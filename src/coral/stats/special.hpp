@@ -1,0 +1,20 @@
+#pragma once
+
+namespace coral::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+/// Series expansion for x < a+1, continued fraction otherwise (Numerical
+/// Recipes style; relative error ~1e-12 on the ranges used here).
+double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// Survival function of the chi-squared distribution with k d.o.f.:
+/// P(X > x). Used for the likelihood-ratio test p-value.
+double chi2_sf(double x, double k);
+
+/// Complete gamma function Γ(x) for x > 0 (via std::lgamma).
+double gamma_fn(double x);
+
+}  // namespace coral::stats

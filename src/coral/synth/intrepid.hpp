@@ -1,0 +1,18 @@
+#pragma once
+
+#include "coral/synth/scenario.hpp"
+
+namespace coral::synth {
+
+/// Calibrated full-scale scenario: 237 days of Intrepid (2009-01-05 to
+/// 2009-08-31), tuned so the generated log pair reproduces the paper's
+/// headline statistics (Table I counts, §IV filter/interruption counts,
+/// Table IV/V Weibull regimes, Fig. 4 midplane profile, Table VI grid).
+ScenarioConfig intrepid_scenario(std::uint64_t seed = 42);
+
+/// A scaled-down scenario (default 21 days, ~1/10 of the workload) that
+/// preserves the full-scale scenario's *structure* while running in well
+/// under a second — the workhorse for unit and integration tests.
+ScenarioConfig small_scenario(std::uint64_t seed = 7, int days = 21);
+
+}  // namespace coral::synth

@@ -1,0 +1,130 @@
+#include "coral/synth/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coral/common/error.hpp"
+#include "coral/common/strings.hpp"
+
+namespace coral::synth {
+
+namespace {
+
+using ras::Catalog;
+using ras::ErrcodeId;
+using ras::FaultNature;
+
+// Log-uniform runtime within a Table VI bucket. The open-ended >=6400 s
+// bucket is dominated by few-hour runs with a thin tail out to the paper's
+// 113.5 h maximum; sampling it log-uniformly to the max would overload the
+// machine (the paper's Intrepid ran at moderate utilization).
+Usec sample_bucket_runtime(int bucket, Rng& rng) {
+  double lo = kRuntimeEdges[static_cast<std::size_t>(bucket)];
+  double hi = kRuntimeEdges[static_cast<std::size_t>(bucket) + 1];
+  if (bucket == 3) {
+    if (rng.bernoulli(0.97)) {
+      hi = 18000;
+    } else {
+      lo = 18000;
+    }
+  }
+  const double sec = std::exp(rng.uniform(std::log(lo), std::log(hi)));
+  return static_cast<Usec>(sec * kUsecPerSec);
+}
+
+std::vector<ErrcodeId> application_error_codes() {
+  std::vector<ErrcodeId> out;
+  for (ErrcodeId id : Catalog::instance().fatal_ids()) {
+    if (Catalog::instance().info(id).nature == FaultNature::ApplicationError) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload generate_workload(const WorkloadConfig& config, TimePoint start, int days,
+                           Rng& rng) {
+  CORAL_EXPECTS(days > 0);
+  CORAL_EXPECTS(config.distinct_apps > 0);
+  Workload w;
+  w.apps.reserve(config.distinct_apps);
+
+  const auto app_codes = application_error_codes();
+  std::vector<double> bug_weights;
+  for (ErrcodeId id : app_codes) bug_weights.push_back(Catalog::instance().info(id).weight);
+  const DiscreteSampler bug_sampler(bug_weights);
+  const DiscreteSampler size_sampler(config.size_weights);
+
+  // Build the app table.
+  for (std::size_t i = 0; i < config.distinct_apps; ++i) {
+    App app;
+    app.user = static_cast<int>(rng.zipf(static_cast<std::size_t>(config.users), 0.9));
+    app.project = app.user % config.projects;
+    app.exec_file = strformat("/gpfs/home/u%03d/app_%05zu", app.user, i);
+    const auto size_idx = size_sampler.sample(rng);
+    app.size_midplanes = kJobSizes[size_idx];
+    const auto bucket = static_cast<int>(rng.categorical(config.runtime_weights[size_idx]));
+    app.base_runtime = sample_bucket_runtime(bucket, rng);
+    if (app.size_midplanes < config.buggy_max_size && rng.bernoulli(config.buggy_app_prob)) {
+      app.buggy = true;
+      app.bug_code = app_codes[bug_sampler.sample(rng)];
+      app.bug_difficulty =
+          rng.uniform(config.bug_difficulty_min, config.bug_difficulty_max);
+    }
+    w.apps.push_back(std::move(app));
+  }
+
+  // Submission counts per app: 1, or 1 + lognormal tail for multi-run apps,
+  // scaled so the expected total hits target_submissions.
+  std::vector<int> counts(config.distinct_apps, 1);
+  double expected = 0;
+  for (std::size_t i = 0; i < config.distinct_apps; ++i) {
+    if (rng.bernoulli(config.multi_submit_prob)) {
+      const double mu = std::log(config.extra_submits_mean) -
+                        config.extra_submits_sigma * config.extra_submits_sigma / 2.0;
+      const double extra = rng.lognormal(mu, config.extra_submits_sigma);
+      counts[i] = 2 + static_cast<int>(extra);
+    }
+    expected += counts[i];
+  }
+  // Proportional trim/inflate toward the target (keeps every app >= 1 run;
+  // multi-run apps stay multi-run).
+  const double scale = static_cast<double>(config.target_submissions) / expected;
+  for (int& c : counts) {
+    if (c > 1) {
+      c = std::max(2, static_cast<int>(std::lround(c * scale)));
+    }
+  }
+
+  // Campaigns: each app's submissions cluster in time.
+  const TimePoint end = start + static_cast<Usec>(days) * kUsecPerDay;
+  for (std::size_t i = 0; i < config.distinct_apps; ++i) {
+    const Usec horizon = end - start;
+    TimePoint t = start + static_cast<Usec>(rng.uniform() * static_cast<double>(horizon));
+    for (int k = 0; k < counts[i]; ++k) {
+      if (t >= end) break;
+      w.schedule.push_back({t, static_cast<std::int32_t>(i)});
+      t = t + static_cast<Usec>(rng.exponential(config.campaign_spacing_hours) *
+                                static_cast<double>(kUsecPerHour));
+    }
+  }
+  std::sort(w.schedule.begin(), w.schedule.end(),
+            [](const Submission& a, const Submission& b) { return a.arrival < b.arrival; });
+  return w;
+}
+
+Usec sample_runtime(const App& app, Rng& rng) {
+  const double jitter = rng.uniform(0.75, 1.35);
+  const auto rt = static_cast<Usec>(static_cast<double>(app.base_runtime) * jitter);
+  return std::max<Usec>(rt, 10 * kUsecPerSec);
+}
+
+Usec sample_bug_manifest(const WorkloadConfig& config, Rng& rng) {
+  const double sigma = config.bug_manifest_sigma;
+  const double mu = std::log(config.bug_manifest_mean_minutes) - sigma * sigma / 2.0;
+  return static_cast<Usec>(rng.lognormal(mu, sigma) * static_cast<double>(kUsecPerMin));
+}
+
+}  // namespace coral::synth

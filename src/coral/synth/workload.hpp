@@ -1,0 +1,105 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coral/common/rng.hpp"
+#include "coral/common/time.hpp"
+#include "coral/ras/catalog.hpp"
+
+namespace coral::synth {
+
+/// Workload-generation knobs, calibrated against §III-B and Table VI.
+struct WorkloadConfig {
+  std::size_t target_submissions = 66500;  ///< initial submissions (resubmits add more)
+  std::size_t distinct_apps = 9664;        ///< distinct execution files
+  int users = 236;
+  int projects = 91;
+
+  /// Probability that an app is submitted more than once (paper: 5547/9664).
+  double multi_submit_prob = 0.574;
+  /// Lognormal sigma and mean of the extra submissions for multi-run apps.
+  double extra_submits_mean = 9.2;
+  double extra_submits_sigma = 1.1;
+
+  /// Job-size weights over {1,2,4,8,16,32,48,64,80} midplanes
+  /// (Table VI row sums).
+  std::array<double, 9> size_weights = {46413, 11911, 4822, 2618, 1854, 656, 28, 341, 73};
+
+  /// Runtime-bucket weights per size over {10–400, 400–1600, 1600–6400,
+  /// >=6400} seconds (Table VI cells, successful-job denominators).
+  std::array<std::array<double, 4>, 9> runtime_weights = {{
+      {12282, 7300, 17339, 9492},  // 1 midplane
+      {1146, 2601, 6052, 2112},    // 2
+      {881, 901, 1026, 2014},      // 4
+      {611, 563, 636, 748},        // 8
+      {288, 685, 466, 415},        // 16
+      {20, 362, 195, 79},          // 32
+      {3, 1, 1, 1},                // 48 (only 4 jobs in the paper)
+      {12, 147, 143, 39},          // 64
+      {11, 33, 27, 2},             // 80
+  }};
+
+  /// Mean spacing between submissions within one app's campaign (hours).
+  double campaign_spacing_hours = 20.0;
+
+  /// Fraction of apps that carry a bug (application error, §IV-B). Applied
+  /// only to apps of < `buggy_max_size` midplanes; users request big long
+  /// runs only for well-debugged codes (§VI-D).
+  double buggy_app_prob = 0.0052;
+  int buggy_max_size = 48;  ///< strictly below this size may be buggy
+  /// Bug difficulty range: P(still broken after a failed run) ~ difficulty.
+  double bug_difficulty_min = 0.40;
+  double bug_difficulty_max = 0.90;
+  /// Bug manifestation time: lognormal minutes (mostly < 1 h, Obs. 11).
+  double bug_manifest_mean_minutes = 14.0;
+  double bug_manifest_sigma = 1.0;
+};
+
+/// A distinct application (execution file).
+struct App {
+  std::string exec_file;
+  int user = 0;
+  int project = 0;
+  int size_midplanes = 1;
+  Usec base_runtime = 0;
+  // Bug model (ground truth; never read by the analysis side).
+  bool buggy = false;
+  ras::ErrcodeId bug_code = 0;
+  double bug_difficulty = 0;
+};
+
+/// One planned job submission.
+struct Submission {
+  TimePoint arrival;
+  std::int32_t app = 0;
+};
+
+/// The generated workload: the app table plus the time-ordered submission
+/// schedule.
+struct Workload {
+  std::vector<App> apps;
+  std::vector<Submission> schedule;  ///< sorted by arrival
+};
+
+/// Generate a workload over [start, start + days). Deterministic in `rng`.
+Workload generate_workload(const WorkloadConfig& config, TimePoint start, int days,
+                           Rng& rng);
+
+/// Sample an actual runtime for one run of `app` (per-run jitter).
+Usec sample_runtime(const App& app, Rng& rng);
+
+/// Sample a bug-manifestation delay for one run of a buggy app.
+Usec sample_bug_manifest(const WorkloadConfig& config, Rng& rng);
+
+/// Legal job sizes, aligned with WorkloadConfig::size_weights.
+inline constexpr std::array<int, 9> kJobSizes = {1, 2, 4, 8, 16, 32, 48, 64, 80};
+
+/// Runtime-bucket edges in seconds, aligned with runtime_weights
+/// ({10–400, 400–1600, 1600–6400, >=6400}; the last bucket tops out at the
+/// paper's max observed runtime, 113.5 h).
+inline constexpr std::array<double, 5> kRuntimeEdges = {10, 400, 1600, 6400, 113.5 * 3600};
+
+}  // namespace coral::synth

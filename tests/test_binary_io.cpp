@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "coral/common/error.hpp"
+#include "coral/joblog/binary_io.hpp"
+#include "coral/ras/binary_io.hpp"
+#include "coral/core/pipeline.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace coral {
+namespace {
+
+const synth::SynthResult& data() {
+  static const synth::SynthResult result = synth::generate(synth::small_scenario(111, 10));
+  return result;
+}
+
+TEST(RasBinary, RoundTripsExactly) {
+  std::stringstream buf;
+  ras::write_binary(buf, data().ras);
+  const ras::RasLog parsed = ras::read_binary(buf);
+  ASSERT_EQ(parsed.size(), data().ras.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].event_time, data().ras[i].event_time);
+    EXPECT_EQ(parsed[i].location, data().ras[i].location);
+    EXPECT_EQ(parsed[i].errcode, data().ras[i].errcode);
+    EXPECT_EQ(parsed[i].severity, data().ras[i].severity);
+    EXPECT_EQ(parsed[i].serial, data().ras[i].serial);
+    EXPECT_EQ(parsed[i].recid, data().ras[i].recid);
+  }
+}
+
+TEST(RasBinary, MuchSmallerThanCsv) {
+  std::stringstream bin, csv;
+  ras::write_binary(bin, data().ras);
+  data().ras.write_csv(csv);
+  EXPECT_LT(bin.str().size() * 3, csv.str().size());
+}
+
+TEST(RasBinary, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(ras::read_binary(empty), ParseError);
+  std::stringstream junk("not a log at all, definitely");
+  EXPECT_THROW(ras::read_binary(junk), ParseError);
+  // Truncated: valid prefix, cut in the middle of the records.
+  std::stringstream buf;
+  ras::write_binary(buf, data().ras);
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream cut(bytes);
+  EXPECT_THROW(ras::read_binary(cut), ParseError);
+}
+
+TEST(JobBinary, RoundTripsExactly) {
+  std::stringstream buf;
+  joblog::write_binary(buf, data().jobs);
+  const joblog::JobLog parsed = joblog::read_binary(buf);
+  ASSERT_EQ(parsed.size(), data().jobs.size());
+  EXPECT_EQ(parsed.exec_files(), data().jobs.exec_files());
+  EXPECT_EQ(parsed.users(), data().jobs.users());
+  EXPECT_EQ(parsed.projects(), data().jobs.projects());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].job_id, data().jobs[i].job_id);
+    EXPECT_EQ(parsed[i].exec_id, data().jobs[i].exec_id);
+    EXPECT_EQ(parsed[i].queue_time, data().jobs[i].queue_time);
+    EXPECT_EQ(parsed[i].start_time, data().jobs[i].start_time);
+    EXPECT_EQ(parsed[i].end_time, data().jobs[i].end_time);
+    EXPECT_EQ(parsed[i].partition, data().jobs[i].partition);
+    EXPECT_EQ(parsed[i].exit_code, data().jobs[i].exit_code);
+  }
+}
+
+TEST(JobBinary, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(joblog::read_binary(empty), ParseError);
+  std::stringstream wrong;
+  ras::write_binary(wrong, data().ras);  // a RAS file is not a job file
+  EXPECT_THROW(joblog::read_binary(wrong), ParseError);
+}
+
+TEST(Binary, AnalysisIdenticalAfterBinaryRoundTrip) {
+  std::stringstream rbuf, jbuf;
+  ras::write_binary(rbuf, data().ras);
+  joblog::write_binary(jbuf, data().jobs);
+  const ras::RasLog ras2 = ras::read_binary(rbuf);
+  const joblog::JobLog jobs2 = joblog::read_binary(jbuf);
+  const auto a = core::run_coanalysis(data().ras, data().jobs);
+  const auto b = core::run_coanalysis(ras2, jobs2);
+  EXPECT_EQ(a.filtered.groups.size(), b.filtered.groups.size());
+  EXPECT_EQ(a.matches.interruptions.size(), b.matches.interruptions.size());
+  EXPECT_EQ(a.system_interruptions, b.system_interruptions);
+}
+
+}  // namespace
+}  // namespace coral

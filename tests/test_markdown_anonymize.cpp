@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "coral/common/strings.hpp"
+#include "coral/core/markdown.hpp"
+#include "coral/joblog/anonymize.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace coral {
+namespace {
+
+struct Fixture {
+  synth::SynthResult data;
+  core::CoAnalysisResult r;
+};
+
+const Fixture& fx() {
+  static const Fixture f = [] {
+    Fixture out;
+    out.data = synth::generate(synth::small_scenario(131, 30));
+    out.r = core::run_coanalysis(out.data.ras, out.data.jobs);
+    return out;
+  }();
+  return f;
+}
+
+TEST(Markdown, ContainsAllSections) {
+  const std::string md = core::render_markdown_report(fx().r, fx().data.ras.summary(),
+                                                      fx().data.jobs.summary());
+  for (const char* heading :
+       {"# CORAL co-analysis report", "## Input logs", "## Filtering pipeline",
+        "## Interarrival fits", "## Interruption census", "## Vulnerability grid",
+        "## Observations"}) {
+    EXPECT_NE(md.find(heading), std::string::npos) << heading;
+  }
+  // Tables look like tables.
+  EXPECT_NE(md.find("| stage | input | output | compression |"), std::string::npos);
+  EXPECT_NE(md.find("Observation  1"), std::string::npos);
+  EXPECT_NE(md.find("Observation 12"), std::string::npos);
+}
+
+TEST(Markdown, NumbersMatchResult) {
+  const std::string md = core::render_markdown_report(fx().r, fx().data.ras.summary(),
+                                                      fx().data.jobs.summary());
+  EXPECT_NE(md.find(strformat("%zu interruptions", fx().r.interruption_count())),
+            std::string::npos);
+  EXPECT_NE(md.find(strformat("shape | scale | mean")), std::string::npos);
+}
+
+TEST(Anonymize, ScrubsIdentitiesKeepsStructure) {
+  const joblog::JobLog& original = fx().data.jobs;
+  const joblog::JobLog anon = joblog::anonymize(original);
+  ASSERT_EQ(anon.size(), original.size());
+
+  // Identity strings are pseudonyms now.
+  for (const std::string& s : anon.users()) {
+    EXPECT_EQ(s.rfind("user_", 0), 0u) << s;
+  }
+  for (const std::string& s : anon.exec_files()) {
+    EXPECT_EQ(s.rfind("app_", 0), 0u) << s;
+  }
+  for (const std::string& s : anon.projects()) {
+    EXPECT_EQ(s.rfind("project_", 0), 0u) << s;
+  }
+  // Table sizes preserved (bijection).
+  EXPECT_EQ(anon.users().size(), original.summary().users);
+  EXPECT_EQ(anon.summary().distinct_jobs, original.summary().distinct_jobs);
+  EXPECT_EQ(anon.summary().resubmitted_jobs, original.summary().resubmitted_jobs);
+
+  // Everything the analysis consumes is untouched.
+  for (std::size_t i = 0; i < anon.size(); ++i) {
+    EXPECT_EQ(anon[i].job_id, original[i].job_id);
+    EXPECT_EQ(anon[i].start_time, original[i].start_time);
+    EXPECT_EQ(anon[i].end_time, original[i].end_time);
+    EXPECT_EQ(anon[i].partition, original[i].partition);
+    EXPECT_EQ(anon[i].exit_code, original[i].exit_code);
+  }
+}
+
+TEST(Anonymize, AnalysisInvariant) {
+  const joblog::JobLog anon = joblog::anonymize(fx().data.jobs);
+  const core::CoAnalysisResult r2 = core::run_coanalysis(fx().data.ras, anon);
+  EXPECT_EQ(r2.interruption_count(), fx().r.interruption_count());
+  EXPECT_EQ(r2.system_interruptions, fx().r.system_interruptions);
+  EXPECT_EQ(r2.job_filter.removed_count(), fx().r.job_filter.removed_count());
+  EXPECT_EQ(r2.distinct_interrupted_jobs, fx().r.distinct_interrupted_jobs);
+}
+
+TEST(Anonymize, StableAcrossRuns) {
+  const joblog::JobLog a = joblog::anonymize(fx().data.jobs);
+  const joblog::JobLog b = joblog::anonymize(fx().data.jobs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].exec_id, b[i].exec_id);
+    EXPECT_EQ(a[i].user_id, b[i].user_id);
+  }
+  EXPECT_EQ(a.exec_files(), b.exec_files());
+}
+
+}  // namespace
+}  // namespace coral

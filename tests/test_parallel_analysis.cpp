@@ -1,0 +1,72 @@
+// The data-parallel stages must produce bit-identical results with and
+// without a worker pool, at any thread count.
+#include <gtest/gtest.h>
+
+#include "coral/core/pipeline.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace coral {
+namespace {
+
+const synth::SynthResult& data() {
+  static const synth::SynthResult result = synth::generate(synth::small_scenario(51, 30));
+  return result;
+}
+
+class ParallelAnalysisP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelAnalysisP, MatchingIdenticalToSerial) {
+  const auto filtered = filter::run_filter_pipeline(data().ras, {});
+  const auto serial = core::match_interruptions(filtered, data().jobs, {});
+
+  par::ThreadPool pool(GetParam());
+  core::MatchConfig config;
+  config.pool = &pool;
+  const auto parallel = core::match_interruptions(filtered, data().jobs, config);
+
+  ASSERT_EQ(serial.interruptions.size(), parallel.interruptions.size());
+  for (std::size_t i = 0; i < serial.interruptions.size(); ++i) {
+    EXPECT_EQ(serial.interruptions[i].group, parallel.interruptions[i].group);
+    EXPECT_EQ(serial.interruptions[i].job, parallel.interruptions[i].job);
+  }
+  EXPECT_EQ(serial.jobs_by_group, parallel.jobs_by_group);
+  EXPECT_EQ(serial.group_by_job, parallel.group_by_job);
+}
+
+TEST_P(ParallelAnalysisP, CausalityMiningIdenticalToSerial) {
+  const auto events = data().ras.fatal_events();
+  auto groups =
+      filter::temporal_filter(events, filter::singleton_groups(events.size()), {});
+  groups = filter::spatial_filter(events, std::move(groups), {});
+
+  const auto serial = filter::mine_causal_pairs(events, groups, {});
+
+  par::ThreadPool pool(GetParam());
+  filter::CausalityFilterConfig config;
+  config.pool = &pool;
+  const auto parallel = filter::mine_causal_pairs(events, groups, config);
+
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_P(ParallelAnalysisP, FullPipelineIdenticalToSerial) {
+  const auto serial = core::run_coanalysis(data().ras, data().jobs, {});
+
+  par::ThreadPool pool(GetParam());
+  core::CoAnalysisConfig config;
+  config.pool = &pool;
+  const auto parallel = core::run_coanalysis(data().ras, data().jobs, config);
+
+  EXPECT_EQ(serial.filtered.groups.size(), parallel.filtered.groups.size());
+  EXPECT_EQ(serial.matches.interruptions.size(), parallel.matches.interruptions.size());
+  EXPECT_EQ(serial.system_interruptions, parallel.system_interruptions);
+  EXPECT_EQ(serial.application_interruptions, parallel.application_interruptions);
+  EXPECT_EQ(serial.job_filter.removed_count(), parallel.job_filter.removed_count());
+  EXPECT_DOUBLE_EQ(serial.fatal_before_jobfilter.weibull.shape(),
+                   parallel.fatal_before_jobfilter.weibull.shape());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelAnalysisP, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace coral

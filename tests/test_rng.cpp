@@ -1,0 +1,161 @@
+#include "coral/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coral/common/error.hpp"
+#include "coral/stats/descriptive.hpp"
+
+namespace coral {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool any_diff = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) any_diff |= (a2.next() != c.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng a(7);
+  Rng child = a.split();
+  bool any_diff = false;
+  for (int i = 0; i < 64; ++i) any_diff |= (a.next() != child.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexBoundsAndCoverage) {
+  Rng rng(2);
+  std::vector<int> seen(7, 0);
+  for (int i = 0; i < 7000; ++i) seen[rng.uniform_index(7)] += 1;
+  for (int count : seen) EXPECT_GT(count, 700);  // ~1000 expected each
+  EXPECT_THROW(rng.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(4);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.exponential(100.0);
+  EXPECT_NEAR(stats::mean(xs), 100.0, 3.0);
+}
+
+TEST(Rng, WeibullShape1IsExponential) {
+  Rng rng(5);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.weibull(1.0, 50.0);
+  EXPECT_NEAR(stats::mean(xs), 50.0, 2.0);
+}
+
+TEST(Rng, WeibullMeanMatchesGammaFormula) {
+  Rng rng(6);
+  const double shape = 0.5, scale = 100.0;
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.weibull(shape, scale);
+  // mean = scale * Gamma(1 + 1/shape) = 100 * Gamma(3) = 200.
+  EXPECT_NEAR(stats::mean(xs), 200.0, 12.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.normal(10.0, 2.0);
+  EXPECT_NEAR(stats::mean(xs), 10.0, 0.1);
+  EXPECT_NEAR(stats::stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(8);
+  double sum_small = 0, sum_large = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum_small += static_cast<double>(rng.poisson(3.5));
+  for (int i = 0; i < n; ++i) sum_large += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum_small / n, 3.5, 0.1);
+  EXPECT_NEAR(sum_large / n, 200.0, 1.0);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(10);
+  const double weights[] = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) counts[rng.categorical(weights)] += 1;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, ZipfIsMonotonicallySkewed) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.zipf(5, 1.0)] += 1;
+  for (std::size_t i = 1; i < counts.size(); ++i) EXPECT_LT(counts[i], counts[i - 1]);
+}
+
+TEST(DiscreteSampler, MatchesCategorical) {
+  Rng rng(12);
+  const std::vector<double> weights = {2.0, 1.0, 1.0, 4.0};
+  const DiscreteSampler sampler(weights);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 16000; ++i) counts[static_cast<int>(sampler.sample(rng))] += 1;
+  EXPECT_NEAR(counts[0] / 4000.0, 1.0, 0.15);
+  EXPECT_NEAR(counts[3] / 8000.0, 1.0, 0.15);
+}
+
+TEST(DiscreteSampler, RejectsDegenerateWeights) {
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(DiscreteSampler{zero}, InvalidArgument);
+  const std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(DiscreteSampler{negative}, InvalidArgument);
+}
+
+class RngDistributionP : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(RngDistributionP, WeibullSampleMeanMatchesAnalyticMean) {
+  const auto [shape, scale] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(shape * 1000 + scale));
+  std::vector<double> xs(40000);
+  for (double& x : xs) x = rng.weibull(shape, scale);
+  const double analytic = scale * std::tgamma(1.0 + 1.0 / shape);
+  EXPECT_NEAR(stats::mean(xs) / analytic, 1.0, 0.08) << "shape=" << shape;
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeScaleGrid, RngDistributionP,
+                         ::testing::Values(std::pair{0.4, 100.0}, std::pair{0.6, 10.0},
+                                           std::pair{1.0, 1.0}, std::pair{1.5, 500.0},
+                                           std::pair{3.0, 42.0}));
+
+}  // namespace
+}  // namespace coral

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "coral/common/error.hpp"
+#include "coral/sched/policy.hpp"
+#include "coral/sched/pool.hpp"
+
+namespace coral::sched {
+namespace {
+
+using bgp::Partition;
+
+TEST(PartitionPool, AcquireReleaseRoundTrip) {
+  PartitionPool pool;
+  const Partition p = Partition::parse("R00");
+  EXPECT_TRUE(pool.is_free(p));
+  pool.acquire(p);
+  EXPECT_FALSE(pool.is_free(p));
+  EXPECT_TRUE(pool.midplane_busy(0));
+  EXPECT_TRUE(pool.midplane_busy(1));
+  EXPECT_FALSE(pool.midplane_busy(2));
+  pool.release(p);
+  EXPECT_TRUE(pool.is_free(p));
+  EXPECT_EQ(pool.busy_count(), 0u);
+}
+
+TEST(PartitionPool, DoubleAcquireThrows) {
+  PartitionPool pool;
+  pool.acquire(Partition::parse("R00-M0"));
+  EXPECT_THROW(pool.acquire(Partition::parse("R00-M0")), InvalidArgument);
+  // Overlapping partition also fails.
+  EXPECT_THROW(pool.acquire(Partition::parse("R00")), InvalidArgument);
+}
+
+TEST(PartitionPool, ReleaseFreeThrows) {
+  PartitionPool pool;
+  EXPECT_THROW(pool.release(Partition::parse("R00-M0")), InvalidArgument);
+}
+
+TEST(PartitionPool, ForceAcquireIsIdempotent) {
+  PartitionPool pool;
+  pool.acquire(Partition::parse("R00-M0"));
+  pool.force_acquire(Partition::parse("R00"));  // overlaps the busy midplane
+  EXPECT_EQ(pool.busy_count(), 2u);
+  pool.release(Partition::parse("R00"));
+  EXPECT_EQ(pool.busy_count(), 0u);
+}
+
+TEST(PartitionPool, FreePartitionsShrinkUnderLoad) {
+  PartitionPool pool;
+  EXPECT_EQ(pool.free_partitions(80).size(), 1u);
+  pool.acquire(Partition::parse("R20-M0"));
+  EXPECT_TRUE(pool.free_partitions(80).empty());
+  EXPECT_EQ(pool.free_partitions(1).size(), 79u);
+}
+
+TEST(Policy, ShortNarrowJobsPreferMidplanes0And1) {
+  SchedulerConfig config;
+  const Usec short_rt = 100 * kUsecPerSec;
+  EXPECT_LT(placement_rank(config, Partition(0, 1), short_rt),
+            placement_rank(config, Partition(70, 1), short_rt));
+  EXPECT_LT(placement_rank(config, Partition(70, 1), short_rt),
+            placement_rank(config, Partition(40, 1), short_rt));
+}
+
+TEST(Policy, LongNarrowJobsPreferHighMidplanes) {
+  SchedulerConfig config;
+  const Usec long_rt = 8000 * kUsecPerSec;
+  EXPECT_LT(placement_rank(config, Partition(70, 1), long_rt),
+            placement_rank(config, Partition(0, 1), long_rt));
+  EXPECT_LT(placement_rank(config, Partition(0, 1), long_rt),
+            placement_rank(config, Partition(40, 1), long_rt));
+}
+
+TEST(Policy, WideJobsPreferReservedRegion) {
+  SchedulerConfig config;
+  const auto p32 = Partition::all_of_size(32);
+  ASSERT_EQ(p32.size(), 2u);
+  // The partition inside midplanes 32..63 ranks ahead of midplanes 0..31.
+  EXPECT_LT(placement_rank(config, p32[1], kUsecPerHour),
+            placement_rank(config, p32[0], kUsecPerHour));
+}
+
+TEST(Policy, MidSizeJobsAvoidWideRegion) {
+  SchedulerConfig config;
+  EXPECT_LT(placement_rank(config, Partition(8, 4), kUsecPerHour),
+            placement_rank(config, Partition(40, 4), kUsecPerHour));
+}
+
+TEST(Policy, ChoosesFreePartitionOfRequestedSize) {
+  SchedulerConfig config;
+  PartitionPool pool;
+  Rng rng(1);
+  const auto part = choose_partition(config, pool, 4, kUsecPerHour, std::nullopt, rng);
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(part->midplane_count(), 4);
+}
+
+TEST(Policy, ReturnsNulloptWhenNothingFits) {
+  SchedulerConfig config;
+  PartitionPool pool;
+  pool.acquire(bgp::Partition(0, 80));
+  Rng rng(1);
+  EXPECT_FALSE(choose_partition(config, pool, 1, kUsecPerHour, std::nullopt, rng));
+}
+
+TEST(Policy, ResubmissionAffinityReusesPreviousPartition) {
+  SchedulerConfig config;
+  config.resubmit_same_partition_prob = 1.0;
+  PartitionPool pool;
+  Rng rng(2);
+  const Partition prev = Partition::parse("R17");
+  const auto part = choose_partition(config, pool, 2, kUsecPerHour, prev, rng);
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(*part, prev);
+}
+
+TEST(Policy, AffinityIgnoredWhenPreviousBusy) {
+  SchedulerConfig config;
+  config.resubmit_same_partition_prob = 1.0;
+  PartitionPool pool;
+  const Partition prev = Partition::parse("R17");
+  pool.acquire(prev);
+  Rng rng(3);
+  const auto part = choose_partition(config, pool, 2, kUsecPerHour, prev, rng);
+  ASSERT_TRUE(part.has_value());
+  EXPECT_NE(*part, prev);
+}
+
+TEST(Policy, AffinityIgnoredOnSizeChange) {
+  SchedulerConfig config;
+  config.resubmit_same_partition_prob = 1.0;
+  PartitionPool pool;
+  Rng rng(4);
+  const Partition prev = Partition::parse("R17");
+  const auto part = choose_partition(config, pool, 4, kUsecPerHour, prev, rng);
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(part->midplane_count(), 4);
+}
+
+class PolicyAllSizesP : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyAllSizesP, AlwaysPlacesOnEmptyMachine) {
+  SchedulerConfig config;
+  PartitionPool pool;
+  Rng rng(5);
+  const auto part =
+      choose_partition(config, pool, GetParam(), kUsecPerHour, std::nullopt, rng);
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(part->midplane_count(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PolicyAllSizesP,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 48, 64, 80));
+
+}  // namespace
+}  // namespace coral::sched

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "coral/common/csv.hpp"
+#include "coral/common/error.hpp"
+#include "coral/common/strings.hpp"
+
+namespace coral {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("xyz", ','), (std::vector<std::string>{"xyz"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\nx\r"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, Strformat) {
+  EXPECT_EQ(strformat("%s=%d", "x", 42), "x=42");
+  EXPECT_EQ(strformat("%.2f", 3.14159), "3.14");
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int(" 13 "), 13);
+  EXPECT_THROW(parse_int(""), ParseError);
+  EXPECT_THROW(parse_int("4x"), ParseError);
+  EXPECT_THROW(parse_int("-"), ParseError);
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("1209618043.1"), 1209618043.1);
+  EXPECT_DOUBLE_EQ(parse_double("-2e3"), -2000.0);
+  EXPECT_THROW(parse_double("abc"), ParseError);
+  EXPECT_THROW(parse_double("1.2.3"), ParseError);
+  EXPECT_THROW(parse_double(""), ParseError);
+}
+
+TEST(Csv, WriterQuotesWhenNeeded) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"plain", "with,comma", "with\"quote", "multi\nline"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\",\"multi\nline\"\n");
+}
+
+TEST(Csv, RoundTrip) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  const std::vector<std::string> row1 = {"a", "b,c", "d\"e", ""};
+  const std::vector<std::string> row2 = {"1", "2", "3", "line\nbreak"};
+  w.write_row(row1);
+  w.write_row(row2);
+
+  std::istringstream in(out.str());
+  CsvReader r(in);
+  std::vector<std::string> got;
+  ASSERT_TRUE(r.read_row(got));
+  EXPECT_EQ(got, row1);
+  ASSERT_TRUE(r.read_row(got));
+  EXPECT_EQ(got, row2);
+  EXPECT_FALSE(r.read_row(got));
+}
+
+TEST(Csv, ReaderHandlesCrLf) {
+  std::istringstream in("a,b\r\nc,d\r\n");
+  CsvReader r(in);
+  std::vector<std::string> got;
+  ASSERT_TRUE(r.read_row(got));
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(r.read_row(got));
+  EXPECT_EQ(got, (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(Csv, ParseCsvLine) {
+  EXPECT_EQ(parse_csv_line("a,\"b,c\",d"), (std::vector<std::string>{"a", "b,c", "d"}));
+  EXPECT_THROW(parse_csv_line("\"unterminated"), ParseError);
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  std::istringstream in("\"abc");
+  CsvReader r(in);
+  std::vector<std::string> got;
+  EXPECT_THROW(r.read_row(got), ParseError);
+}
+
+}  // namespace
+}  // namespace coral

@@ -1,0 +1,98 @@
+#include "coral/common/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coral/common/error.hpp"
+
+namespace coral {
+namespace {
+
+TEST(Time, EpochIsZero) {
+  EXPECT_EQ(TimePoint::from_calendar(1970, 1, 1).usec(), 0);
+}
+
+TEST(Time, KnownCalendarPoints) {
+  // 2009-01-05 00:00:00 UTC == 1231113600 (paper log start date).
+  EXPECT_EQ(TimePoint::from_calendar(2009, 1, 5).usec(), 1231113600LL * kUsecPerSec);
+  // 2009-08-31 00:00:00 UTC == 1251676800 (paper log end date).
+  EXPECT_EQ(TimePoint::from_calendar(2009, 8, 31).usec(), 1251676800LL * kUsecPerSec);
+}
+
+TEST(Time, ParseRasRoundTrip) {
+  const std::string s = "2008-04-14-15.08.12.285324";
+  const TimePoint t = TimePoint::parse_ras(s);
+  EXPECT_EQ(t.to_ras_string(), s);
+}
+
+TEST(Time, ParseRasWithoutFraction) {
+  const TimePoint t = TimePoint::parse_ras("2009-01-05-00.00.00");
+  EXPECT_EQ(t, TimePoint::from_calendar(2009, 1, 5));
+}
+
+TEST(Time, ParseRasShortFraction) {
+  const TimePoint t = TimePoint::parse_ras("2009-01-05-00.00.00.5");
+  EXPECT_EQ(t.usec() % kUsecPerSec, 500000);
+}
+
+TEST(Time, ParseRasRejectsMalformed) {
+  EXPECT_THROW(TimePoint::parse_ras(""), ParseError);
+  EXPECT_THROW(TimePoint::parse_ras("2009-01-05"), ParseError);
+  EXPECT_THROW(TimePoint::parse_ras("2009/01/05-00.00.00"), ParseError);
+  EXPECT_THROW(TimePoint::parse_ras("2009-13-05-00.00.00"), ParseError);
+  EXPECT_THROW(TimePoint::parse_ras("2009-01-05-25.00.00"), ParseError);
+  EXPECT_THROW(TimePoint::parse_ras("2009-01-05-00.00.00.1234567"), ParseError);
+  EXPECT_THROW(TimePoint::parse_ras("2009-01-0a-00.00.00"), ParseError);
+}
+
+TEST(Time, UnixSecondsRoundTrip) {
+  const TimePoint t = TimePoint::from_unix_seconds(1209618043.1);
+  EXPECT_NEAR(t.unix_seconds(), 1209618043.1, 1e-6);
+}
+
+TEST(Time, DaysSince) {
+  const TimePoint origin = TimePoint::from_calendar(2009, 1, 5);
+  EXPECT_EQ((origin + 1).days_since(origin), 0);
+  EXPECT_EQ((origin + kUsecPerDay).days_since(origin), 1);
+  EXPECT_EQ((origin + 236 * kUsecPerDay + kUsecPerHour).days_since(origin), 236);
+  EXPECT_EQ((origin - 1).days_since(origin), -1);
+}
+
+TEST(Time, CalendarDecomposition) {
+  const TimePoint t = TimePoint::from_calendar(2009, 8, 31, 23, 59, 59, 999999);
+  const CalendarTime c = to_calendar(t);
+  EXPECT_EQ(c.year, 2009);
+  EXPECT_EQ(c.month, 8);
+  EXPECT_EQ(c.day, 31);
+  EXPECT_EQ(c.hour, 23);
+  EXPECT_EQ(c.minute, 59);
+  EXPECT_EQ(c.second, 59);
+  EXPECT_EQ(c.usec, 999999);
+}
+
+TEST(Time, LeapYearHandling) {
+  const TimePoint t = TimePoint::from_calendar(2008, 2, 29);
+  const CalendarTime c = to_calendar(t);
+  EXPECT_EQ(c.month, 2);
+  EXPECT_EQ(c.day, 29);
+  EXPECT_EQ(to_calendar(t + kUsecPerDay).month, 3);
+}
+
+TEST(Time, DisplayString) {
+  EXPECT_EQ(TimePoint::from_calendar(2009, 1, 5, 1, 2, 3).to_display_string(),
+            "2009-01-05 01:02:03");
+}
+
+class TimeRoundTripP : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(TimeRoundTripP, RasStringRoundTripsExactly) {
+  const TimePoint t(GetParam());
+  EXPECT_EQ(TimePoint::parse_ras(t.to_ras_string()), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SampledUsecs, TimeRoundTripP,
+    ::testing::Values(0LL, 1LL, 999999LL, 1231113600000000LL, 1251676799999999LL,
+                      1234567890123456LL, 4102444800000000LL /* 2100-01-01 */));
+
+}  // namespace
+}  // namespace coral
