@@ -14,10 +14,16 @@ function(coral_gbench name)
   target_link_libraries(${name} PRIVATE benchmark::benchmark benchmark::benchmark_main)
 endfunction()
 
+# Benches with their own main() (fork-based RSS measurement does not fit the
+# google-benchmark harness).
+set(CORAL_SELFMAIN_BENCHES perf_streaming)
+
 file(GLOB CORAL_BENCH_SOURCES ${CORAL_BENCH_DIR}/*.cpp)
 foreach(src ${CORAL_BENCH_SOURCES})
   get_filename_component(bname ${src} NAME_WE)
-  if(bname MATCHES "^perf_")
+  if(bname IN_LIST CORAL_SELFMAIN_BENCHES)
+    coral_bench(${bname})
+  elseif(bname MATCHES "^perf_")
     coral_gbench(${bname})
   else()
     coral_bench(${bname})

@@ -1,0 +1,159 @@
+// Throughput and peak-RSS comparison of the co-analysis front-ends on a
+// full-scale (~2M-record) Intrepid log pair: the batch passes vs the
+// streaming engine at one shard and at N shards.
+//
+// Self-main rather than google-benchmark: each mode's peak RSS is measured
+// in a forked child (copy-on-write shares the generated logs) so the modes
+// cannot pollute each other's high-water mark, and wall-clock throughput is
+// best-of-R in the parent. Emits one JSON object on stdout.
+//
+//   $ ./perf_streaming [seed] [target_shards] [reps]
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coral/common/parallel.hpp"
+#include "coral/core/matching.hpp"
+#include "coral/core/pipeline.hpp"
+#include "coral/filter/pipeline.hpp"
+#include "coral/stream/coanalysis.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace {
+
+using namespace coral;
+
+struct ModeResult {
+  std::string name;
+  double seconds = 0;
+  long peak_rss_kb = 0;
+  std::size_t shards = 1;
+  std::size_t peak_stage_state = 0;
+  std::size_t interruptions = 0;
+};
+
+template <typename Fn>
+double best_seconds(Fn&& fn, int reps) {
+  double best = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+// Peak RSS (KiB) of one run of `fn`, in a forked child. The logs are shared
+// copy-on-write, so the child's ru_maxrss is the shared baseline plus what
+// the mode itself allocates — a like-for-like comparison across modes.
+template <typename Fn>
+long forked_peak_rss_kb(Fn&& fn) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    fn();
+    _exit(0);
+  }
+  if (pid < 0) return -1;
+  int status = 0;
+  struct rusage ru{};
+  if (wait4(pid, &status, 0, &ru) < 0) return -1;
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return -1;
+  return ru.ru_maxrss;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  const int target_shards = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int reps = argc > 3 ? std::atoi(argv[3]) : 3;
+
+  std::fprintf(stderr, "generating full Intrepid scenario (seed %llu)...\n",
+               static_cast<unsigned long long>(seed));
+  const synth::SynthResult data = synth::generate(synth::intrepid_scenario(seed));
+  const std::size_t records = data.ras.size() + 2 * data.jobs.size();
+
+  // CORAL_THREADS or the hardware. Only used to report the size below: each
+  // sharded run constructs its own pool *inside* the measured function, so
+  // the forked RSS child owns live worker threads (a pool created before
+  // fork() would leave the child waiting on workers that only exist in the
+  // parent).
+  const std::size_t pool_threads =
+      par::ThreadPool(par::configured_thread_count()).thread_count();
+
+  std::vector<ModeResult> modes;
+
+  {
+    ModeResult m;
+    m.name = "batch";
+    const auto run = [&data, &m] {
+      const auto filtered = filter::run_filter_pipeline(data.ras, {});
+      const auto matches = core::match_interruptions(filtered, data.jobs, {});
+      m.interruptions = matches.interruptions.size();
+    };
+    m.seconds = best_seconds(run, reps);
+    m.peak_rss_kb = forked_peak_rss_kb(run);
+    modes.push_back(m);
+  }
+
+  for (const int shards : {1, target_shards}) {
+    ModeResult m;
+    m.name = shards == 1 ? "stream-1shard" : "stream-nshard";
+    const auto run = [&data, shards, &m] {
+      std::optional<par::ThreadPool> pool;
+      if (shards > 1) pool.emplace(par::configured_thread_count());
+      stream::FrontEndConfig config;
+      config.shards = shards;
+      config.pool = pool ? &*pool : nullptr;
+      const auto front = stream::run_streaming_frontend(data.ras, data.jobs, config);
+      m.interruptions = front.matches.interruptions.size();
+      m.shards = front.shards_used;
+      m.peak_stage_state = front.peak_stage_state;
+    };
+    m.seconds = best_seconds(run, reps);
+    m.peak_rss_kb = forked_peak_rss_kb(run);
+    modes.push_back(m);
+  }
+
+  const double batch_rps = static_cast<double>(records) / modes[0].seconds;
+  const double nshard_rps = static_cast<double>(records) / modes.back().seconds;
+
+  std::printf("{\n");
+  std::printf("  \"records\": %zu,\n", records);
+  std::printf("  \"ras_records\": %zu,\n", data.ras.size());
+  std::printf("  \"fatal_records\": %zu,\n", data.ras.summary().fatal_records);
+  std::printf("  \"jobs\": %zu,\n", data.jobs.size());
+  std::printf("  \"pool_threads\": %zu,\n", pool_threads);
+  std::printf("  \"modes\": [\n");
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const ModeResult& m = modes[i];
+    std::printf("    {\"name\": \"%s\", \"seconds\": %.6f, \"records_per_sec\": %.0f, "
+                "\"peak_rss_kb\": %ld, \"shards\": %zu, \"peak_stage_state\": %zu, "
+                "\"interruptions\": %zu}%s\n",
+                m.name.c_str(), m.seconds,
+                static_cast<double>(records) / m.seconds, m.peak_rss_kb, m.shards,
+                m.peak_stage_state, m.interruptions, i + 1 < modes.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"nshard_vs_batch_speedup\": %.2f\n", nshard_rps / batch_rps);
+  std::printf("}\n");
+
+  // The interruption lists must agree across every mode (byte-identity).
+  for (const ModeResult& m : modes) {
+    if (m.interruptions != modes[0].interruptions) {
+      std::fprintf(stderr, "MISMATCH: %s found %zu interruptions vs batch %zu\n",
+                   m.name.c_str(), m.interruptions, modes[0].interruptions);
+      return 1;
+    }
+  }
+  return 0;
+}

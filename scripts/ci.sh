@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: build every preset (release, asan-ubsan, tsan) and run the
+# test suite under each. Usage: scripts/ci.sh [preset...] (default: all).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESETS=("$@")
+if [ ${#PRESETS[@]} -eq 0 ]; then
+  PRESETS=(release asan-ubsan tsan)
+fi
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+for preset in "${PRESETS[@]}"; do
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+  echo "==== [$preset] build ===="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "==== [$preset] test ===="
+  ctest --preset "$preset" -j "$JOBS"
+done
+
+echo "==== all presets green ===="

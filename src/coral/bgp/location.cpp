@@ -1,5 +1,6 @@
 #include "coral/bgp/location.hpp"
 
+#include <array>
 #include <cstdio>
 
 #include "coral/common/error.hpp"
@@ -77,13 +78,15 @@ Location Location::io_node(MidplaneId mid, int card, int slot) {
 
 namespace {
 
-int parse_num_after(const std::string& part, char prefix, const std::string& whole) {
+int parse_num_after(std::string_view part, char prefix, std::string_view whole) {
   if (part.size() < 2 || part[0] != prefix) {
-    throw ParseError("bad location segment '" + part + "' in '" + whole + "'");
+    throw ParseError("bad location segment '" + std::string(part) + "' in '" +
+                     std::string(whole) + "'");
   }
   for (std::size_t i = 1; i < part.size(); ++i) {
     if (part[i] < '0' || part[i] > '9') {
-      throw ParseError("bad location segment '" + part + "' in '" + whole + "'");
+      throw ParseError("bad location segment '" + std::string(part) + "' in '" +
+                       std::string(whole) + "'");
     }
   }
   return static_cast<int>(parse_int(part.substr(1)));
@@ -91,56 +94,74 @@ int parse_num_after(const std::string& part, char prefix, const std::string& who
 
 }  // namespace
 
-Location Location::parse(const std::string& text) {
-  const auto parts = split(text, '-');
-  if (parts.empty() || parts[0].empty()) throw ParseError("empty location");
+Location Location::parse(std::string_view text) {
+  // Segment the view in place (location codes have at most 4 segments; keep
+  // two spares so malformed 5/6-part strings reach the specific diagnostics
+  // below instead of a generic one).
+  std::array<std::string_view, 6> parts;
+  std::size_t nparts = 0;
+  std::size_t seg_begin = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '-') {
+      if (nparts == parts.size()) throw ParseError("too many segments: '" + std::string(text) + "'");
+      parts[nparts++] = text.substr(seg_begin, i - seg_begin);
+      seg_begin = i + 1;
+    }
+  }
+  if (parts[0].empty()) throw ParseError("empty location");
 
   const int rk = parse_num_after(parts[0], 'R', text);
-  if (rk < 0 || rk >= Topology::kRacks) throw ParseError("rack out of range: '" + text + "'");
-  if (parts.size() == 1) return rack(rk);
+  if (rk < 0 || rk >= Topology::kRacks) {
+    throw ParseError("rack out of range: '" + std::string(text) + "'");
+  }
+  if (nparts == 1) return rack(rk);
 
-  const std::string& p1 = parts[1];
+  const std::string_view p1 = parts[1];
   if (p1 == "S") {
     // Some logs write "R04-M0-S"; rack-level "R04-S" is not a thing — require
     // a midplane segment first.
-    throw ParseError("service card requires a midplane: '" + text + "'");
+    throw ParseError("service card requires a midplane: '" + std::string(text) + "'");
   }
   const int mp = parse_num_after(p1, 'M', text);
   if (mp < 0 || mp >= Topology::kMidplanesPerRack) {
-    throw ParseError("midplane out of range: '" + text + "'");
+    throw ParseError("midplane out of range: '" + std::string(text) + "'");
   }
   const MidplaneId mid = bgp::midplane_id(rk, mp);
-  if (parts.size() == 2) return midplane(mid);
+  if (nparts == 2) return midplane(mid);
 
-  const std::string& p2 = parts[2];
+  const std::string_view p2 = parts[2];
   if (p2 == "S") {
-    if (parts.size() != 3) throw ParseError("trailing segments after service card: '" + text + "'");
+    if (nparts != 3) {
+      throw ParseError("trailing segments after service card: '" + std::string(text) + "'");
+    }
     return service_card(mid);
   }
   if (!p2.empty() && p2[0] == 'L') {
-    if (parts.size() != 3) throw ParseError("trailing segments after link card: '" + text + "'");
+    if (nparts != 3) {
+      throw ParseError("trailing segments after link card: '" + std::string(text) + "'");
+    }
     const int slot = parse_num_after(p2, 'L', text);
     if (slot < 0 || slot >= Topology::kLinkCardsPerMidplane) {
-      throw ParseError("link card out of range: '" + text + "'");
+      throw ParseError("link card out of range: '" + std::string(text) + "'");
     }
     return link_card(mid, slot);
   }
   const int card = parse_num_after(p2, 'N', text);
   if (card < 0 || card >= Topology::kNodeCardsPerMidplane) {
-    throw ParseError("node card out of range: '" + text + "'");
+    throw ParseError("node card out of range: '" + std::string(text) + "'");
   }
-  if (parts.size() == 3) return node_card(mid, card);
+  if (nparts == 3) return node_card(mid, card);
 
-  const std::string& p3 = parts[3];
-  if (parts.size() != 4) throw ParseError("too many segments: '" + text + "'");
+  const std::string_view p3 = parts[3];
+  if (nparts != 4) throw ParseError("too many segments: '" + std::string(text) + "'");
   if (!p3.empty() && p3[0] == 'I') {
     const int slot = parse_num_after(p3, 'I', text);
-    if (slot < 0 || slot >= 2) throw ParseError("I/O node out of range: '" + text + "'");
+    if (slot < 0 || slot >= 2) throw ParseError("I/O node out of range: '" + std::string(text) + "'");
     return io_node(mid, card, slot);
   }
   const int jslot = parse_num_after(p3, 'J', text);
   if (jslot < 4 || jslot >= 4 + Topology::kComputeCardsPerNodeCard) {
-    throw ParseError("compute card out of range: '" + text + "'");
+    throw ParseError("compute card out of range: '" + std::string(text) + "'");
   }
   return compute_card(mid, card, jslot);
 }

@@ -2,6 +2,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "coral/bgp/topology.hpp"
 
@@ -48,7 +49,9 @@ class Location {
   static Location io_node(MidplaneId mid, int card, int slot);
 
   /// Parse a location string such as "R04-M0-N08-J12". Throws ParseError.
-  static Location parse(const std::string& text);
+  /// Takes a string_view so per-record CSV ingest parses in place without
+  /// materializing a temporary std::string per field.
+  static Location parse(std::string_view text);
 
   LocationKind kind() const { return kind_; }
   int rack_index() const { return rack_; }

@@ -1,9 +1,9 @@
 #include "coral/bgp/partition.hpp"
 
 #include <cstdio>
+#include <string>
 
 #include "coral/common/error.hpp"
-#include "coral/common/strings.hpp"
 
 namespace coral::bgp {
 
@@ -50,35 +50,42 @@ Partition::Partition(MidplaneId first, int midplane_count)
   }
 }
 
-Partition Partition::parse(const std::string& text) {
-  const auto parts = split(text, '-');
+Partition Partition::parse(std::string_view text) {
+  // A partition name has at most two '-'-separated segments; find the split
+  // point without allocating.
+  const std::size_t dash = text.find('-');
+  const std::string_view head = text.substr(0, dash);
+  const std::string_view tail =
+      dash == std::string_view::npos ? std::string_view{} : text.substr(dash + 1);
   try {
-    if (parts.size() == 1) {
+    if (dash == std::string_view::npos) {
       // "R04": one rack.
       const Location loc = Location::parse(text);
-      if (loc.kind() != LocationKind::Rack) throw ParseError("not a partition: '" + text + "'");
+      if (loc.kind() != LocationKind::Rack) {
+        throw ParseError("not a partition: '" + std::string(text) + "'");
+      }
       return Partition(midplane_id(loc.rack_index(), 0), 2);
     }
-    if (parts.size() == 2 && !parts[1].empty() && parts[1][0] == 'M') {
+    if (!tail.empty() && tail[0] == 'M' && tail.find('-') == std::string_view::npos) {
       // "R04-M0": one midplane.
       const Location loc = Location::parse(text);
       return Partition(*loc.midplane_id(), 1);
     }
-    if (parts.size() == 2 && !parts[1].empty() && parts[1][0] == 'R') {
+    if (!tail.empty() && tail[0] == 'R' && tail.find('-') == std::string_view::npos) {
       // "R08-R11": inclusive rack range.
-      const Location a = Location::parse(parts[0]);
-      const Location b = Location::parse(parts[1]);
+      const Location a = Location::parse(head);
+      const Location b = Location::parse(tail);
       if (a.kind() != LocationKind::Rack || b.kind() != LocationKind::Rack ||
           b.rack_index() < a.rack_index()) {
-        throw ParseError("bad rack range: '" + text + "'");
+        throw ParseError("bad rack range: '" + std::string(text) + "'");
       }
       const int racks = b.rack_index() - a.rack_index() + 1;
       return Partition(midplane_id(a.rack_index(), 0), racks * 2);
     }
   } catch (const InvalidArgument& e) {
-    throw ParseError(std::string("illegal partition '") + text + "': " + e.what());
+    throw ParseError("illegal partition '" + std::string(text) + "': " + e.what());
   }
-  throw ParseError("unrecognized partition: '" + text + "'");
+  throw ParseError("unrecognized partition: '" + std::string(text) + "'");
 }
 
 std::vector<Partition> Partition::all_of_size(int midplane_count) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "coral/bgp/location.hpp"
@@ -27,7 +28,8 @@ class Partition {
 
   /// Parse a job-log location string: "R04-M0" (one midplane), "R04" (one
   /// rack = 2 midplanes), "R08-R11" (rack range). Throws ParseError.
-  static Partition parse(const std::string& text);
+  /// Takes a string_view so CSV ingest parses fields without allocating.
+  static Partition parse(std::string_view text);
 
   /// All legal partitions of a given size on the machine, in address order.
   static std::vector<Partition> all_of_size(int midplane_count);

@@ -1,6 +1,7 @@
 #include "coral/common/parallel.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace coral::par {
 
@@ -68,23 +69,28 @@ void ThreadPool::worker_loop() {
 void parallel_for_chunks(std::size_t n, std::size_t min_chunk,
                          const std::function<void(std::size_t, std::size_t)>& body,
                          ThreadPool* pool) {
-  if (n == 0) return;
-  const std::size_t threads = pool ? pool->thread_count() : 1;
-  if (threads <= 1 || n <= min_chunk) {
-    body(0, n);
-    return;
+  // Explicit template argument so this forwards to the header implementation
+  // instead of recursing into itself.
+  parallel_for_chunks<const std::function<void(std::size_t, std::size_t)>&>(
+      n, min_chunk, body, pool);
+}
+
+std::size_t configured_thread_count() {
+  const char* env = std::getenv("CORAL_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  // All-digits only: strtol would skip leading whitespace and accept signs,
+  // which we treat as malformed rather than guess at.
+  for (const char* p = env; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return 0;
   }
-  const std::size_t chunks = std::min(threads * 4, std::max<std::size_t>(1, n / min_chunk));
-  const std::size_t step = (n + chunks - 1) / chunks;
-  for (std::size_t begin = 0; begin < n; begin += step) {
-    const std::size_t end = std::min(n, begin + step);
-    pool->submit([&body, begin, end] { body(begin, end); });
-  }
-  pool->wait_idle();
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0) return 0;
+  return static_cast<std::size_t>(v);
 }
 
 ThreadPool& default_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool(configured_thread_count());
   return pool;
 }
 

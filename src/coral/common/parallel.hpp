@@ -1,11 +1,14 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace coral::par {
@@ -47,11 +50,55 @@ class ThreadPool {
 /// Split [0, n) into roughly even chunks and run `body(begin, end)` on each,
 /// using `pool` if provided and worthwhile, else serially. `body` must be
 /// safe to call concurrently on disjoint ranges.
+///
+/// Header-only: chunks are pulled off a shared atomic cursor by at most
+/// `thread_count()` submitted tasks, each capturing a single pointer — no
+/// heap-allocated closure per chunk (the lambda fits std::function's
+/// small-buffer storage).
+template <typename Body>
+void parallel_for_chunks(std::size_t n, std::size_t min_chunk, Body&& body,
+                         ThreadPool* pool = nullptr) {
+  if (n == 0) return;
+  const std::size_t threads = pool ? pool->thread_count() : 1;
+  if (threads <= 1 || n <= min_chunk) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  const std::size_t chunks = std::min(threads * 4, std::max<std::size_t>(1, n / min_chunk));
+  const std::size_t step = (n + chunks - 1) / chunks;
+  struct Cursor {
+    std::remove_reference_t<Body>* body;
+    std::size_t n;
+    std::size_t step;
+    std::atomic<std::size_t> next{0};
+  };
+  Cursor cursor{std::addressof(body), n, step, {}};
+  const std::size_t tasks = std::min(threads, chunks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    pool->submit([c = &cursor] {
+      for (;;) {
+        const std::size_t begin = c->next.fetch_add(c->step, std::memory_order_relaxed);
+        if (begin >= c->n) return;
+        (*c->body)(begin, std::min(c->n, begin + c->step));
+      }
+    });
+  }
+  pool->wait_idle();
+}
+
+/// Type-erased overload, kept for call sites that already hold a
+/// std::function (non-template translation units).
 void parallel_for_chunks(std::size_t n, std::size_t min_chunk,
                          const std::function<void(std::size_t, std::size_t)>& body,
                          ThreadPool* pool = nullptr);
 
-/// Global default pool (lazily constructed, sized to the hardware).
+/// Worker count requested via the CORAL_THREADS environment variable; 0 when
+/// unset or not a positive integer (0 = let ThreadPool pick the hardware
+/// concurrency).
+std::size_t configured_thread_count();
+
+/// Global default pool (lazily constructed; sized from CORAL_THREADS when
+/// set, else to the hardware).
 ThreadPool& default_pool();
 
 }  // namespace coral::par

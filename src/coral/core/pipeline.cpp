@@ -2,23 +2,21 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
+
+#include "coral/stream/accumulators.hpp"
+#include "coral/stream/coanalysis.hpp"
 
 namespace coral::core {
 
-CoAnalysisResult run_coanalysis(const ras::RasLog& ras, const joblog::JobLog& jobs,
-                                const CoAnalysisConfig& config) {
+CoAnalysisResult complete_coanalysis(filter::FilterPipelineResult filtered,
+                                     MatchResult matches, const joblog::JobLog& jobs,
+                                     const CoAnalysisConfig& config) {
   CoAnalysisResult r;
+  r.filtered = std::move(filtered);
+  r.matches = std::move(matches);
 
-  // Step 0: temporal-spatial + causality filtering of FATAL records.
-  filter::FilterPipelineConfig filter_config = config.filters;
-  if (filter_config.causality.pool == nullptr) filter_config.causality.pool = config.pool;
-  r.filtered = filter::run_filter_pipeline(ras, filter_config);
-
-  // Step 1: match fatal events against job terminations, then identify the
-  // interruption-related errcodes (§IV-A).
-  MatchConfig match_config = config.matching;
-  if (match_config.pool == nullptr) match_config.pool = config.pool;
-  r.matches = match_interruptions(r.filtered, jobs, match_config);
+  // Step 1 (continued): identify the interruption-related errcodes (§IV-A).
   r.identification =
       identify_interruption_related(r.filtered, r.matches, jobs, config.identification);
 
@@ -36,34 +34,31 @@ CoAnalysisResult run_coanalysis(const ras::RasLog& ras, const joblog::JobLog& jo
       analyze_vulnerability(r.filtered, r.matches, r.classification, jobs,
                             config.vulnerability);
 
-  // Interarrival fits (§V-A, Table IV; Fig. 3).
-  const auto all = all_groups(r.filtered);
-  const auto times_before = group_times(r.filtered, all);
-  if (times_before.size() >= 3) {
-    r.fatal_before_jobfilter = fit_interarrivals(interarrival_seconds(times_before));
+  // Interarrival fits (§V-A, Table IV; Fig. 3), via the incremental
+  // accumulators. Feeding in group order reproduces the batch series.
+  stream::InterarrivalAccumulator before_filter, after_filter;
+  for (const filter::EventGroup& g : r.filtered.groups) {
+    before_filter.add(r.filtered.fatal_events[g.rep].event_time);
   }
-  const auto times_after = group_times(r.filtered, r.job_filter.kept);
-  if (times_after.size() >= 3) {
-    r.fatal_after_jobfilter = fit_interarrivals(interarrival_seconds(times_after));
+  for (const std::size_t idx : r.job_filter.kept) {
+    after_filter.add(r.filtered.fatal_events[r.filtered.groups[idx].rep].event_time);
   }
+  if (auto fit = before_filter.fit()) r.fatal_before_jobfilter = std::move(*fit);
+  if (auto fit = after_filter.fit()) r.fatal_after_jobfilter = std::move(*fit);
 
   // Interruption interarrivals by cause (§VI-B, Table V; Fig. 6).
-  std::vector<TimePoint> sys_times, app_times;
+  stream::InterarrivalAccumulator sys_acc, app_acc;
   for (const Interruption& in : r.matches.interruptions) {
     const ras::ErrcodeId code =
         r.filtered.fatal_events[r.filtered.groups[in.group].rep].errcode;
     const bool app = r.classification.by_code.count(code) != 0 &&
                      r.classification.by_code.at(code).cause == Cause::ApplicationError;
-    (app ? app_times : sys_times).push_back(in.time);
+    (app ? app_acc : sys_acc).add(in.time);
   }
-  r.system_interruptions = sys_times.size();
-  r.application_interruptions = app_times.size();
-  if (sys_times.size() >= 3) {
-    r.interruptions_system = fit_interarrivals(interarrival_seconds(sys_times));
-  }
-  if (app_times.size() >= 3) {
-    r.interruptions_application = fit_interarrivals(interarrival_seconds(app_times));
-  }
+  r.system_interruptions = sys_acc.count();
+  r.application_interruptions = app_acc.count();
+  if (auto fit = sys_acc.fit()) r.interruptions_system = std::move(*fit);
+  if (auto fit = app_acc.fit()) r.interruptions_application = std::move(*fit);
 
   // Distinct interrupted executables (paper: 308 jobs, 167 distinct).
   std::set<joblog::ExecId> distinct;
@@ -72,41 +67,62 @@ CoAnalysisResult run_coanalysis(const ras::RasLog& ras, const joblog::JobLog& jo
   }
   r.distinct_interrupted_jobs = distinct.size();
 
-  // Fig. 5: interruptions per day.
+  // Fig. 5: interruptions per day. The job log's first submission anchors
+  // day 0, and a non-empty job log always materializes at least one bucket.
   if (!jobs.empty()) {
-    const TimePoint origin = jobs.summary().first_submit;
-    std::int64_t max_day = 0;
-    for (const Interruption& in : r.matches.interruptions) {
-      max_day = std::max(max_day, in.time.days_since(origin));
-    }
-    r.interruptions_per_day.assign(static_cast<std::size_t>(max_day + 1), 0);
-    for (const Interruption& in : r.matches.interruptions) {
-      r.interruptions_per_day[static_cast<std::size_t>(in.time.days_since(origin))] += 1;
-    }
+    stream::DailyCounter daily(jobs.summary().first_submit);
+    for (const Interruption& in : r.matches.interruptions) daily.add(in.time);
+    daily.ensure_days(1);
+    r.interruptions_per_day = daily.take();
   }
 
   // Fig. 4 series.
+  stream::MidplaneTallies tallies;
   for (const filter::EventGroup& g : r.filtered.groups) {
-    const auto mid = r.filtered.fatal_events[g.rep].location.midplane_id();
-    if (mid) {
-      r.fatal_events_per_midplane[static_cast<std::size_t>(*mid)] += 1;
-    } else {
-      // Rack-level events touch both midplanes; split the count.
-      const int rack = r.filtered.fatal_events[g.rep].location.rack_index();
-      r.fatal_events_per_midplane[static_cast<std::size_t>(bgp::midplane_id(rack, 0))] += 0.5;
-      r.fatal_events_per_midplane[static_cast<std::size_t>(bgp::midplane_id(rack, 1))] += 0.5;
-    }
+    tallies.add_group_rep(r.filtered.fatal_events[g.rep].location);
   }
-  for (const joblog::JobRecord& job : jobs) {
-    const double seconds =
-        static_cast<double>(job.runtime()) / static_cast<double>(kUsecPerSec);
-    for (bgp::MidplaneId m : job.partition.midplanes()) {
-      r.workload_per_midplane[static_cast<std::size_t>(m)] += seconds;
-      if (job.size_midplanes() >= 32) {
-        r.wide_workload_per_midplane[static_cast<std::size_t>(m)] += seconds;
-      }
-    }
+  for (const joblog::JobRecord& job : jobs) tallies.add_job(job);
+  r.fatal_events_per_midplane = tallies.fatal_events;
+  r.workload_per_midplane = tallies.workload_sec;
+  r.wide_workload_per_midplane = tallies.wide_workload_sec;
+  return r;
+}
+
+CoAnalysisResult run_coanalysis(const ras::RasLog& ras, const joblog::JobLog& jobs,
+                                const CoAnalysisConfig& config) {
+  filter::FilterPipelineResult filtered;
+  MatchResult matches;
+  std::size_t shards_used = 1;
+  std::size_t peak_state = 0;
+
+  if (config.execution.engine == Engine::Streaming) {
+    stream::FrontEndConfig fe;
+    fe.filters = config.filters;
+    fe.match_window = config.matching.window;
+    fe.shards = config.execution.shards;
+    fe.pool = config.pool;
+    stream::FrontEndResult front = stream::run_streaming_frontend(ras, jobs, fe);
+    filtered = std::move(front.filtered);
+    matches = std::move(front.matches);
+    shards_used = front.shards_used;
+    peak_state = front.peak_stage_state;
+  } else {
+    // Step 0: temporal-spatial + causality filtering of FATAL records.
+    filter::FilterPipelineConfig filter_config = config.filters;
+    if (filter_config.causality.pool == nullptr) filter_config.causality.pool = config.pool;
+    filtered = filter::run_filter_pipeline(ras, filter_config);
+
+    // Step 1: match fatal events against job terminations.
+    MatchConfig match_config = config.matching;
+    if (match_config.pool == nullptr) match_config.pool = config.pool;
+    matches = match_interruptions(filtered, jobs, match_config);
   }
+
+  CoAnalysisResult r =
+      complete_coanalysis(std::move(filtered), std::move(matches), jobs, config);
+  r.engine_used = config.execution.engine;
+  r.shards_used = shards_used;
+  r.peak_stage_state = peak_state;
   return r;
 }
 

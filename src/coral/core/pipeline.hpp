@@ -6,6 +6,25 @@
 
 namespace coral::core {
 
+/// Which front-end (filtering + matching) implementation drives the
+/// methodology. Both produce byte-identical results; they differ in how
+/// they traverse the logs.
+enum class Engine {
+  /// Single-pass streaming stages with window-bounded state, optionally
+  /// sharded over the time axis (see stream/coanalysis.hpp). The default.
+  Streaming,
+  /// The original whole-log batch passes (filter::run_filter_pipeline +
+  /// match_interruptions).
+  Batch,
+};
+
+struct ExecutionConfig {
+  Engine engine = Engine::Streaming;
+  /// Target time-axis shard count for the streaming engine (cut only at
+  /// quiesce gaps, so any value is exact). Ignored by the batch engine.
+  int shards = 1;
+};
+
 /// Every knob of the co-analysis, in one place.
 struct CoAnalysisConfig {
   filter::FilterPipelineConfig filters;
@@ -15,8 +34,10 @@ struct CoAnalysisConfig {
   JobFilterConfig job_filter;
   PropagationConfig propagation;
   VulnerabilityConfig vulnerability;
-  /// Optional worker pool, forwarded to the data-parallel stages (causality
-  /// mining, RAS↔job matching). Results are identical either way.
+  ExecutionConfig execution;
+  /// Optional worker pool, forwarded to the data-parallel stages (shard
+  /// execution, causality mining, RAS↔job matching). Results are identical
+  /// either way.
   par::ThreadPool* pool = nullptr;
 };
 
@@ -51,10 +72,27 @@ struct CoAnalysisResult {
   std::size_t system_interruptions = 0;
   std::size_t application_interruptions = 0;
   std::size_t distinct_interrupted_jobs = 0;  ///< distinct executables
+
+  // Execution trace of the front-end that produced `filtered`/`matches`.
+  Engine engine_used = Engine::Batch;
+  std::size_t shards_used = 1;
+  /// Streaming engine only: largest simultaneously buffered stage state —
+  /// bounded by the coalescing/matching windows, not the log length.
+  std::size_t peak_stage_state = 0;
 };
 
+/// Run the identification / classification / job-filter steps and the §V/§VI
+/// characterization analyses on an already filtered + matched log pair. This
+/// is the engine-independent back half of run_coanalysis, exposed so
+/// streaming callers can complete a front-end they drove themselves.
+CoAnalysisResult complete_coanalysis(filter::FilterPipelineResult filtered,
+                                     MatchResult matches, const joblog::JobLog& jobs,
+                                     const CoAnalysisConfig& config = {});
+
 /// Run the full co-analysis (all three methodology steps plus the §V/§VI
-/// characterization analyses) on a RAS log + job log pair.
+/// characterization analyses) on a RAS log + job log pair. A thin
+/// composition: the configured engine produces the filtered groups and the
+/// RAS↔job matches, then complete_coanalysis derives everything else.
 CoAnalysisResult run_coanalysis(const ras::RasLog& ras, const joblog::JobLog& jobs,
                                 const CoAnalysisConfig& config = {});
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <istream>
+#include <numeric>
 #include <ostream>
 
 #include "coral/common/csv.hpp"
@@ -52,7 +53,20 @@ void JobLog::finalize() {
     if (i == 0 || jobs_[i].end_time > running_max) running_max = jobs_[i].end_time;
     max_end_prefix_[i] = running_max;
   }
+  by_end_.resize(jobs_.size());
+  std::iota(by_end_.begin(), by_end_.end(), std::size_t{0});
+  std::sort(by_end_.begin(), by_end_.end(), [this](std::size_t a, std::size_t b) {
+    if (jobs_[a].end_time != jobs_[b].end_time) {
+      return jobs_[a].end_time < jobs_[b].end_time;
+    }
+    return a < b;
+  });
   finalized_ = true;
+}
+
+const std::vector<std::size_t>& JobLog::by_end_time() const {
+  CORAL_EXPECTS(finalized_);
+  return by_end_;
 }
 
 template <typename Pred>

@@ -60,6 +60,10 @@ class JobLog {
   /// start order.
   std::vector<std::size_t> overlapping(TimePoint begin, TimePoint end) const;
 
+  /// Job indices ordered by (end_time, index). Maintained by finalize() so
+  /// streaming consumers can walk terminations without re-sorting per run.
+  const std::vector<std::size_t>& by_end_time() const;
+
   JobLogSummary summary() const;
 
   /// CSV with the Table III column set:
@@ -79,6 +83,7 @@ class JobLog {
   std::unordered_map<std::string, std::int32_t> user_index_;
   std::unordered_map<std::string, std::int32_t> project_index_;
   std::vector<TimePoint> max_end_prefix_;  ///< running max of end_time by start order
+  std::vector<std::size_t> by_end_;        ///< indices sorted by (end_time, index)
   bool finalized_ = false;
 };
 

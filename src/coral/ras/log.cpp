@@ -25,7 +25,16 @@ void RasLog::finalize() {
                    });
   std::int64_t recid = 1;
   for (auto& ev : events_) ev.recid = recid++;
+  fatal_index_.clear();
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].is_fatal()) fatal_index_.push_back(i);
+  }
   finalized_ = true;
+}
+
+const std::vector<std::size_t>& RasLog::fatal_indices() const {
+  CORAL_EXPECTS(finalized_);
+  return fatal_index_;
 }
 
 std::vector<RasEvent> RasLog::fatal_events() const {

@@ -46,6 +46,11 @@ class RasLog {
   /// Copy of all FATAL-severity records, time-ordered.
   std::vector<RasEvent> fatal_events() const;
 
+  /// Indices of all FATAL-severity records, time-ordered. Maintained by
+  /// finalize() so streaming consumers can gather fatal records without
+  /// re-scanning the full log per run.
+  const std::vector<std::size_t>& fatal_indices() const;
+
   /// Index of the first event with time >= t (log must be finalized).
   std::size_t lower_bound(TimePoint t) const;
 
@@ -61,6 +66,7 @@ class RasLog {
 
  private:
   std::vector<RasEvent> events_;
+  std::vector<std::size_t> fatal_index_;
   bool finalized_ = false;
 };
 

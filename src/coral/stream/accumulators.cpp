@@ -1,0 +1,50 @@
+#include "coral/stream/accumulators.hpp"
+
+#include "coral/common/error.hpp"
+
+namespace coral::stream {
+
+void DailyCounter::add(TimePoint t) {
+  const std::int64_t day = t.days_since(origin_);
+  CORAL_EXPECTS(day >= 0);
+  const auto bucket = static_cast<std::size_t>(day);
+  if (bucket >= counts_.size()) counts_.resize(bucket + 1, 0);
+  counts_[bucket] += 1;
+}
+
+void DailyCounter::merge(const DailyCounter& other) {
+  ensure_days(other.counts_.size());
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+void MidplaneTallies::add_group_rep(const bgp::Location& rep_location) {
+  const auto mid = rep_location.midplane_id();
+  if (mid) {
+    fatal_events[static_cast<std::size_t>(*mid)] += 1;
+  } else {
+    // Rack-level events touch both midplanes; split the count.
+    const int rack = rep_location.rack_index();
+    fatal_events[static_cast<std::size_t>(bgp::midplane_id(rack, 0))] += 0.5;
+    fatal_events[static_cast<std::size_t>(bgp::midplane_id(rack, 1))] += 0.5;
+  }
+}
+
+void MidplaneTallies::add_job(const joblog::JobRecord& job) {
+  const double seconds =
+      static_cast<double>(job.runtime()) / static_cast<double>(kUsecPerSec);
+  const bool wide = job.size_midplanes() >= 32;
+  for (bgp::MidplaneId m : job.partition.midplanes()) {
+    workload_sec[static_cast<std::size_t>(m)] += seconds;
+    if (wide) wide_workload_sec[static_cast<std::size_t>(m)] += seconds;
+  }
+}
+
+void MidplaneTallies::merge(const MidplaneTallies& other) {
+  for (std::size_t i = 0; i < fatal_events.size(); ++i) {
+    fatal_events[i] += other.fatal_events[i];
+    workload_sec[i] += other.workload_sec[i];
+    wide_workload_sec[i] += other.wide_workload_sec[i];
+  }
+}
+
+}  // namespace coral::stream

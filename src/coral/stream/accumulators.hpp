@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "coral/bgp/location.hpp"
+#include "coral/bgp/topology.hpp"
+#include "coral/core/interarrival.hpp"
+#include "coral/joblog/job.hpp"
+
+namespace coral::stream {
+
+/// Incremental collector for interarrival fitting: feed event times as they
+/// stream by, fit at the end. Fitting sorts internally, so merge order does
+/// not affect the result — shards can be concatenated in any order.
+class InterarrivalAccumulator {
+ public:
+  void add(TimePoint t) { times_.push_back(t); }
+  void merge(const InterarrivalAccumulator& other) {
+    times_.insert(times_.end(), other.times_.begin(), other.times_.end());
+  }
+  std::size_t count() const { return times_.size(); }
+
+  /// The fitted distributions, or nullopt below the 3-sample minimum —
+  /// exactly the batch pipeline's `times.size() >= 3` guard.
+  std::optional<core::InterarrivalFit> fit() const {
+    if (times_.size() < 3) return std::nullopt;
+    return core::fit_interarrivals(core::interarrival_seconds(times_));
+  }
+
+ private:
+  std::vector<TimePoint> times_;
+};
+
+/// Per-day event counter (Fig. 5): bucket = floor days since `origin`.
+class DailyCounter {
+ public:
+  explicit DailyCounter(TimePoint origin) : origin_(origin) {}
+
+  void add(TimePoint t);
+  /// Grow to at least `n` buckets (the batch path always materializes day 0
+  /// when the job log is non-empty, even with zero interruptions).
+  void ensure_days(std::size_t n) {
+    if (counts_.size() < n) counts_.resize(n, 0);
+  }
+  void merge(const DailyCounter& other);
+
+  const std::vector<int>& counts() const { return counts_; }
+  std::vector<int> take() { return std::move(counts_); }
+
+ private:
+  TimePoint origin_;
+  std::vector<int> counts_;
+};
+
+/// Per-midplane tallies for the Fig. 4 series: fatal-event counts (rack-
+/// level events split 0.5/0.5 over the rack's midplanes) and workload in
+/// midplane-seconds (all jobs, and wide jobs >= 32 midplanes).
+///
+/// Additions replicate the batch loops operation-for-operation, so feeding
+/// groups/jobs in log order reproduces the batch sums bit-for-bit. The
+/// fatal tallies are sums of 1.0/0.5 (dyadic, exact under any order); the
+/// workload sums are merged in shard order for determinism.
+class MidplaneTallies {
+ public:
+  void add_group_rep(const bgp::Location& rep_location);
+  void add_job(const joblog::JobRecord& job);
+  void merge(const MidplaneTallies& other);
+
+  std::array<double, bgp::Topology::kMidplanes> fatal_events{};
+  std::array<double, bgp::Topology::kMidplanes> workload_sec{};
+  std::array<double, bgp::Topology::kMidplanes> wide_workload_sec{};
+};
+
+}  // namespace coral::stream

@@ -1,0 +1,215 @@
+#include "coral/stream/coanalysis.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <span>
+
+#include "coral/stream/filter_stages.hpp"
+#include "coral/stream/matcher.hpp"
+
+namespace coral::stream {
+
+namespace {
+
+/// Everything one shard produces; slots are disjoint across workers.
+struct ShardOutput {
+  // Phase 1.
+  std::vector<StreamGroup> spatial_groups;  ///< buffered for phase 2
+  PairMiner::Counts counts;
+  std::size_t temporal_out = 0;
+  std::size_t spatial_out = 0;
+  std::size_t peak_phase1 = 0;
+  // Phase 2.
+  std::vector<StreamGroup> final_groups;
+  std::vector<std::vector<std::size_t>> matched_jobs;
+  std::size_t peak_phase2 = 0;
+};
+
+}  // namespace
+
+FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobLog& jobs,
+                                      const FrontEndConfig& config) {
+  FrontEndResult r;
+  // Gather FATAL records through the severity index maintained at ingest
+  // (RasLog::finalize) instead of re-scanning the full log: the streaming
+  // engine amortises discovery work into ingest, the batch pipeline re-scans
+  // per its original materialise-everything design.
+  {
+    const auto& idx = ras.fatal_indices();
+    r.filtered.fatal_events.reserve(idx.size());
+    for (const std::size_t i : idx) r.filtered.fatal_events.push_back(ras[i]);
+  }
+  const auto& fatal = r.filtered.fatal_events;
+  const auto& all_jobs = jobs.jobs();
+  const bool causality = config.filters.enable_causality;
+
+  // Job terminations in end-time order (ties by index; per-group match sets
+  // are index-sorted downstream, so the tie rule cannot change results).
+  // The order is likewise prebuilt at ingest.
+  const std::vector<std::size_t>& by_end = jobs.by_end_time();
+
+  // Shard plan: cuts only at quiesce gaps, so shard concatenation is exact.
+  ShardPlan plan;
+  if (config.shards > 1 && fatal.size() >= 2) {
+    std::vector<TimePoint> times;
+    times.reserve(fatal.size());
+    for (const auto& ev : fatal) times.push_back(ev.event_time);
+    const Usec quiesce =
+        quiesce_gap(config.filters.temporal.threshold, config.filters.spatial.threshold,
+                    causality ? config.filters.causality.window : 0, config.match_window);
+    plan = plan_shards(times, config.shards, quiesce);
+  }
+  const std::size_t nshards = plan.shard_count();
+  r.shards_used = nshards;
+
+  // Per-shard half-open index ranges over the fatal records and the
+  // end-ordered job list.
+  std::vector<std::size_t> fatal_begin(nshards + 1, 0);
+  std::vector<std::size_t> ends_begin(nshards + 1, 0);
+  fatal_begin[nshards] = fatal.size();
+  ends_begin[nshards] = by_end.size();
+  for (std::size_t s = 1; s < nshards; ++s) {
+    const TimePoint cut = plan.cuts[s - 1];
+    fatal_begin[s] = static_cast<std::size_t>(
+        std::partition_point(fatal.begin(), fatal.end(),
+                             [cut](const ras::RasEvent& ev) { return ev.event_time < cut; }) -
+        fatal.begin());
+    ends_begin[s] = static_cast<std::size_t>(
+        std::partition_point(by_end.begin(), by_end.end(),
+                             [&all_jobs, cut](std::size_t j) {
+                               return all_jobs[j].end_time < cut;
+                             }) -
+        by_end.begin());
+  }
+
+  std::vector<ShardOutput> shard(nshards);
+  const auto run_sharded = [&](auto&& body) {
+    if (nshards > 1 && config.pool != nullptr && config.pool->thread_count() > 1) {
+      par::parallel_for_chunks(nshards, 1, body, config.pool);
+    } else {
+      body(std::size_t{0}, nshards);
+    }
+  };
+
+  // ---- Phase 1: temporal -> spatial coalescing, pair mining tapped off the
+  // spatial output, groups buffered for phase 2 (one pass over the log). ----
+  run_sharded([&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      GroupBuffer buffer;
+      StreamingFilter::Options opt;
+      opt.temporal = config.filters.temporal;
+      opt.spatial = config.filters.spatial;
+      opt.causality = config.filters.causality;
+      opt.mine_pairs = causality;
+      StreamingFilter filter(std::move(opt), buffer);
+      for (std::size_t i = fatal_begin[s]; i < fatal_begin[s + 1]; ++i) {
+        filter.on_ras(fatal[i].event_time, fatal[i], i);
+      }
+      filter.flush();
+      ShardOutput& out = shard[s];
+      out.spatial_groups = std::move(buffer.groups);
+      if (filter.miner() != nullptr) out.counts = filter.miner()->take_counts();
+      out.temporal_out = filter.temporal().out_count();
+      out.spatial_out = filter.spatial().out_count();
+      out.peak_phase1 = filter.peak_buffered();
+    }
+  });
+
+  // ---- Merge mined counts; min-support is global, so acceptance must run
+  // on the merged table (no co-occurrence spans a quiesce cut). ----
+  if (causality) {
+    PairMiner::Counts total;
+    for (ShardOutput& s : shard) {
+      PairMiner::merge_counts(total, s.counts);
+      s.counts.clear();
+    }
+    r.filtered.causal_pairs = PairMiner::accept(total, config.filters.causality.min_support);
+  }
+
+  // ---- Phase 2: [causality ->] windowed matcher, merge-walking buffered
+  // groups against job terminations in end-time order. ----
+  run_sharded([&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      ShardOutput& out = shard[s];
+      StreamingMatcher matcher(config.match_window,
+                               [&out](StreamingMatcher::GroupMatch&& m) {
+                                 out.final_groups.push_back(std::move(m.group));
+                                 out.matched_jobs.push_back(std::move(m.jobs));
+                               });
+      std::optional<CausalityCoalescer> caus;
+      GroupSink* sink = &matcher;
+      if (causality) {
+        caus.emplace(config.filters.causality.window, r.filtered.causal_pairs, &matcher);
+        sink = &*caus;
+      }
+      std::span<StreamGroup> groups(out.spatial_groups);
+      std::size_t gi = 0;
+      for (std::size_t k = ends_begin[s]; k < ends_begin[s + 1]; ++k) {
+        const joblog::JobRecord& job = all_jobs[by_end[k]];
+        while (gi < groups.size() && groups[gi].rep_time <= job.end_time) {
+          sink->on_group(std::move(groups[gi]));
+          ++gi;
+        }
+        // Every group at or before this termination has been delivered, so
+        // the matcher may evict job ends that fell out of all match windows.
+        sink->on_watermark(job.end_time);
+        matcher.on_job_end(job.end_time, job, by_end[k]);
+      }
+      for (; gi < groups.size(); ++gi) sink->on_group(std::move(groups[gi]));
+      sink->flush();  // cascades into the matcher
+      out.peak_phase2 = matcher.peak_buffered() + (caus ? caus->peak_chains() : 0);
+      out.spatial_groups.clear();
+      out.spatial_groups.shrink_to_fit();
+    }
+  });
+
+  // ---- Deterministic merge: shard order equals time order, so plain
+  // concatenation reproduces the batch group order. ----
+  std::size_t temporal_total = 0, spatial_total = 0, groups_total = 0;
+  for (const ShardOutput& s : shard) {
+    temporal_total += s.temporal_out;
+    spatial_total += s.spatial_out;
+    groups_total += s.final_groups.size();
+  }
+  r.filtered.stages.push_back({"raw FATAL records", fatal.size(), fatal.size()});
+  r.filtered.stages.push_back({"temporal", fatal.size(), temporal_total});
+  r.filtered.stages.push_back({"spatial", temporal_total, spatial_total});
+  if (causality) {
+    r.filtered.stages.push_back({"causality", spatial_total, groups_total});
+  }
+
+  r.filtered.groups.reserve(groups_total);
+  r.matches.jobs_by_group.reserve(groups_total);
+  for (ShardOutput& s : shard) {
+    for (std::size_t i = 0; i < s.final_groups.size(); ++i) {
+      r.filtered.groups.push_back(to_event_group(s.final_groups[i]));
+      r.matches.jobs_by_group.push_back(std::move(s.matched_jobs[i]));
+    }
+    s.final_groups.clear();
+    s.matched_jobs.clear();
+  }
+
+  // Global job assignment: a job belongs to its *first* matching group in
+  // global group order — the exact batch phase 2, run at merge time so a job
+  // near a shard boundary cannot be claimed twice.
+  r.matches.group_by_job.assign(all_jobs.size(), std::nullopt);
+  for (std::size_t g = 0; g < r.matches.jobs_by_group.size(); ++g) {
+    for (std::size_t job_idx : r.matches.jobs_by_group[g]) {
+      if (!r.matches.group_by_job[job_idx]) {
+        r.matches.group_by_job[job_idx] = g;
+        r.matches.interruptions.push_back({g, job_idx, all_jobs[job_idx].end_time});
+      }
+    }
+  }
+  std::sort(r.matches.interruptions.begin(), r.matches.interruptions.end(),
+            [](const core::Interruption& a, const core::Interruption& b) {
+              return a.time < b.time;
+            });
+
+  for (const ShardOutput& s : shard) {
+    r.peak_stage_state = std::max({r.peak_stage_state, s.peak_phase1, s.peak_phase2});
+  }
+  return r;
+}
+
+}  // namespace coral::stream

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+
+#include "coral/common/parallel.hpp"
+#include "coral/core/matching.hpp"
+#include "coral/filter/pipeline.hpp"
+#include "coral/joblog/log.hpp"
+#include "coral/ras/log.hpp"
+#include "coral/stream/shard.hpp"
+
+namespace coral::stream {
+
+/// Configuration of the streaming front-end (filtering + matching).
+struct FrontEndConfig {
+  filter::FilterPipelineConfig filters;
+  Usec match_window = 120 * kUsecPerSec;
+  /// Target shard count for time-axis parallelism. Shards are cut only at
+  /// quiesce gaps (see shard.hpp), so results are exact for any value; 1
+  /// disables sharding.
+  int shards = 1;
+  /// Worker pool for running shards concurrently (ignored with 1 shard).
+  par::ThreadPool* pool = nullptr;
+};
+
+/// The streaming front-end's output, assembled into the batch
+/// representations so the downstream (batch) analyses run unchanged.
+struct FrontEndResult {
+  filter::FilterPipelineResult filtered;
+  core::MatchResult matches;
+  std::size_t shards_used = 1;
+  /// Largest simultaneously buffered stage state (chains + pending groups +
+  /// buffered job ends) across shards — bounded by the windows, not the log.
+  std::size_t peak_stage_state = 0;
+};
+
+/// Run the filtering + matching methodology as streaming stages with
+/// bounded windowed state, optionally sharded over the time axis on `pool`,
+/// and merge deterministically. Produces byte-identical FilterPipelineResult
+/// and MatchResult to the batch run_filter_pipeline + match_interruptions
+/// pair (see DESIGN.md "Streaming architecture" for the argument).
+///
+/// Two phases when causality filtering is enabled, because causal-pair
+/// support is a *global* min-support threshold: phase 1 streams FATAL
+/// records through temporal -> spatial coalescing with a windowed pair
+/// miner tapping the output (per-shard counts merge exactly — no
+/// co-occurrence spans a quiesce cut); phase 2 streams the buffered
+/// spatial groups through causality coalescing into the windowed matcher,
+/// merge-walked against job terminations in end-time order.
+FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobLog& jobs,
+                                      const FrontEndConfig& config);
+
+}  // namespace coral::stream

@@ -1,0 +1,118 @@
+#include "coral/stream/filter_stages.hpp"
+
+namespace coral::stream {
+
+void CausalityCoalescer::on_group(StreamGroup&& g) {
+  ++in_count_;
+  const TimePoint now = g.rep_time;
+  emit_ready(now);
+
+  if (const auto pit = partner_.find(g.errcode); pit != partner_.end()) {
+    // Merge into the most recent partner leader within the window. Iterating
+    // the partner set ascending with a strict `>` comparison reproduces the
+    // batch filter's tie-break (first partner code wins equal times).
+    std::size_t best_seq = 0;
+    TimePoint best_time;
+    bool found = false;
+    for (ras::ErrcodeId p : pit->second) {
+      const auto oit = open_.find(p);
+      if (oit == open_.end() || oit->second < first_seq_) continue;
+      const StreamGroup& leader = chains_[oit->second - first_seq_];
+      if (now - leader.rep_time > window_span_) continue;
+      if (!found || leader.rep_time > best_time) {
+        found = true;
+        best_time = leader.rep_time;
+        best_seq = oit->second;
+      }
+    }
+    if (found) {
+      absorb(chains_[best_seq - first_seq_], std::move(g));
+      forward_watermark(now);
+      return;
+    }
+  }
+  // Leaders do not renew: `open_` tracks the latest unmerged group per code,
+  // exactly the batch filter's `open` map.
+  auto [it, inserted] = open_.try_emplace(g.errcode, next_seq_);
+  if (!inserted) it->second = next_seq_;
+  chains_.push_back(std::move(g));
+  ++next_seq_;
+  if (chains_.size() > peak_chains_) peak_chains_ = chains_.size();
+  forward_watermark(now);
+}
+
+void CausalityCoalescer::on_watermark(TimePoint low) {
+  emit_ready(low);
+  forward_watermark(low);
+}
+
+void CausalityCoalescer::flush() {
+  while (!chains_.empty()) emit_front();
+  out_->flush();
+}
+
+void CausalityCoalescer::emit_front() {
+  out_->on_group(std::move(chains_.front()));
+  chains_.pop_front();
+  ++first_seq_;
+  ++out_count_;
+}
+
+void CausalityCoalescer::emit_ready(TimePoint now) {
+  // A leader is final once `now` passes rep_time + window: later groups fail
+  // the merge window against it. Emit from the front only (creation order).
+  while (!chains_.empty() && now - chains_.front().rep_time > window_span_) emit_front();
+}
+
+void CausalityCoalescer::forward_watermark(TimePoint now) {
+  out_->on_watermark(chains_.empty() ? now : chains_.front().rep_time);
+}
+
+StreamingFilter::StreamingFilter(Options options, GroupSink& out)
+    : options_(std::move(options)) {
+  // Wire the chain tail-first so each stage holds a stable pointer to the
+  // next.
+  GroupSink* next = &out;
+  if (!options_.pairs.empty()) {
+    causality_ = std::make_unique<CausalityCoalescer>(options_.causality.window,
+                                                      options_.pairs, next);
+    next = causality_.get();
+  }
+  if (options_.mine_pairs) {
+    miner_ = std::make_unique<PairMiner>(options_.causality.window, next);
+    next = miner_.get();
+  }
+  spatial_ = std::make_unique<SpatialCoalescer>(options_.spatial.threshold, next);
+  temporal_ = std::make_unique<TemporalCoalescer>(options_.temporal.threshold, spatial_.get());
+}
+
+void StreamingFilter::on_ras(TimePoint t, const ras::RasEvent& event,
+                             std::size_t event_index) {
+  (void)t;
+  ++raw_count_;
+  StreamGroup g;
+  g.rep = event_index;
+  g.rep_time = event.event_time;
+  g.errcode = event.errcode;
+  g.rep_location = event.location;
+  temporal_->on_group(std::move(g));
+}
+
+void StreamingFilter::on_job_start(TimePoint t, const joblog::JobRecord&, std::size_t) {
+  temporal_->on_watermark(t);
+}
+
+void StreamingFilter::on_job_end(TimePoint t, const joblog::JobRecord&, std::size_t) {
+  temporal_->on_watermark(t);
+}
+
+void StreamingFilter::flush() { temporal_->flush(); }
+
+std::size_t StreamingFilter::peak_buffered() const {
+  std::size_t peak = temporal_->peak_chains() + spatial_->peak_chains();
+  if (miner_) peak += miner_->peak_window();
+  if (causality_) peak += causality_->peak_chains();
+  return peak;
+}
+
+}  // namespace coral::stream

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "coral/stream/stage.hpp"
+
+namespace coral::stream {
+
+/// Streaming RAS<->job matcher: a sliding +/-window join between finalized
+/// event groups (from the filter chain, via the GroupSink side) and job
+/// terminations (from the event stream, via the Stage side), keyed by
+/// partition/location overlap.
+///
+/// Buffers are window-bounded on both sides:
+///  - a pending group resolves once the event clock passes rep_time +
+///    window (every job end that could match has then been seen);
+///  - a buffered job end is evicted once the *group low-watermark* (the
+///    earliest representative time any future group can carry, propagated
+///    by the upstream stages via on_watermark) passes end_time + window.
+///
+/// Matches are emitted in group order with ascending job indices — exactly
+/// the per-group vectors of the batch match_interruptions phase 1.
+class StreamingMatcher : public Stage, public GroupSink {
+ public:
+  struct GroupMatch {
+    StreamGroup group;
+    std::vector<std::size_t> jobs;  ///< interrupted job indices, ascending
+  };
+  using Handler = std::function<void(GroupMatch&&)>;
+
+  StreamingMatcher(Usec window, Handler on_match)
+      : window_(window), on_match_(std::move(on_match)) {}
+
+  // Stage side: the merged event stream.
+  void on_job_start(TimePoint t, const joblog::JobRecord& job, std::size_t job_index) override;
+  void on_ras(TimePoint t, const ras::RasEvent& event, std::size_t event_index) override;
+  void on_job_end(TimePoint t, const joblog::JobRecord& job, std::size_t job_index) override;
+
+  // GroupSink side: finalized groups from the filter chain.
+  void on_group(StreamGroup&& g) override;
+  void on_watermark(TimePoint low) override;
+
+  /// End of stream (both roles): resolve every pending group.
+  void flush() override;
+
+  std::size_t groups_out() const { return groups_out_; }
+  /// Largest simultaneously buffered state (job ends + pending groups).
+  std::size_t peak_buffered() const { return peak_buffered_; }
+
+ private:
+  struct JobEnd {
+    TimePoint end;
+    TimePoint start;
+    std::size_t job;
+    bgp::Partition partition;
+  };
+
+  void advance(TimePoint t);
+  void resolve();
+  void emit_front();
+  void evict();
+  void note_peak() {
+    const std::size_t s = ends_.size() + pending_.size();
+    if (s > peak_buffered_) peak_buffered_ = s;
+  }
+
+  Usec window_;
+  Handler on_match_;
+  std::deque<JobEnd> ends_;         ///< sorted by end time (arrival order)
+  std::deque<StreamGroup> pending_; ///< groups awaiting resolution, in order
+  TimePoint watermark_{std::numeric_limits<Usec>::min()};
+  TimePoint group_low_{std::numeric_limits<Usec>::min()};
+  bool group_low_known_ = false;
+  std::size_t groups_out_ = 0;
+  std::size_t peak_buffered_ = 0;
+};
+
+}  // namespace coral::stream

@@ -1,0 +1,56 @@
+#include "coral/stream/shard.hpp"
+
+#include <algorithm>
+
+namespace coral::stream {
+
+std::size_t ShardPlan::shard_of(TimePoint t) const {
+  const auto it = std::upper_bound(cuts.begin(), cuts.end(), t);
+  return static_cast<std::size_t>(it - cuts.begin());
+}
+
+Usec quiesce_gap(Usec temporal_threshold, Usec spatial_threshold, Usec causality_window,
+                 Usec match_window) {
+  return std::max({temporal_threshold, spatial_threshold, causality_window,
+                   2 * match_window + 1});
+}
+
+ShardPlan plan_shards(std::span<const TimePoint> fatal_times, int target_shards,
+                      Usec quiesce) {
+  ShardPlan plan;
+  if (target_shards <= 1 || fatal_times.size() < 2) return plan;
+
+  // Candidate cuts: midpoints of gaps strictly larger than the quiesce gap.
+  std::vector<TimePoint> candidates;
+  for (std::size_t i = 1; i < fatal_times.size(); ++i) {
+    const Usec gap = fatal_times[i] - fatal_times[i - 1];
+    if (gap > quiesce) candidates.push_back(fatal_times[i - 1] + gap / 2);
+  }
+  if (candidates.empty()) return plan;
+
+  // Greedily pick the candidate nearest each ideal (evenly spaced) cut,
+  // keeping cuts strictly increasing.
+  const TimePoint first = fatal_times.front();
+  const Usec span = fatal_times.back() - first;
+  std::size_t next_candidate = 0;
+  for (int k = 1; k < target_shards; ++k) {
+    const TimePoint ideal =
+        first + span * static_cast<Usec>(k) / static_cast<Usec>(target_shards);
+    auto it = std::lower_bound(candidates.begin() + static_cast<std::ptrdiff_t>(next_candidate),
+                               candidates.end(), ideal);
+    // The nearest usable candidate is `it` or its predecessor (if unused).
+    if (it != candidates.end() &&
+        (it == candidates.begin() + static_cast<std::ptrdiff_t>(next_candidate) ||
+         ideal - *(it - 1) > *it - ideal)) {
+      // keep `it`
+    } else if (it != candidates.begin() + static_cast<std::ptrdiff_t>(next_candidate)) {
+      --it;
+    }
+    if (it == candidates.end()) break;
+    plan.cuts.push_back(*it);
+    next_candidate = static_cast<std::size_t>(it - candidates.begin()) + 1;
+  }
+  return plan;
+}
+
+}  // namespace coral::stream

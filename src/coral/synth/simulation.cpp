@@ -324,11 +324,14 @@ class Simulation {
         bug_alive_[static_cast<std::size_t>(j.app)] = false;
       }
     } else if (ev.count_new_manifestation) {
-      // Persistent-fault re-hit: new records, same underlying fault.
-      const auto& orig = truth_.faults[static_cast<std::size_t>(truth_id)];
+      // Persistent-fault re-hit: new records, same underlying fault. Copy the
+      // original's fields: add_truth appends to truth_.faults, so a reference
+      // into it would dangle across the call.
+      const bgp::Location orig_loc = truth_.faults[static_cast<std::size_t>(truth_id)].location;
+      const FaultNature orig_nature = truth_.faults[static_cast<std::size_t>(truth_id)].nature;
       const std::int32_t rehit_id =
-          add_truth(ev.t, ev.code, orig.location, orig.nature, true, truth_id);
-      emit_storm(ev.t, ev.code, orig.location, j.part, rehit_id);
+          add_truth(ev.t, ev.code, orig_loc, orig_nature, true, truth_id);
+      emit_storm(ev.t, ev.code, orig_loc, j.part, rehit_id);
       truth_id = rehit_id;
     }
 

@@ -2,6 +2,8 @@
 
 #include <limits>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "coral/core/feed.hpp"
 #include "coral/synth/intrepid.hpp"
@@ -91,6 +93,63 @@ TEST(EventFeed, OccupancyTrackingSeesKillsWhileJobRuns) {
   feed.replay();
   EXPECT_GT(fatal_total, 0u);
   EXPECT_GT(fatal_during_jobs, 0u);
+}
+
+TEST(EventFeed, WindowedReplayPinsTieBreakOrder) {
+  // The documented tie-break at a shared timestamp is: job starts, then RAS
+  // records, then job ends. Build a pair where every RAS record collides
+  // with a job transition and pin the exact delivery sequence.
+  const TimePoint t0(1000), t1(3000), t2(5000);
+
+  ras::RasLog ras_log;
+  for (const TimePoint t : {t0, t1, t2}) {
+    ras::RasEvent ev;
+    ev.event_time = t;
+    ev.location = bgp::Location::parse("R04-M0");
+    ev.severity = ras::Severity::Fatal;
+    ras_log.append(ev);
+  }
+  ras_log.finalize();
+
+  joblog::JobLog jobs;
+  joblog::JobRecord a;
+  a.job_id = 1;
+  a.exec_id = jobs.intern_exec("/bin/app");
+  a.user_id = jobs.intern_user("user0");
+  a.project_id = jobs.intern_project("proj0");
+  a.queue_time = t0;
+  a.start_time = t0;
+  a.end_time = t1;
+  a.partition = bgp::Partition::parse("R04-M0");
+  joblog::JobRecord b = a;
+  b.job_id = 2;
+  b.start_time = t1;
+  b.end_time = t2;
+  jobs.append(a);
+  jobs.append(b);
+  jobs.finalize();
+
+  std::vector<std::string> order;
+  EventFeed feed(ras_log, jobs);
+  feed.on_job_start([&](TimePoint, const EventFeed::JobStart& e) {
+    order.push_back("start" + std::to_string(e.job->job_id));
+  });
+  feed.on_job_end([&](TimePoint, const EventFeed::JobEnd& e) {
+    order.push_back("end" + std::to_string(e.job->job_id));
+  });
+  feed.on_ras([&](TimePoint t, const EventFeed::RasRecord&) {
+    order.push_back("ras@" + std::to_string(t - t0));
+  });
+
+  const std::vector<std::string> expected{
+      "start1", "ras@0", "start2", "ras@2000", "end1", "ras@4000", "end2"};
+  feed.replay(t0, t2 + 1);
+  EXPECT_EQ(order, expected);
+
+  // The whole-pair replay applies the same tie-break.
+  order.clear();
+  feed.replay();
+  EXPECT_EQ(order, expected);
 }
 
 TEST(EventFeed, NoHandlersIsEmptyReplay) {

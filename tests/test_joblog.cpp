@@ -46,6 +46,25 @@ TEST(JobLog, SummaryCountsDistinctAndResubmitted) {
   EXPECT_EQ(s.projects, 1u);
 }
 
+TEST(JobLog, ByEndTimeOrdersTerminationsWithIndexTieBreak) {
+  JobLog log;
+  log.append(make_job(log, 1, "appA", "u1", "p1", 1000, 5000, "R00-M0"));
+  log.append(make_job(log, 2, "appB", "u1", "p1", 2000, 3000, "R00-M0"));
+  log.append(make_job(log, 3, "appC", "u1", "p1", 2500, 3000, "R01"));  // end tie with job 2
+  log.finalize();
+
+  // Jobs are start-sorted, so indices 0..2 are ids 1..3; terminations come
+  // end-sorted with ties broken by index.
+  const std::vector<std::size_t>& by_end = log.by_end_time();
+  ASSERT_EQ(by_end.size(), 3u);
+  EXPECT_EQ(log[by_end[0]].job_id, 2);
+  EXPECT_EQ(log[by_end[1]].job_id, 3);
+  EXPECT_EQ(log[by_end[2]].job_id, 1);
+  for (std::size_t i = 1; i < by_end.size(); ++i) {
+    EXPECT_LE(log[by_end[i - 1]].end_time, log[by_end[i]].end_time);
+  }
+}
+
 TEST(JobLog, RunningAtLocationMatching) {
   JobLog log;
   log.append(make_job(log, 1, "appA", "u1", "p1", 1000, 2000, "R00-M0"));

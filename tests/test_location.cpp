@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+
 #include "coral/bgp/partition.hpp"
 #include "coral/common/error.hpp"
 
@@ -73,6 +76,30 @@ TEST(Location, TouchesMidplane) {
   EXPECT_FALSE(Location::parse("R04").touches_midplane(10));
   EXPECT_TRUE(Location::parse("R04-M1-N03-J11").touches_midplane(9));
   EXPECT_FALSE(Location::parse("R04-M1-N03-J11").touches_midplane(8));
+}
+
+TEST(Location, ParseStringViewSubrangeOfCsvRow) {
+  // The ingest paths hand parse() an unterminated slice of a CSV line; it
+  // must behave exactly like the owned-string overload.
+  const std::string row = "R12-M0-N15-J35,FATAL,rest-of-row";
+  const std::string_view field = std::string_view(row).substr(0, 14);
+  EXPECT_EQ(Location::parse(field).to_string(), "R12-M0-N15-J35");
+  EXPECT_EQ(Location::parse(field).packed(), Location::parse(std::string(field)).packed());
+}
+
+TEST(Location, ParseStringViewRejectsInvalid) {
+  EXPECT_THROW(Location::parse(std::string_view{}), ParseError);
+  EXPECT_THROW(Location::parse(std::string_view("R04-M2")), ParseError);
+  const std::string row = "R04-M0-N00-J03|";
+  EXPECT_THROW(Location::parse(std::string_view(row).substr(0, 14)), ParseError);
+}
+
+TEST(Partition, ParseStringViewSubrangeOfCsvRow) {
+  const std::string row = "R08-R11,1234,exe";
+  const Partition p = Partition::parse(std::string_view(row).substr(0, 7));
+  EXPECT_EQ(p, Partition::parse("R08-R11"));
+  EXPECT_THROW(Partition::parse(std::string_view("R11-R10")), ParseError);
+  EXPECT_THROW(Partition::parse(std::string_view{}), ParseError);
 }
 
 TEST(Partition, LegalSizesMatchTableVI) {

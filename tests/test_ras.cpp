@@ -132,6 +132,34 @@ TEST(RasLog, SummaryCountsSeverities) {
   EXPECT_EQ(s.fatal_by_component.at(Component::Kernel), 2u);
 }
 
+TEST(RasLog, FatalIndicesMatchFatalEvents) {
+  RasLog log;
+  log.append(make_event(codes::kRasStormFatal, "2009-01-05-01.00.00", "R01-M0-N00-J04"));
+  log.append(make_event("ecc_correctable", "2009-01-05-02.00.00", "R02-M1-N01-J06"));
+  log.append(make_event(codes::kBulkPowerFatal, "2009-01-05-03.00.00", "R01"));
+  log.append(make_event("ecc_correctable", "2009-01-05-04.00.00", "R02-M1-N01-J06"));
+  log.finalize();
+
+  const std::vector<std::size_t>& idx = log.fatal_indices();
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 2u);
+
+  // Gathering through the index reproduces the scan-based copy exactly.
+  const std::vector<RasEvent> scanned = log.fatal_events();
+  ASSERT_EQ(scanned.size(), idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_EQ(log[idx[i]].recid, scanned[i].recid);
+    EXPECT_EQ(log[idx[i]].event_time, scanned[i].event_time);
+  }
+
+  // The index tracks re-finalization after further appends.
+  log.append(make_event(codes::kRasStormFatal, "2009-01-05-00.30.00", "R01-M0-N00-J04"));
+  log.finalize();
+  EXPECT_EQ(log.fatal_indices().size(), 3u);
+  EXPECT_EQ(log.fatal_indices()[0], 0u);  // new earliest fatal sorted to front
+}
+
 TEST(RasLog, RangeQueries) {
   RasLog log;
   for (int h = 0; h < 10; ++h) {

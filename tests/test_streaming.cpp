@@ -1,0 +1,194 @@
+// The streaming engine must be *indistinguishable* from the batch engine:
+// identical groups, stage stats, causal pairs, interruption lists,
+// classification counts and fitted distributions — single-shard and sharded.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coral/core/pipeline.hpp"
+#include "coral/stream/coanalysis.hpp"
+#include "coral/stream/filter_stages.hpp"
+#include "coral/stream/shard.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace coral {
+namespace {
+
+const synth::SynthResult& data() {
+  static const synth::SynthResult result = synth::generate(synth::small_scenario(51, 30));
+  return result;
+}
+
+core::CoAnalysisConfig engine_config(core::Engine engine, int shards = 1,
+                                     par::ThreadPool* pool = nullptr) {
+  core::CoAnalysisConfig config;
+  config.execution.engine = engine;
+  config.execution.shards = shards;
+  config.pool = pool;
+  return config;
+}
+
+void expect_identical(const core::CoAnalysisResult& a, const core::CoAnalysisResult& b) {
+  // Filtered groups: same representatives, same member lists, same order.
+  ASSERT_EQ(a.filtered.groups.size(), b.filtered.groups.size());
+  for (std::size_t i = 0; i < a.filtered.groups.size(); ++i) {
+    EXPECT_EQ(a.filtered.groups[i].rep, b.filtered.groups[i].rep) << "group " << i;
+    EXPECT_EQ(a.filtered.groups[i].members, b.filtered.groups[i].members) << "group " << i;
+  }
+  EXPECT_EQ(a.filtered.causal_pairs, b.filtered.causal_pairs);
+  ASSERT_EQ(a.filtered.stages.size(), b.filtered.stages.size());
+  for (std::size_t i = 0; i < a.filtered.stages.size(); ++i) {
+    EXPECT_EQ(a.filtered.stages[i].name, b.filtered.stages[i].name);
+    EXPECT_EQ(a.filtered.stages[i].input, b.filtered.stages[i].input);
+    EXPECT_EQ(a.filtered.stages[i].output, b.filtered.stages[i].output);
+  }
+
+  // Matching: identical interruption list and both index maps.
+  ASSERT_EQ(a.matches.interruptions.size(), b.matches.interruptions.size());
+  for (std::size_t i = 0; i < a.matches.interruptions.size(); ++i) {
+    EXPECT_EQ(a.matches.interruptions[i].group, b.matches.interruptions[i].group);
+    EXPECT_EQ(a.matches.interruptions[i].job, b.matches.interruptions[i].job);
+    EXPECT_EQ(a.matches.interruptions[i].time, b.matches.interruptions[i].time);
+  }
+  EXPECT_EQ(a.matches.jobs_by_group, b.matches.jobs_by_group);
+  EXPECT_EQ(a.matches.group_by_job, b.matches.group_by_job);
+
+  // Downstream classification and filtering.
+  EXPECT_EQ(a.identification.verdicts, b.identification.verdicts);
+  EXPECT_EQ(a.classification.system_type_count(), b.classification.system_type_count());
+  EXPECT_EQ(a.classification.application_type_count(),
+            b.classification.application_type_count());
+  EXPECT_EQ(a.classification.application_event_fraction,
+            b.classification.application_event_fraction);
+  EXPECT_EQ(a.job_filter.kept, b.job_filter.kept);
+  EXPECT_EQ(a.job_filter.redundant_to, b.job_filter.redundant_to);
+
+  // Census + fitted distributions, compared *exactly* (byte-identity).
+  EXPECT_EQ(a.system_interruptions, b.system_interruptions);
+  EXPECT_EQ(a.application_interruptions, b.application_interruptions);
+  EXPECT_EQ(a.distinct_interrupted_jobs, b.distinct_interrupted_jobs);
+  EXPECT_EQ(a.fatal_before_jobfilter.samples_sec, b.fatal_before_jobfilter.samples_sec);
+  EXPECT_EQ(a.fatal_before_jobfilter.weibull.shape(),
+            b.fatal_before_jobfilter.weibull.shape());
+  EXPECT_EQ(a.fatal_before_jobfilter.weibull.scale(),
+            b.fatal_before_jobfilter.weibull.scale());
+  EXPECT_EQ(a.fatal_after_jobfilter.weibull.shape(),
+            b.fatal_after_jobfilter.weibull.shape());
+  EXPECT_EQ(a.interruptions_system.weibull.shape(), b.interruptions_system.weibull.shape());
+  EXPECT_EQ(a.interruptions_system.exponential.rate(),
+            b.interruptions_system.exponential.rate());
+  EXPECT_EQ(a.interruptions_application.weibull.scale(),
+            b.interruptions_application.weibull.scale());
+
+  // Fig. 4 / Fig. 5 series.
+  EXPECT_EQ(a.interruptions_per_day, b.interruptions_per_day);
+  EXPECT_EQ(a.fatal_events_per_midplane, b.fatal_events_per_midplane);
+  EXPECT_EQ(a.workload_per_midplane, b.workload_per_midplane);
+  EXPECT_EQ(a.wide_workload_per_midplane, b.wide_workload_per_midplane);
+}
+
+TEST(StreamingEngine, SingleShardIdenticalToBatch) {
+  const auto batch =
+      core::run_coanalysis(data().ras, data().jobs, engine_config(core::Engine::Batch));
+  const auto streaming =
+      core::run_coanalysis(data().ras, data().jobs, engine_config(core::Engine::Streaming));
+  EXPECT_EQ(streaming.engine_used, core::Engine::Streaming);
+  EXPECT_EQ(streaming.shards_used, 1u);
+  expect_identical(batch, streaming);
+}
+
+TEST(StreamingEngine, FourShardsIdenticalToBatch) {
+  const auto batch =
+      core::run_coanalysis(data().ras, data().jobs, engine_config(core::Engine::Batch));
+  par::ThreadPool pool(4);
+  const auto sharded = core::run_coanalysis(data().ras, data().jobs,
+                                            engine_config(core::Engine::Streaming, 4, &pool));
+  EXPECT_GE(sharded.shards_used, 2u);  // a month of gaps: cuts must exist
+  EXPECT_LE(sharded.shards_used, 4u);
+  expect_identical(batch, sharded);
+}
+
+TEST(StreamingEngine, ShardedWithoutPoolStillIdentical) {
+  const auto batch =
+      core::run_coanalysis(data().ras, data().jobs, engine_config(core::Engine::Batch));
+  const auto sharded = core::run_coanalysis(data().ras, data().jobs,
+                                            engine_config(core::Engine::Streaming, 3));
+  expect_identical(batch, sharded);
+}
+
+TEST(StreamingEngine, DefaultConfigUsesStreaming) {
+  const auto r = core::run_coanalysis(data().ras, data().jobs);
+  EXPECT_EQ(r.engine_used, core::Engine::Streaming);
+}
+
+TEST(StreamingEngine, PeakStateBoundedByWindowsNotLogLength) {
+  const auto r = core::run_coanalysis(data().ras, data().jobs);
+  EXPECT_GT(r.peak_stage_state, 0u);
+  // The windowed working set must be far below the record count: the whole
+  // point of the streaming stages. (Batch holds all n groups at once.)
+  EXPECT_LT(r.peak_stage_state, r.filtered.fatal_events.size() / 2);
+}
+
+TEST(StreamingFrontEnd, MatchesBatchFilterAndMatcherDirectly) {
+  const auto filtered = filter::run_filter_pipeline(data().ras, {});
+  const auto matches = core::match_interruptions(filtered, data().jobs, {});
+
+  stream::FrontEndConfig config;
+  const auto front = stream::run_streaming_frontend(data().ras, data().jobs, config);
+
+  ASSERT_EQ(front.filtered.groups.size(), filtered.groups.size());
+  for (std::size_t i = 0; i < filtered.groups.size(); ++i) {
+    EXPECT_EQ(front.filtered.groups[i].rep, filtered.groups[i].rep);
+    EXPECT_EQ(front.filtered.groups[i].members, filtered.groups[i].members);
+  }
+  EXPECT_EQ(front.filtered.causal_pairs, filtered.causal_pairs);
+  EXPECT_EQ(front.matches.jobs_by_group, matches.jobs_by_group);
+  EXPECT_EQ(front.matches.group_by_job, matches.group_by_job);
+  ASSERT_EQ(front.matches.interruptions.size(), matches.interruptions.size());
+  for (std::size_t i = 0; i < matches.interruptions.size(); ++i) {
+    EXPECT_EQ(front.matches.interruptions[i].group, matches.interruptions[i].group);
+    EXPECT_EQ(front.matches.interruptions[i].job, matches.interruptions[i].job);
+  }
+}
+
+TEST(ShardPlan, CutsOnlyInsideQuiesceGaps) {
+  // Events in three bursts with two large gaps; quiesce smaller than the
+  // gaps, so both midpoints are candidates.
+  std::vector<TimePoint> times;
+  for (int burst = 0; burst < 3; ++burst) {
+    const TimePoint base(burst * 10'000'000);
+    for (int i = 0; i < 5; ++i) times.push_back(base + i * 100);
+  }
+  const auto plan = stream::plan_shards(times, 3, /*quiesce=*/1'000'000);
+  ASSERT_EQ(plan.cuts.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(plan.cuts.begin(), plan.cuts.end()));
+  for (const TimePoint cut : plan.cuts) {
+    // Every record is at least half a quiesce gap away from any cut.
+    for (const TimePoint t : times) {
+      EXPECT_GE(t < cut ? cut - t : t - cut, 500'000);
+    }
+  }
+  EXPECT_EQ(plan.shard_of(times.front()), 0u);
+  EXPECT_EQ(plan.shard_of(times.back()), 2u);
+}
+
+TEST(ShardPlan, NoQualifyingGapMeansOneShard) {
+  std::vector<TimePoint> times;
+  for (int i = 0; i < 100; ++i) times.push_back(TimePoint(i * 1000));
+  const auto plan = stream::plan_shards(times, 8, /*quiesce=*/1'000'000);
+  EXPECT_TRUE(plan.cuts.empty());
+  EXPECT_EQ(plan.shard_count(), 1u);
+}
+
+TEST(ShardPlan, QuiesceGapCoversEveryWindow) {
+  const Usec q = stream::quiesce_gap(300, 500, 120, 1000);
+  EXPECT_GE(q, 300);
+  EXPECT_GE(q, 500);
+  EXPECT_GE(q, 120);
+  // A qualifying gap is *strictly* larger than q, so its floored half-gap
+  // still exceeds the match window.
+  EXPECT_GT((q + 1) / 2, 1000);
+}
+
+}  // namespace
+}  // namespace coral
