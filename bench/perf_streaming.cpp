@@ -16,11 +16,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "coral/common/instrument.hpp"
 #include "coral/common/parallel.hpp"
+#include "coral/context.hpp"
 #include "coral/core/matching.hpp"
 #include "coral/core/pipeline.hpp"
 #include "coral/filter/pipeline.hpp"
@@ -38,6 +41,7 @@ struct ModeResult {
   std::size_t shards = 1;
   std::size_t peak_stage_state = 0;
   std::size_t interruptions = 0;
+  std::string stages_json = "[]";  ///< per-stage timings from the last rep
 };
 
 template <typename Fn>
@@ -113,11 +117,13 @@ int main(int argc, char** argv) {
       if (shards > 1) pool.emplace(par::configured_thread_count());
       stream::FrontEndConfig config;
       config.shards = shards;
-      config.pool = pool ? &*pool : nullptr;
-      const auto front = stream::run_streaming_frontend(data.ras, data.jobs, config);
+      RecordingSink sink;
+      const Context ctx = Context().with_pool(pool ? &*pool : nullptr).with_sink(&sink);
+      const auto front = stream::run_streaming_frontend(data.ras, data.jobs, config, ctx);
       m.interruptions = front.matches.interruptions.size();
       m.shards = front.shards_used;
       m.peak_stage_state = front.peak_stage_state;
+      m.stages_json = sink.to_json();
     };
     m.seconds = best_seconds(run, reps);
     m.peak_rss_kb = forked_peak_rss_kb(run);
@@ -146,6 +152,22 @@ int main(int argc, char** argv) {
   std::printf("  ],\n");
   std::printf("  \"nshard_vs_batch_speedup\": %.2f\n", nshard_rps / batch_rps);
   std::printf("}\n");
+
+  // Machine-readable per-stage timings (Context instrumentation) for CI
+  // trend tracking; one object per mode, stages from the last timed rep.
+  {
+    std::ofstream out("BENCH_streaming.json");
+    out << "{\n  \"bench\": \"perf_streaming\",\n  \"records\": " << records
+        << ",\n  \"modes\": [\n";
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      const ModeResult& m = modes[i];
+      out << "    {\"name\": \"" << m.name << "\", \"seconds\": " << m.seconds
+          << ", \"shards\": " << m.shards << ", \"stages\": " << m.stages_json << "}"
+          << (i + 1 < modes.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::fprintf(stderr, "stage timings written to BENCH_streaming.json\n");
+  }
 
   // The interruption lists must agree across every mode (byte-identity).
   for (const ModeResult& m : modes) {

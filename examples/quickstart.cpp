@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   // 2. Show one record of each log, Table II / Table III style.
   if (!data.ras.empty()) {
     const ras::RasEvent& ev = data.ras[data.ras.size() / 2];
-    const ras::ErrcodeInfo& info = ev.info();
+    const ras::ErrcodeInfo& info = ev.info(data.ras.catalog());
     std::printf("Example RAS record (Table II):\n");
     std::printf("  RECID        %lld\n", static_cast<long long>(ev.recid));
     std::printf("  MSG_ID       %s\n", info.msg_id.c_str());

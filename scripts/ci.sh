@@ -21,4 +21,17 @@ for preset in "${PRESETS[@]}"; do
   ctest --preset "$preset" -j "$JOBS"
 done
 
+# The concurrent multi-catalog tests must always run under ThreadSanitizer,
+# even when the caller asked for a subset of presets: they are the only
+# coverage of two Contexts racing through the full pipeline.
+case " ${PRESETS[*]} " in
+  *" tsan "*) ;;  # full tsan suite already ran above
+  *)
+    echo "==== [tsan] focused Context race check ===="
+    cmake --preset tsan
+    cmake --build --preset tsan -j "$JOBS" --target test_context
+    ctest --preset tsan -R 'Context' -j "$JOBS"
+    ;;
+esac
+
 echo "==== all presets green ===="

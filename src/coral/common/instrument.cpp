@@ -1,0 +1,40 @@
+#include "coral/common/instrument.hpp"
+
+#include "coral/common/strings.hpp"
+
+namespace coral {
+
+void RecordingSink::record(const StageSample& sample) {
+  std::lock_guard lock(mu_);
+  samples_.push_back(sample);
+}
+
+std::vector<StageSample> RecordingSink::samples() const {
+  std::lock_guard lock(mu_);
+  return samples_;
+}
+
+double RecordingSink::total_ms(std::string_view stage) const {
+  std::lock_guard lock(mu_);
+  double total = 0;
+  for (const StageSample& s : samples_) {
+    if (s.stage == stage) total += s.wall_ms;
+  }
+  return total;
+}
+
+std::string RecordingSink::to_json() const {
+  std::lock_guard lock(mu_);
+  std::string out = "[";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const StageSample& s = samples_[i];
+    out += strformat("%s{\"stage\": \"%s\", \"wall_ms\": %.3f, \"in\": %llu, \"out\": %llu}",
+                     i == 0 ? "" : ", ", s.stage.c_str(), s.wall_ms,
+                     static_cast<unsigned long long>(s.in),
+                     static_cast<unsigned long long>(s.out));
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace coral

@@ -9,30 +9,62 @@
 
 namespace coral::core {
 
+// Reads the deprecated CoAnalysisConfig::pool field until it is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+namespace {
+par::ThreadPool* resolve_pool(const CoAnalysisConfig& config, const Context& ctx) {
+  return config.pool != nullptr ? config.pool : ctx.pool();
+}
+}  // namespace
+#pragma GCC diagnostic pop
+
 CoAnalysisResult complete_coanalysis(filter::FilterPipelineResult filtered,
                                      MatchResult matches, const joblog::JobLog& jobs,
-                                     const CoAnalysisConfig& config) {
+                                     const CoAnalysisConfig& config, const Context& ctx) {
   CoAnalysisResult r;
   r.filtered = std::move(filtered);
   r.matches = std::move(matches);
 
+  InstrumentationSink* sink = ctx.sink();
+
   // Step 1 (continued): identify the interruption-related errcodes (§IV-A).
-  r.identification =
-      identify_interruption_related(r.filtered, r.matches, jobs, config.identification);
+  {
+    StageTimer timer(sink, "identification");
+    r.identification =
+        identify_interruption_related(r.filtered, r.matches, jobs, config.identification);
+    timer.counts(r.filtered.groups.size(), r.identification.verdicts.size());
+  }
 
   // Step 2: separate system failures from application errors (§IV-B).
-  r.classification = classify_causes(r.filtered, r.matches, r.identification, jobs,
-                                     config.classification);
+  {
+    StageTimer timer(sink, "classification");
+    r.classification = classify_causes(r.filtered, r.matches, r.identification, jobs,
+                                       config.classification);
+    timer.counts(r.identification.verdicts.size(), r.classification.by_code.size());
+  }
 
   // Step 3: job-related filtering (§IV-C).
-  r.job_filter =
-      job_related_filter(r.filtered, r.matches, r.classification, jobs, config.job_filter);
+  {
+    StageTimer timer(sink, "job_filter");
+    r.job_filter = job_related_filter(r.filtered, r.matches, r.classification, jobs,
+                                      config.job_filter);
+    timer.counts(r.filtered.groups.size(), r.job_filter.kept.size());
+  }
 
   // Characterization: propagation and vulnerability (§VI-C, §VI-D).
-  r.propagation = analyze_propagation(r.filtered, r.matches, jobs, config.propagation);
-  r.vulnerability =
-      analyze_vulnerability(r.filtered, r.matches, r.classification, jobs,
-                            config.vulnerability);
+  {
+    StageTimer timer(sink, "propagation");
+    r.propagation = analyze_propagation(r.filtered, r.matches, jobs, config.propagation);
+    timer.counts(r.matches.interruptions.size(), r.propagation.propagating_codes.size());
+  }
+  {
+    StageTimer timer(sink, "vulnerability");
+    r.vulnerability =
+        analyze_vulnerability(r.filtered, r.matches, r.classification, jobs,
+                              config.vulnerability);
+    timer.counts(r.matches.interruptions.size(), jobs.size());
+  }
 
   // Interarrival fits (§V-A, Table IV; Fig. 3), via the incremental
   // accumulators. Feeding in group order reproduces the batch series.
@@ -89,37 +121,43 @@ CoAnalysisResult complete_coanalysis(filter::FilterPipelineResult filtered,
 }
 
 CoAnalysisResult run_coanalysis(const ras::RasLog& ras, const joblog::JobLog& jobs,
-                                const CoAnalysisConfig& config) {
+                                const CoAnalysisConfig& config, const Context& ctx) {
   filter::FilterPipelineResult filtered;
   MatchResult matches;
   std::size_t shards_used = 1;
   std::size_t peak_state = 0;
+  par::ThreadPool* pool = resolve_pool(config, ctx);
 
   if (config.execution.engine == Engine::Streaming) {
     stream::FrontEndConfig fe;
     fe.filters = config.filters;
     fe.match_window = config.matching.window;
     fe.shards = config.execution.shards;
-    fe.pool = config.pool;
-    stream::FrontEndResult front = stream::run_streaming_frontend(ras, jobs, fe);
+    stream::FrontEndResult front =
+        stream::run_streaming_frontend(ras, jobs, fe, Context(ctx).with_pool(pool));
     filtered = std::move(front.filtered);
     matches = std::move(front.matches);
     shards_used = front.shards_used;
     peak_state = front.peak_stage_state;
   } else {
     // Step 0: temporal-spatial + causality filtering of FATAL records.
+    StageTimer filter_timer(ctx.sink(), "filter.batch");
     filter::FilterPipelineConfig filter_config = config.filters;
-    if (filter_config.causality.pool == nullptr) filter_config.causality.pool = config.pool;
+    if (filter_config.causality.pool == nullptr) filter_config.causality.pool = pool;
     filtered = filter::run_filter_pipeline(ras, filter_config);
+    filter_timer.counts(ras.size(), filtered.groups.size());
+    filter_timer.report();
 
     // Step 1: match fatal events against job terminations.
+    StageTimer match_timer(ctx.sink(), "matching");
     MatchConfig match_config = config.matching;
-    if (match_config.pool == nullptr) match_config.pool = config.pool;
+    if (match_config.pool == nullptr) match_config.pool = pool;
     matches = match_interruptions(filtered, jobs, match_config);
+    match_timer.counts(filtered.groups.size(), matches.interruptions.size());
   }
 
   CoAnalysisResult r =
-      complete_coanalysis(std::move(filtered), std::move(matches), jobs, config);
+      complete_coanalysis(std::move(filtered), std::move(matches), jobs, config, ctx);
   r.engine_used = config.execution.engine;
   r.shards_used = shards_used;
   r.peak_stage_state = peak_state;

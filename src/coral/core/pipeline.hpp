@@ -1,5 +1,6 @@
 #pragma once
 
+#include "coral/context.hpp"
 #include "coral/core/interarrival.hpp"
 #include "coral/core/propagation.hpp"
 #include "coral/core/vulnerability.hpp"
@@ -26,6 +27,11 @@ struct ExecutionConfig {
 };
 
 /// Every knob of the co-analysis, in one place.
+// The implicitly-defined constructors of this aggregate touch the deprecated
+// `pool` member; their diagnostics are attributed to the struct, so suppress
+// here. Direct reads/writes of `pool` in user code still warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct CoAnalysisConfig {
   filter::FilterPipelineConfig filters;
   MatchConfig matching;
@@ -35,11 +41,13 @@ struct CoAnalysisConfig {
   PropagationConfig propagation;
   VulnerabilityConfig vulnerability;
   ExecutionConfig execution;
-  /// Optional worker pool, forwarded to the data-parallel stages (shard
-  /// execution, causality mining, RAS↔job matching). Results are identical
-  /// either way.
+  /// Legacy worker-pool injection point. Select the pool via
+  /// coral::Context::with_pool instead; this field survives one deprecation
+  /// cycle for existing callers and, when set, still wins over the context.
+  [[deprecated("select the worker pool via coral::Context::with_pool")]]
   par::ThreadPool* pool = nullptr;
 };
+#pragma GCC diagnostic pop
 
 /// Complete output of the paper's methodology (Fig. 1) over one log pair.
 struct CoAnalysisResult {
@@ -87,13 +95,18 @@ struct CoAnalysisResult {
 /// streaming callers can complete a front-end they drove themselves.
 CoAnalysisResult complete_coanalysis(filter::FilterPipelineResult filtered,
                                      MatchResult matches, const joblog::JobLog& jobs,
-                                     const CoAnalysisConfig& config = {});
+                                     const CoAnalysisConfig& config = {},
+                                     const Context& ctx = {});
 
 /// Run the full co-analysis (all three methodology steps plus the §V/§VI
 /// characterization analyses) on a RAS log + job log pair. A thin
 /// composition: the configured engine produces the filtered groups and the
 /// RAS↔job matches, then complete_coanalysis derives everything else.
+/// The context supplies the worker pool for the data-parallel stages and
+/// the instrumentation sink for per-stage timings; results are identical
+/// with or without either.
 CoAnalysisResult run_coanalysis(const ras::RasLog& ras, const joblog::JobLog& jobs,
-                                const CoAnalysisConfig& config = {});
+                                const CoAnalysisConfig& config = {},
+                                const Context& ctx = {});
 
 }  // namespace coral::core

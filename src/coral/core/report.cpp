@@ -29,7 +29,8 @@ std::string render_filter_stages(const CoAnalysisResult& r) {
 }
 
 std::string render_observations(const CoAnalysisResult& r, const ras::RasLogSummary& ras,
-                                const joblog::JobLogSummary& jobs) {
+                                const joblog::JobLogSummary& jobs,
+                                const ras::Catalog& catalog) {
   std::string out;
   const auto obs = [&out](int n, const std::string& text) {
     out += strformat("Observation %2d: %s\n", n, text.c_str());
@@ -111,7 +112,7 @@ std::string render_observations(const CoAnalysisResult& r, const ras::RasLogSumm
   std::string prop_codes;
   for (ras::ErrcodeId code : r.propagation.propagating_codes) {
     if (!prop_codes.empty()) prop_codes += ", ";
-    prop_codes += ras::Catalog::instance().info(code).name;
+    prop_codes += catalog.info(code).name;
   }
   obs(8, strformat("spatial propagation is rare: %.2f%% of fatal events interrupt "
                    "multiple jobs (codes: %s)  [paper: 7.22%%; "

@@ -11,7 +11,8 @@ namespace coral::core {
 /// Render the 12-observation co-analysis report (the paper's highlighted
 /// observations, §IV–§VI) with the metric behind each observation.
 std::string render_observations(const CoAnalysisResult& r, const ras::RasLogSummary& ras,
-                                const joblog::JobLogSummary& jobs);
+                                const joblog::JobLogSummary& jobs,
+                                const ras::Catalog& catalog = ras::default_catalog());
 
 /// Render the filtering pipeline stage table (Fig. 1 flow with counts).
 std::string render_filter_stages(const CoAnalysisResult& r);

@@ -15,9 +15,9 @@ using ras::ErrcodeInfo;
 using ras::FaultNature;
 using ras::JobImpact;
 
-SystemFaultProcess::SystemFaultProcess(const FaultConfig& config, Rng rng)
-    : config_(config), rng_(rng) {
-  const Catalog& catalog = Catalog::instance();
+SystemFaultProcess::SystemFaultProcess(const FaultConfig& config, Rng rng,
+                                       const Catalog& catalog)
+    : config_(config), rng_(rng), catalog_(&catalog) {
   std::vector<double> weights[4];
   for (ErrcodeId id : catalog.fatal_ids()) {
     const ErrcodeInfo& info = catalog.info(id);
@@ -36,13 +36,15 @@ SystemFaultProcess::SystemFaultProcess(const FaultConfig& config, Rng rng)
     class_codes_[c].push_back(id);
     weights[c].push_back(info.weight);
   }
+  // Small custom catalogs may leave a trigger class with no codes; such a
+  // class simply never fires (its rate is forced to 0 below).
   for (std::size_t c = 0; c < 4; ++c) {
-    CORAL_EXPECTS(!class_codes_[c].empty());
-    class_samplers_[c] = DiscreteSampler(weights[c]);
+    if (!class_codes_[c].empty()) class_samplers_[c] = DiscreteSampler(weights[c]);
   }
 }
 
 double SystemFaultProcess::class_rate_per_usec(TriggerClass cls) const {
+  if (class_codes_[static_cast<std::size_t>(cls)].empty()) return 0;
   double per_day = 0;
   switch (cls) {
     case TriggerClass::Interrupting: per_day = config_.interrupting_rate_per_day; break;
@@ -127,7 +129,7 @@ bgp::Location location_on_midplane(LocationKind kind, MidplaneId mid, Rng& rng) 
 
 std::optional<bgp::Location> SystemFaultProcess::choose_location(const Trigger& trigger,
                                                                  const OccupancyView& view) {
-  const ErrcodeInfo& info = Catalog::instance().info(trigger.code);
+  const ErrcodeInfo& info = catalog_->info(trigger.code);
   std::vector<double> weights(Topology::kMidplanes, 0.0);
   double total = 0;
 

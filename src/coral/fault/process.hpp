@@ -74,7 +74,8 @@ struct OccupancyView {
 /// step because it depends on machine occupancy at the trigger time.
 class SystemFaultProcess {
  public:
-  SystemFaultProcess(const FaultConfig& config, Rng rng);
+  SystemFaultProcess(const FaultConfig& config, Rng rng,
+                     const ras::Catalog& catalog = ras::default_catalog());
 
   /// Next trigger strictly after `now`, or nullopt if it falls past `end`.
   std::optional<Trigger> next(TimePoint now, TimePoint end);
@@ -104,6 +105,7 @@ class SystemFaultProcess {
 
   FaultConfig config_;
   Rng rng_;
+  const ras::Catalog* catalog_;
   // Degraded-state machine.
   bool degraded_ = false;
   TimePoint state_until_;

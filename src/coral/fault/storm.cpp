@@ -10,13 +10,14 @@ using ras::Catalog;
 using ras::ErrcodeId;
 using ras::ErrcodeInfo;
 
-StormModel::StormModel(const StormConfig& config) : config_(config) {}
+StormModel::StormModel(const StormConfig& config, const Catalog& catalog)
+    : config_(config), catalog_(&catalog) {}
 
-std::optional<ErrcodeId> StormModel::cascade_partner(ErrcodeId primary) {
+std::optional<ErrcodeId> StormModel::cascade_partner(ErrcodeId primary,
+                                                     const Catalog& c) {
   // Causally coupled pairs: a primary fatal drags a correlated secondary
   // fatal at the same location. Kept small and static — these are the
   // frequent co-occurring sets the causality filter mines.
-  const Catalog& c = Catalog::instance();
   static const std::pair<const char*, const char*> kPairs[] = {
       {ras::codes::kRasStormFatal, "_bgp_err_kernel_panic"},
       {ras::codes::kDdrController, "_bgp_err_l3_ecc_fatal"},
@@ -33,7 +34,7 @@ std::optional<ErrcodeId> StormModel::cascade_partner(ErrcodeId primary) {
 
 void StormModel::expand(const Manifestation& m, Rng& rng,
                         std::vector<TaggedEvent>& out) const {
-  const Catalog& catalog = Catalog::instance();
+  const Catalog& catalog = *catalog_;
   const ErrcodeInfo& info = catalog.info(m.code);
 
   const auto emit = [&](ras::ErrcodeId code, TimePoint t, const bgp::Location& loc) {
@@ -82,7 +83,7 @@ void StormModel::expand(const Manifestation& m, Rng& rng,
 
   // Causal cascade: a correlated secondary errcode at the same location,
   // slightly later.
-  if (const auto partner = cascade_partner(m.code);
+  if (const auto partner = cascade_partner(m.code, catalog);
       partner && rng.uniform() < config_.cascade_prob) {
     const auto n_cascade = 1 + rng.poisson(config_.cascade_extra_mean);
     const Usec offset = 2 * kUsecPerSec + jitter(0.2);

@@ -44,7 +44,8 @@ struct TaggedEvent {
 /// Expands manifestations into raw RAS records.
 class StormModel {
  public:
-  explicit StormModel(const StormConfig& config);
+  explicit StormModel(const StormConfig& config,
+                      const ras::Catalog& catalog = ras::default_catalog());
 
   /// Append the records for `m` to `out`. All records carry `m.truth_tag`.
   void expand(const Manifestation& m, Rng& rng, std::vector<TaggedEvent>& out) const;
@@ -52,10 +53,12 @@ class StormModel {
   /// The secondary errcode that a primary code drags along (the causal
   /// cascade), if any. Exposed so the causality filter's tests can assert
   /// against the ground truth.
-  static std::optional<ras::ErrcodeId> cascade_partner(ras::ErrcodeId primary);
+  static std::optional<ras::ErrcodeId> cascade_partner(
+      ras::ErrcodeId primary, const ras::Catalog& catalog = ras::default_catalog());
 
  private:
   StormConfig config_;
+  const ras::Catalog* catalog_;
 };
 
 }  // namespace coral::fault

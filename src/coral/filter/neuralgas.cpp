@@ -6,7 +6,8 @@
 namespace coral::filter {
 
 std::vector<EventGroup> neural_gas_filter(std::span<const ras::RasEvent> events,
-                                          const NeuralGasFilterConfig& config) {
+                                          const NeuralGasFilterConfig& config,
+                                          const ras::Catalog& catalog) {
   if (events.empty()) return {};
 
   // Feature embedding. Time is normalized over the log span; location is
@@ -14,8 +15,7 @@ std::vector<EventGroup> neural_gas_filter(std::span<const ras::RasEvent> events,
   const TimePoint t0 = events.front().event_time;
   const TimePoint t1 = events.back().event_time;
   const double span = std::max<double>(1.0, static_cast<double>(t1 - t0));
-  const double n_codes =
-      static_cast<double>(ras::Catalog::instance().fatal_ids().size());
+  const double n_codes = static_cast<double>(catalog.fatal_ids().size());
 
   std::vector<std::vector<double>> points;
   points.reserve(events.size());

@@ -22,8 +22,9 @@ struct NeuralGasFilterConfig {
 };
 
 /// Cluster the (time-sorted) events into groups. Deterministic in
-/// `config.gas.seed`.
-std::vector<EventGroup> neural_gas_filter(std::span<const ras::RasEvent> events,
-                                          const NeuralGasFilterConfig& config = {});
+/// `config.gas.seed`. The catalog scales the errcode feature axis.
+std::vector<EventGroup> neural_gas_filter(
+    std::span<const ras::RasEvent> events, const NeuralGasFilterConfig& config = {},
+    const ras::Catalog& catalog = ras::default_catalog());
 
 }  // namespace coral::filter

@@ -77,7 +77,7 @@ void write_binary(std::ostream& out, const RasLog& log) {
   put(out, kVersion);
 
   // Dictionary: every catalog errcode name, indexed by ErrcodeId.
-  const Catalog& catalog = Catalog::instance();
+  const Catalog& catalog = log.catalog();
   put(out, static_cast<std::uint32_t>(catalog.size()));
   for (const ErrcodeInfo& info : catalog.all()) {
     put(out, static_cast<std::uint16_t>(info.name.size()));
@@ -96,7 +96,7 @@ void write_binary(std::ostream& out, const RasLog& log) {
   }
 }
 
-RasLog read_binary(std::istream& in) {
+RasLog read_binary(std::istream& in, const Catalog& catalog) {
   char magic[4];
   in.read(magic, sizeof magic);
   if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
@@ -107,8 +107,7 @@ RasLog read_binary(std::istream& in) {
     throw ParseError("unsupported binary RAS log version " + std::to_string(version));
   }
 
-  // Dictionary -> current catalog id mapping.
-  const Catalog& catalog = Catalog::instance();
+  // Dictionary -> target catalog id mapping.
   const auto dict_size = get<std::uint32_t>(in);
   if (dict_size > 1'000'000) throw ParseError("implausible dictionary size");
   std::vector<ErrcodeId> remap(dict_size);
@@ -139,7 +138,7 @@ RasLog read_binary(std::istream& in) {
     ev.severity = static_cast<Severity>(rec.severity);
     events.push_back(ev);
   }
-  return RasLog(std::move(events));
+  return RasLog(std::move(events), catalog);
 }
 
 }  // namespace coral::ras

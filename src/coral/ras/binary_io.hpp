@@ -22,8 +22,8 @@ namespace coral::ras {
 /// catalog build loads correctly even if catalog ordering changes.
 void write_binary(std::ostream& out, const RasLog& log);
 
-/// Load a binary RasLog. Throws ParseError on malformed input or unknown
-/// errcode names.
-RasLog read_binary(std::istream& in);
+/// Load a binary RasLog, resolving dictionary names against `catalog`.
+/// Throws ParseError on malformed input or unknown errcode names.
+RasLog read_binary(std::istream& in, const Catalog& catalog = default_catalog());
 
 }  // namespace coral::ras

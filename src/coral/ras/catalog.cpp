@@ -1,5 +1,7 @@
 #include "coral/ras/catalog.hpp"
 
+#include <algorithm>
+
 #include "coral/common/error.hpp"
 #include "coral/common/strings.hpp"
 
@@ -208,6 +210,18 @@ Catalog::Catalog() {
           LocationKind::Midplane, 1.5, "Service node failover error");
 
   entries_ = std::move(b.entries);
+  index_entries();
+}
+
+Catalog::Catalog(std::vector<ErrcodeInfo> entries) : entries_(std::move(entries)) {
+  index_entries();
+}
+
+void Catalog::index_entries() {
+  fatal_ids_.clear();
+  nonfatal_ids_.clear();
+  by_name_.clear();
+  by_name_.reserve(entries_.size());
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const auto id = static_cast<ErrcodeId>(i);
     if (entries_[i].severity == Severity::Fatal) {
@@ -215,7 +229,11 @@ Catalog::Catalog() {
     } else {
       nonfatal_ids_.push_back(id);
     }
+    by_name_.push_back(id);
   }
+  std::sort(by_name_.begin(), by_name_.end(), [this](ErrcodeId a, ErrcodeId b) {
+    return entries_[static_cast<std::size_t>(a)].name < entries_[static_cast<std::size_t>(b)].name;
+  });
 }
 
 const Catalog& Catalog::instance() {
@@ -223,16 +241,22 @@ const Catalog& Catalog::instance() {
   return catalog;
 }
 
+const Catalog& default_catalog() { return Catalog::instance(); }
+
 const ErrcodeInfo& Catalog::info(ErrcodeId id) const {
   CORAL_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < entries_.size());
   return entries_[static_cast<std::size_t>(id)];
 }
 
-std::optional<ErrcodeId> Catalog::find(const std::string& name) const {
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].name == name) return static_cast<ErrcodeId>(i);
+std::optional<ErrcodeId> Catalog::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      by_name_.begin(), by_name_.end(), name, [this](ErrcodeId id, std::string_view key) {
+        return std::string_view(entries_[static_cast<std::size_t>(id)].name) < key;
+      });
+  if (it == by_name_.end() || entries_[static_cast<std::size_t>(*it)].name != name) {
+    return std::nullopt;
   }
-  return std::nullopt;
+  return *it;
 }
 
 int Catalog::application_error_count() const {

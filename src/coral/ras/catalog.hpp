@@ -4,6 +4,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "coral/bgp/location.hpp"
@@ -51,7 +52,15 @@ struct ErrcodeInfo {
 ///     "undetermined" codes — no job ever ran at their locations).
 class Catalog {
  public:
-  /// The process-wide catalog (immutable after construction).
+  /// Build a catalog from an arbitrary errcode table (ErrcodeId = index
+  /// into `entries`). This is how tests and what-if studies describe
+  /// variant machines; pair it with a coral::Context to run the full
+  /// generator + analysis stack against the custom table.
+  explicit Catalog(std::vector<ErrcodeInfo> entries);
+
+  /// The process-wide default (Intrepid) catalog, immutable after
+  /// construction. Prefer taking a catalog through coral::Context; this
+  /// accessor exists only so a default-constructed Context has a machine.
   static const Catalog& instance();
 
   const ErrcodeInfo& info(ErrcodeId id) const;
@@ -63,8 +72,10 @@ class Catalog {
   /// Ids of non-fatal (INFO/WARNING/ERROR) background codes.
   std::span<const ErrcodeId> nonfatal_ids() const { return nonfatal_ids_; }
 
-  /// Look up an errcode by name; nullopt if unknown.
-  std::optional<ErrcodeId> find(const std::string& name) const;
+  /// Look up an errcode by name; nullopt if unknown. Heterogeneous: accepts
+  /// any string-ish argument without allocating (binary search over a
+  /// name-sorted id index).
+  std::optional<ErrcodeId> find(std::string_view name) const;
 
   /// Convenience ground-truth counters (used by tests and EXPERIMENTS.md).
   int fatal_count() const { return static_cast<int>(fatal_ids_.size()); }
@@ -72,12 +83,20 @@ class Catalog {
   int benign_count() const;
 
  private:
-  Catalog();
+  Catalog();  // the built-in Intrepid table (see instance())
+
+  void index_entries();
 
   std::vector<ErrcodeInfo> entries_;
   std::vector<ErrcodeId> fatal_ids_;
   std::vector<ErrcodeId> nonfatal_ids_;
+  std::vector<ErrcodeId> by_name_;  ///< ids sorted by entries_[id].name
 };
+
+/// The catalog a default-constructed coral::Context analyzes against — the
+/// built-in Intrepid table. This shim (with Catalog::instance() behind it)
+/// is the only sanctioned touch point for process-global catalog state.
+const Catalog& default_catalog();
 
 /// Well-known errcode names used throughout tests and benches.
 namespace codes {

@@ -20,7 +20,10 @@ struct RasEvent {
   Severity severity = Severity::Info;  ///< SEVERITY as recorded
   std::uint32_t serial = 0;     ///< hardware serial-number surrogate
 
-  const ErrcodeInfo& info() const { return Catalog::instance().info(errcode); }
+  /// Materialize the catalog-resident identity fields. Which catalog an
+  /// event indexes into is a property of the log it came from, so callers
+  /// pass it explicitly (RasLog::catalog(), or Context::catalog()).
+  const ErrcodeInfo& info(const Catalog& catalog) const { return catalog.info(errcode); }
   bool is_fatal() const { return severity == Severity::Fatal; }
 };
 

@@ -11,7 +11,10 @@
 
 namespace coral::ras {
 
-RasLog::RasLog(std::vector<RasEvent> events) : events_(std::move(events)) { finalize(); }
+RasLog::RasLog(std::vector<RasEvent> events, const Catalog& catalog)
+    : catalog_(&catalog), events_(std::move(events)) {
+  finalize();
+}
 
 void RasLog::append(RasEvent ev) {
   finalized_ = false;
@@ -73,8 +76,8 @@ RasLogSummary RasLog::summary() const {
     if (ev.is_fatal()) {
       s.fatal_records += 1;
       fatal_codes.insert(ev.errcode);
-      fatal_components.insert(ev.info().component);
-      s.fatal_by_component[ev.info().component] += 1;
+      fatal_components.insert(ev.info(*catalog_).component);
+      s.fatal_by_component[ev.info(*catalog_).component] += 1;
     }
   }
   s.fatal_errcode_types = fatal_codes.size();
@@ -91,7 +94,7 @@ void RasLog::write_csv(std::ostream& out) const {
   w.write_row({"RECID", "MSG_ID", "COMPONENT", "SUBCOMPONENT", "ERRCODE", "SEVERITY",
                "EVENT_TIME", "LOCATION", "SERIAL", "MESSAGE"});
   for (const auto& ev : events_) {
-    const ErrcodeInfo& info = ev.info();
+    const ErrcodeInfo& info = ev.info(*catalog_);
     w.write_row({std::to_string(ev.recid), info.msg_id, to_string(info.component),
                  info.subcomponent, info.name, to_string(ev.severity),
                  ev.event_time.to_ras_string(), ev.location.to_string(),
@@ -99,12 +102,11 @@ void RasLog::write_csv(std::ostream& out) const {
   }
 }
 
-RasLog RasLog::read_csv(std::istream& in) {
+RasLog RasLog::read_csv(std::istream& in, const Catalog& catalog) {
   CsvReader r(in);
   std::vector<std::string> row;
   if (!r.read_row(row)) throw ParseError("empty RAS CSV");
   if (row.size() != 10 || row[0] != "RECID") throw ParseError("bad RAS CSV header");
-  const Catalog& catalog = Catalog::instance();
   std::vector<RasEvent> events;
   while (r.read_row(row)) {
     if (row.size() == 1 && row[0].empty()) continue;  // trailing newline
@@ -120,7 +122,7 @@ RasLog RasLog::read_csv(std::istream& in) {
     ev.serial = static_cast<std::uint32_t>(parse_int(row[8]));
     events.push_back(ev);
   }
-  return RasLog(std::move(events));
+  return RasLog(std::move(events), catalog);
 }
 
 }  // namespace coral::ras

@@ -21,16 +21,21 @@ struct RasLogSummary {
 };
 
 /// An in-memory RAS log: records sorted by EVENT_TIME, RECIDs assigned in
-/// time order (as the CMCS backend does).
+/// time order (as the CMCS backend does). A log remembers which catalog its
+/// ErrcodeIds index into, so downstream consumers never have to guess.
 class RasLog {
  public:
-  RasLog() = default;
-  explicit RasLog(std::vector<RasEvent> events);
+  RasLog() : catalog_(&default_catalog()) {}
+  explicit RasLog(std::vector<RasEvent> events,
+                  const Catalog& catalog = default_catalog());
 
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
   const RasEvent& operator[](std::size_t i) const { return events_[i]; }
   const std::vector<RasEvent>& events() const { return events_; }
+
+  /// The catalog this log's ErrcodeIds index into.
+  const Catalog& catalog() const { return *catalog_; }
 
   auto begin() const { return events_.begin(); }
   auto end() const { return events_.end(); }
@@ -62,9 +67,10 @@ class RasLog {
   /// CSV serialization with the Table II column set:
   /// RECID,MSG_ID,COMPONENT,SUBCOMPONENT,ERRCODE,SEVERITY,EVENT_TIME,LOCATION,SERIAL,MESSAGE
   void write_csv(std::ostream& out) const;
-  static RasLog read_csv(std::istream& in);
+  static RasLog read_csv(std::istream& in, const Catalog& catalog = default_catalog());
 
  private:
+  const Catalog* catalog_;
   std::vector<RasEvent> events_;
   std::vector<std::size_t> fatal_index_;
   bool finalized_ = false;

@@ -9,6 +9,18 @@ namespace coral::stats {
 
 namespace {
 
+// glibc's lgamma writes the process-global `signgam`, which is a data race
+// when two analyses fit distributions concurrently; lgamma_r keeps the sign
+// in a local. All arguments here are positive, so the sign is discarded.
+double lgamma_threadsafe(double x) {
+#if defined(__unix__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 // Series representation of P(a,x); converges quickly for x < a+1.
 double gamma_p_series(double a, double x) {
   double ap = a;
@@ -20,7 +32,7 @@ double gamma_p_series(double a, double x) {
     sum += del;
     if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - lgamma_threadsafe(a));
 }
 
 // Continued-fraction representation of Q(a,x); converges for x >= a+1.
@@ -42,7 +54,7 @@ double gamma_q_cf(double a, double x) {
     h *= del;
     if (std::fabs(del - 1.0) < 1e-15) break;
   }
-  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return std::exp(-x + a * std::log(x) - lgamma_threadsafe(a)) * h;
 }
 
 }  // namespace
@@ -69,7 +81,7 @@ double chi2_sf(double x, double k) {
 
 double gamma_fn(double x) {
   CORAL_EXPECTS(x > 0);
-  return std::exp(std::lgamma(x));
+  return std::exp(lgamma_threadsafe(x));
 }
 
 }  // namespace coral::stats

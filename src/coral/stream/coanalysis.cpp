@@ -4,6 +4,7 @@
 #include <optional>
 #include <span>
 
+#include "coral/common/parallel.hpp"
 #include "coral/stream/filter_stages.hpp"
 #include "coral/stream/matcher.hpp"
 
@@ -28,16 +29,19 @@ struct ShardOutput {
 }  // namespace
 
 FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobLog& jobs,
-                                      const FrontEndConfig& config) {
+                                      const FrontEndConfig& config, const Context& ctx) {
+  InstrumentationSink* sink = ctx.sink();
   FrontEndResult r;
   // Gather FATAL records through the severity index maintained at ingest
   // (RasLog::finalize) instead of re-scanning the full log: the streaming
   // engine amortises discovery work into ingest, the batch pipeline re-scans
   // per its original materialise-everything design.
   {
+    StageTimer timer(sink, "ingest");
     const auto& idx = ras.fatal_indices();
     r.filtered.fatal_events.reserve(idx.size());
     for (const std::size_t i : idx) r.filtered.fatal_events.push_back(ras[i]);
+    timer.counts(ras.size(), r.filtered.fatal_events.size());
   }
   const auto& fatal = r.filtered.fatal_events;
   const auto& all_jobs = jobs.jobs();
@@ -83,9 +87,10 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
   }
 
   std::vector<ShardOutput> shard(nshards);
+  par::ThreadPool* pool = ctx.pool();
   const auto run_sharded = [&](auto&& body) {
-    if (nshards > 1 && config.pool != nullptr && config.pool->thread_count() > 1) {
-      par::parallel_for_chunks(nshards, 1, body, config.pool);
+    if (nshards > 1 && pool != nullptr && pool->thread_count() > 1) {
+      par::parallel_for_chunks(nshards, 1, body, pool);
     } else {
       body(std::size_t{0}, nshards);
     }
@@ -93,6 +98,7 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
 
   // ---- Phase 1: temporal -> spatial coalescing, pair mining tapped off the
   // spatial output, groups buffered for phase 2 (one pass over the log). ----
+  StageTimer phase1_timer(sink, "filter.coalesce");
   run_sharded([&](std::size_t begin, std::size_t end) {
     for (std::size_t s = begin; s < end; ++s) {
       GroupBuffer buffer;
@@ -115,19 +121,29 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
     }
   });
 
+  {
+    std::size_t spatial_out = 0;
+    for (const ShardOutput& s : shard) spatial_out += s.spatial_out;
+    phase1_timer.counts(fatal.size(), spatial_out);
+    phase1_timer.report();
+  }
+
   // ---- Merge mined counts; min-support is global, so acceptance must run
   // on the merged table (no co-occurrence spans a quiesce cut). ----
   if (causality) {
+    StageTimer timer(sink, "mine.merge");
     PairMiner::Counts total;
     for (ShardOutput& s : shard) {
       PairMiner::merge_counts(total, s.counts);
       s.counts.clear();
     }
     r.filtered.causal_pairs = PairMiner::accept(total, config.filters.causality.min_support);
+    timer.counts(total.size(), r.filtered.causal_pairs.size());
   }
 
   // ---- Phase 2: [causality ->] windowed matcher, merge-walking buffered
   // groups against job terminations in end-time order. ----
+  StageTimer phase2_timer(sink, "filter.match");
   run_sharded([&](std::size_t begin, std::size_t end) {
     for (std::size_t s = begin; s < end; ++s) {
       ShardOutput& out = shard[s];
@@ -137,26 +153,26 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
                                  out.matched_jobs.push_back(std::move(m.jobs));
                                });
       std::optional<CausalityCoalescer> caus;
-      GroupSink* sink = &matcher;
+      GroupSink* stage_sink = &matcher;
       if (causality) {
         caus.emplace(config.filters.causality.window, r.filtered.causal_pairs, &matcher);
-        sink = &*caus;
+        stage_sink = &*caus;
       }
       std::span<StreamGroup> groups(out.spatial_groups);
       std::size_t gi = 0;
       for (std::size_t k = ends_begin[s]; k < ends_begin[s + 1]; ++k) {
         const joblog::JobRecord& job = all_jobs[by_end[k]];
         while (gi < groups.size() && groups[gi].rep_time <= job.end_time) {
-          sink->on_group(std::move(groups[gi]));
+          stage_sink->on_group(std::move(groups[gi]));
           ++gi;
         }
         // Every group at or before this termination has been delivered, so
         // the matcher may evict job ends that fell out of all match windows.
-        sink->on_watermark(job.end_time);
+        stage_sink->on_watermark(job.end_time);
         matcher.on_job_end(job.end_time, job, by_end[k]);
       }
-      for (; gi < groups.size(); ++gi) sink->on_group(std::move(groups[gi]));
-      sink->flush();  // cascades into the matcher
+      for (; gi < groups.size(); ++gi) stage_sink->on_group(std::move(groups[gi]));
+      stage_sink->flush();  // cascades into the matcher
       out.peak_phase2 = matcher.peak_buffered() + (caus ? caus->peak_chains() : 0);
       out.spatial_groups.clear();
       out.spatial_groups.shrink_to_fit();
@@ -171,6 +187,9 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
     spatial_total += s.spatial_out;
     groups_total += s.final_groups.size();
   }
+  phase2_timer.counts(spatial_total, groups_total);
+  phase2_timer.report();
+  StageTimer merge_timer(sink, "merge");
   r.filtered.stages.push_back({"raw FATAL records", fatal.size(), fatal.size()});
   r.filtered.stages.push_back({"temporal", fatal.size(), temporal_total});
   r.filtered.stages.push_back({"spatial", temporal_total, spatial_total});
@@ -209,6 +228,7 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
   for (const ShardOutput& s : shard) {
     r.peak_stage_state = std::max({r.peak_stage_state, s.peak_phase1, s.peak_phase2});
   }
+  merge_timer.counts(groups_total, r.matches.interruptions.size());
   return r;
 }
 

@@ -2,7 +2,7 @@
 
 #include <cstddef>
 
-#include "coral/common/parallel.hpp"
+#include "coral/context.hpp"
 #include "coral/core/matching.hpp"
 #include "coral/filter/pipeline.hpp"
 #include "coral/joblog/log.hpp"
@@ -17,10 +17,8 @@ struct FrontEndConfig {
   Usec match_window = 120 * kUsecPerSec;
   /// Target shard count for time-axis parallelism. Shards are cut only at
   /// quiesce gaps (see shard.hpp), so results are exact for any value; 1
-  /// disables sharding.
+  /// disables sharding. Shards run concurrently on the context's pool.
   int shards = 1;
-  /// Worker pool for running shards concurrently (ignored with 1 shard).
-  par::ThreadPool* pool = nullptr;
 };
 
 /// The streaming front-end's output, assembled into the batch
@@ -47,7 +45,11 @@ struct FrontEndResult {
 /// co-occurrence spans a quiesce cut); phase 2 streams the buffered
 /// spatial groups through causality coalescing into the windowed matcher,
 /// merge-walked against job terminations in end-time order.
+///
+/// The context's pool (if any) runs shards concurrently; its sink receives
+/// the per-stage wall-time and record counts. Neither changes results.
 FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobLog& jobs,
-                                      const FrontEndConfig& config);
+                                      const FrontEndConfig& config,
+                                      const Context& ctx = {});
 
 }  // namespace coral::stream

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "coral/context.hpp"
 #include "coral/fault/process.hpp"
 #include "coral/fault/storm.hpp"
 #include "coral/joblog/log.hpp"
@@ -90,7 +91,8 @@ struct SynthResult {
 };
 
 /// Run the full machine simulation and emit the log pair. Deterministic in
-/// `config.seed`.
-SynthResult generate(const ScenarioConfig& config);
+/// `config.seed` folded through `ctx`'s seed policy; the context's catalog
+/// is the machine description (the default context generates Intrepid).
+SynthResult generate(const ScenarioConfig& config, const Context& ctx = {});
 
 }  // namespace coral::synth

@@ -95,21 +95,22 @@ struct EventOrder {
 
 class Simulation {
  public:
-  explicit Simulation(const ScenarioConfig& config)
+  Simulation(const ScenarioConfig& config, const Context& ctx)
       : config_(config),
-        master_rng_(config.seed),
+        catalog_(&ctx.catalog()),
+        master_rng_(ctx.derive_seed(config.seed)),
         sim_rng_(master_rng_.split()),
         storm_rng_(master_rng_.split()),
         noise_rng_(master_rng_.split()),
-        process_(config.faults, master_rng_.split()),
-        storm_(config.storm) {
+        process_(config.faults, master_rng_.split(), *catalog_),
+        storm_(config.storm, *catalog_) {
     std::fill(job_at_.begin(), job_at_.end(), kNoJob);
   }
 
   SynthResult run() {
     Rng workload_rng = master_rng_.split();
     workload_ = generate_workload(config_.workload, config_.start, config_.days,
-                                  workload_rng);
+                                  workload_rng, *catalog_);
     bug_alive_.assign(workload_.apps.size(), true);
 
     // Prime the fault process.
@@ -306,7 +307,7 @@ class Simulation {
     if (ev.t >= config_.end()) return;
 
     std::int32_t truth_id = ev.truth_id;
-    const ErrcodeInfo& info = Catalog::instance().info(ev.code);
+    const ErrcodeInfo& info = catalog_->info(ev.code);
 
     if (truth_id == -2) {
       // Application bug manifestation: a fresh ground-truth instance.
@@ -355,7 +356,7 @@ class Simulation {
       const std::size_t vslot = victims[pick];
       victims.erase(victims.begin() + static_cast<std::ptrdiff_t>(pick));
       ActiveJob& v = slots_[vslot];
-      const ErrcodeInfo& info = Catalog::instance().info(ev.code);
+      const ErrcodeInfo& info = catalog_->info(ev.code);
       const TimePoint vt = ev.t + 3 * kUsecPerSec + static_cast<Usec>(k) * kUsecPerSec;
       if (vt >= v.planned_end || vt >= config_.end()) continue;
       const bgp::Location vloc =
@@ -388,7 +389,7 @@ class Simulation {
     const auto loc = process_.choose_location(trig, view);
     if (!loc) return;  // no feasible footprint (e.g. machine fully busy)
 
-    const ErrcodeInfo& info = Catalog::instance().info(trig.code);
+    const ErrcodeInfo& info = catalog_->info(trig.code);
     const auto mid = loc->midplane_id();
     const std::int32_t slot_at =
         mid ? job_at_[static_cast<std::size_t>(*mid)]
@@ -476,7 +477,7 @@ class Simulation {
 
     if (interrupted) {
       truth_.interruptions.push_back({j.job_id, truth_id, code, t});
-      const ErrcodeInfo& info = Catalog::instance().info(code);
+      const ErrcodeInfo& info = catalog_->info(code);
       const bool app_error = info.nature == FaultNature::ApplicationError;
       const double prob = app_error ? config_.resubmit.prob_after_app
                                     : config_.resubmit.prob_after_system;
@@ -565,8 +566,9 @@ class Simulation {
   // ---- noise -------------------------------------------------------------
 
   void emit_noise() {
-    const Catalog& catalog = Catalog::instance();
+    const Catalog& catalog = *catalog_;
     const auto noise_ids = catalog.nonfatal_ids();
+    if (noise_ids.empty()) return;  // fatal-only catalog: nothing to emit
     std::vector<double> weights;
     for (ErrcodeId id : noise_ids) weights.push_back(catalog.info(id).weight);
     const DiscreteSampler sampler(weights);
@@ -593,9 +595,10 @@ class Simulation {
       records_.push_back(te);
     }
 
-    // Reboot-before-execution: boot INFO records per midplane at job start.
+    // Reboot-before-execution: boot INFO records per midplane at job start
+    // (skipped for catalogs without a boot code).
     const auto boot_code = catalog.find("boot_progress");
-    CORAL_EXPECTS(boot_code.has_value());
+    if (!boot_code) return;
     for (const joblog::JobRecord& job : job_log_) {
       for (MidplaneId m : job.partition.midplanes()) {
         for (int r = 0; r < config_.noise.boot_records_per_midplane; ++r) {
@@ -634,7 +637,7 @@ class Simulation {
     }
 
     SynthResult result;
-    result.ras = ras::RasLog(std::move(events));  // stable re-sort keeps order
+    result.ras = ras::RasLog(std::move(events), *catalog_);  // stable re-sort keeps order
     result.truth = std::move(truth_);
     result.truth.record_tags = std::move(tags);
     job_log_.finalize();
@@ -645,6 +648,7 @@ class Simulation {
   // ---- members -----------------------------------------------------------
 
   ScenarioConfig config_;
+  const Catalog* catalog_;
   Rng master_rng_;
   Rng sim_rng_;
   Rng storm_rng_;
@@ -700,8 +704,8 @@ class Simulation {
 
 }  // namespace
 
-SynthResult generate(const ScenarioConfig& config) {
-  Simulation sim(config);
+SynthResult generate(const ScenarioConfig& config, const Context& ctx) {
+  Simulation sim(config, ctx);
   return sim.run();
 }
 

@@ -32,10 +32,10 @@ Usec sample_bucket_runtime(int bucket, Rng& rng) {
   return static_cast<Usec>(sec * kUsecPerSec);
 }
 
-std::vector<ErrcodeId> application_error_codes() {
+std::vector<ErrcodeId> application_error_codes(const Catalog& catalog) {
   std::vector<ErrcodeId> out;
-  for (ErrcodeId id : Catalog::instance().fatal_ids()) {
-    if (Catalog::instance().info(id).nature == FaultNature::ApplicationError) {
+  for (ErrcodeId id : catalog.fatal_ids()) {
+    if (catalog.info(id).nature == FaultNature::ApplicationError) {
       out.push_back(id);
     }
   }
@@ -45,15 +45,15 @@ std::vector<ErrcodeId> application_error_codes() {
 }  // namespace
 
 Workload generate_workload(const WorkloadConfig& config, TimePoint start, int days,
-                           Rng& rng) {
+                           Rng& rng, const Catalog& catalog) {
   CORAL_EXPECTS(days > 0);
   CORAL_EXPECTS(config.distinct_apps > 0);
   Workload w;
   w.apps.reserve(config.distinct_apps);
 
-  const auto app_codes = application_error_codes();
+  const auto app_codes = application_error_codes(catalog);
   std::vector<double> bug_weights;
-  for (ErrcodeId id : app_codes) bug_weights.push_back(Catalog::instance().info(id).weight);
+  for (ErrcodeId id : app_codes) bug_weights.push_back(catalog.info(id).weight);
   const DiscreteSampler bug_sampler(bug_weights);
   const DiscreteSampler size_sampler(config.size_weights);
 
@@ -67,7 +67,8 @@ Workload generate_workload(const WorkloadConfig& config, TimePoint start, int da
     app.size_midplanes = kJobSizes[size_idx];
     const auto bucket = static_cast<int>(rng.categorical(config.runtime_weights[size_idx]));
     app.base_runtime = sample_bucket_runtime(bucket, rng);
-    if (app.size_midplanes < config.buggy_max_size && rng.bernoulli(config.buggy_app_prob)) {
+    if (!app_codes.empty() && app.size_midplanes < config.buggy_max_size &&
+        rng.bernoulli(config.buggy_app_prob)) {
       app.buggy = true;
       app.bug_code = app_codes[bug_sampler.sample(rng)];
       app.bug_difficulty =

@@ -85,8 +85,10 @@ struct Workload {
 };
 
 /// Generate a workload over [start, start + days). Deterministic in `rng`.
+/// Buggy apps draw their bug codes from `catalog`'s application-error codes
+/// (a catalog without any simply yields a bug-free workload).
 Workload generate_workload(const WorkloadConfig& config, TimePoint start, int days,
-                           Rng& rng);
+                           Rng& rng, const ras::Catalog& catalog = ras::default_catalog());
 
 /// Sample an actual runtime for one run of `app` (per-run jitter).
 Usec sample_runtime(const App& app, Rng& rng);

@@ -53,9 +53,8 @@ TEST_P(ParallelAnalysisP, FullPipelineIdenticalToSerial) {
   const auto serial = core::run_coanalysis(data().ras, data().jobs, {});
 
   par::ThreadPool pool(GetParam());
-  core::CoAnalysisConfig config;
-  config.pool = &pool;
-  const auto parallel = core::run_coanalysis(data().ras, data().jobs, config);
+  const auto parallel = core::run_coanalysis(data().ras, data().jobs, {},
+                                             Context().with_pool(&pool));
 
   EXPECT_EQ(serial.filtered.groups.size(), parallel.filtered.groups.size());
   EXPECT_EQ(serial.matches.interruptions.size(), parallel.matches.interruptions.size());

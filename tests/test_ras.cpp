@@ -115,7 +115,7 @@ TEST(RasLog, FinalizeSortsAndAssignsRecids) {
   EXPECT_EQ(log[0].recid, 1);
   EXPECT_EQ(log[1].recid, 2);
   EXPECT_LE(log[0].event_time, log[1].event_time);
-  EXPECT_EQ(log[0].info().name, codes::kBulkPowerFatal);
+  EXPECT_EQ(log[0].info(log.catalog()).name, codes::kBulkPowerFatal);
 }
 
 TEST(RasLog, SummaryCountsSeverities) {

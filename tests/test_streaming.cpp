@@ -19,12 +19,10 @@ const synth::SynthResult& data() {
   return result;
 }
 
-core::CoAnalysisConfig engine_config(core::Engine engine, int shards = 1,
-                                     par::ThreadPool* pool = nullptr) {
+core::CoAnalysisConfig engine_config(core::Engine engine, int shards = 1) {
   core::CoAnalysisConfig config;
   config.execution.engine = engine;
   config.execution.shards = shards;
-  config.pool = pool;
   return config;
 }
 
@@ -101,8 +99,9 @@ TEST(StreamingEngine, FourShardsIdenticalToBatch) {
   const auto batch =
       core::run_coanalysis(data().ras, data().jobs, engine_config(core::Engine::Batch));
   par::ThreadPool pool(4);
-  const auto sharded = core::run_coanalysis(data().ras, data().jobs,
-                                            engine_config(core::Engine::Streaming, 4, &pool));
+  const auto sharded =
+      core::run_coanalysis(data().ras, data().jobs, engine_config(core::Engine::Streaming, 4),
+                           Context().with_pool(&pool));
   EXPECT_GE(sharded.shards_used, 2u);  // a month of gaps: cuts must exist
   EXPECT_LE(sharded.shards_used, 4u);
   expect_identical(batch, sharded);
