@@ -21,6 +21,21 @@ for preset in "${PRESETS[@]}"; do
   ctest --preset "$preset" -j "$JOBS"
 done
 
+# Corpus fuzz-smoke: the lenient-ingest corruption corpus (tests/corrupt.hpp
+# mutators over CSV and framed-binary logs) must always run under
+# ASan/UBSan, even when the caller asked for a subset of presets — the whole
+# point of the harness is catching out-of-bounds reads and UB on damaged
+# input, which the release build cannot see.
+case " ${PRESETS[*]} " in
+  *" asan-ubsan "*) ;;  # full asan-ubsan suite already ran above
+  *)
+    echo "==== [asan-ubsan] fuzz-smoke corpus ===="
+    cmake --preset asan-ubsan
+    cmake --build --preset asan-ubsan -j "$JOBS" --target test_ingest
+    ctest --preset asan-ubsan -R 'FuzzSmoke' -j "$JOBS"
+    ;;
+esac
+
 # The concurrent multi-catalog tests must always run under ThreadSanitizer,
 # even when the caller asked for a subset of presets: they are the only
 # coverage of two Contexts racing through the full pipeline.

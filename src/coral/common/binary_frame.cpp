@@ -1,0 +1,175 @@
+#include "coral/common/binary_frame.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "coral/common/error.hpp"
+
+namespace coral::bin {
+
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& crc_table() {
+  static const Crc32Table table;
+  return table;
+}
+
+constexpr std::size_t kHeaderBytes = kBlockHeaderBytes;
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const Crc32Table& table = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void BlockWriter::append(const void* data, std::size_t size) {
+  buf_.append(static_cast<const char*>(data), size);
+}
+
+void BlockWriter::put_string(const std::string& s) {
+  put(static_cast<std::uint16_t>(s.size()));
+  append(s.data(), s.size());
+}
+
+void BlockWriter::flush() {
+  if (buf_.empty()) return;
+  out_.write(kBlockMagic, sizeof kBlockMagic);
+  const auto size = static_cast<std::uint32_t>(buf_.size());
+  const std::uint32_t crc = crc32(buf_.data(), buf_.size());
+  out_.write(reinterpret_cast<const char*>(&size), sizeof size);
+  out_.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+  out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  buf_.clear();
+}
+
+void BlockReader::fill(std::size_t want) {
+  constexpr std::size_t kChunk = 64 * 1024;
+  while (pending_.size() < want && in_.good()) {
+    const std::size_t old = pending_.size();
+    const std::size_t grow = std::max(want - old, kChunk);
+    pending_.resize(old + grow);
+    in_.read(pending_.data() + old, static_cast<std::streamsize>(grow));
+    pending_.resize(old + static_cast<std::size_t>(in_.gcount()));
+  }
+}
+
+void BlockReader::drop(std::size_t n) {
+  pending_.erase(0, n);
+  pending_base_ += n;
+}
+
+void BlockReader::note_damage(std::uint64_t offset, const char* detail) {
+  if (mode_ == ParseMode::Strict) {
+    throw ParseError(std::string(what_) + ": " + detail + " at byte offset " +
+                     std::to_string(offset));
+  }
+  if (report_ != nullptr) {
+    report_->add_malformed(IngestReason::BinaryFrame, offset, "", detail);
+  }
+}
+
+bool BlockReader::next(std::string& payload) {
+  // One damaged stretch — however many scan steps it takes to resynchronize —
+  // is reported as a single dropped frame.
+  bool damage_noted = false;
+  const auto damaged = [&](std::uint64_t offset, const char* detail) {
+    if (!damage_noted) note_damage(offset, detail);
+    damage_noted = true;
+  };
+  // Skip ahead to the next "CBLK" marker at index >= 1, or (almost) all of
+  // the buffer when none is present, keeping a partial-marker tail.
+  const auto resync = [&] {
+    const std::size_t at = pending_.find(kBlockMagic, 1, sizeof kBlockMagic);
+    if (at != std::string::npos) {
+      drop(at);
+    } else {
+      const std::size_t keep =
+          pending_.size() < sizeof kBlockMagic - 1 ? pending_.size() : sizeof kBlockMagic - 1;
+      drop(pending_.size() - keep);
+      fill(kHeaderBytes);
+      if (pending_.size() < kHeaderBytes) drop(pending_.size());  // trailing garbage
+    }
+  };
+
+  for (;;) {
+    fill(kHeaderBytes);
+    if (pending_.empty()) return false;  // clean end of input
+    const std::uint64_t start = pending_base_;
+    if (pending_.size() < kHeaderBytes) {
+      damaged(start, "truncated block header");
+      drop(pending_.size());
+      return false;
+    }
+    if (std::memcmp(pending_.data(), kBlockMagic, sizeof kBlockMagic) != 0) {
+      damaged(start, "bad block magic");
+      resync();
+      continue;
+    }
+    std::uint32_t size = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&size, pending_.data() + sizeof kBlockMagic, sizeof size);
+    std::memcpy(&crc, pending_.data() + sizeof kBlockMagic + sizeof size, sizeof crc);
+    if (size == 0 || size > kMaxBlockPayload) {
+      damaged(start, "implausible block size");
+      resync();
+      continue;
+    }
+    fill(kHeaderBytes + size);
+    if (pending_.size() < kHeaderBytes + size) {
+      damaged(start, "truncated block payload");
+      // The truncated tail cannot hold a complete block (it is shorter than
+      // this one), but may still contain a marker for a shorter final block.
+      resync();
+      if (pending_.empty()) return false;
+      continue;
+    }
+    if (crc32(pending_.data() + kHeaderBytes, size) != crc) {
+      damaged(start, "block CRC mismatch");
+      resync();
+      continue;
+    }
+    payload.assign(pending_, kHeaderBytes, size);
+    block_offset_ = start;
+    drop(kHeaderBytes + size);
+    return true;
+  }
+}
+
+void PayloadCursor::read(void* dst, std::size_t n) {
+  if (n > remaining()) {
+    throw ParseError(std::string(what_) + ": truncated field at byte offset " +
+                     std::to_string(offset()));
+  }
+  std::memcpy(dst, data_.data() + pos_, n);
+  pos_ += n;
+}
+
+std::string PayloadCursor::get_string(std::size_t n) {
+  if (n > remaining()) {
+    throw ParseError(std::string(what_) + ": truncated string at byte offset " +
+                     std::to_string(offset()));
+  }
+  std::string s = data_.substr(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+}  // namespace coral::bin

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "coral/common/ingest.hpp"
+
+namespace coral::bin {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), the zlib/gzip checksum.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Per-block framing for the v2 binary log formats.
+///
+/// Each block is `magic "CBLK" | u32 payload_size | u32 crc32(payload) |
+/// payload` (all little-endian, written on little-endian hosts only — same
+/// assumption the v1 record dumps already made). The frame makes corruption
+/// *local*: a strict reader still throws on the first damaged byte, but a
+/// lenient reader drops the damaged block and scans forward for the next
+/// "CBLK" marker, so a burst of flipped bits or a mid-file truncation costs
+/// one block of records instead of the whole log.
+inline constexpr char kBlockMagic[4] = {'C', 'B', 'L', 'K'};
+/// Upper bound on a plausible payload; larger sizes are treated as frame
+/// corruption rather than honoured (a flipped size byte must not trigger a
+/// gigabyte allocation).
+inline constexpr std::uint32_t kMaxBlockPayload = 1u << 24;
+/// Bytes of frame overhead preceding each payload (magic + size + crc).
+inline constexpr std::size_t kBlockHeaderBytes =
+    sizeof kBlockMagic + 2 * sizeof(std::uint32_t);
+
+/// Accumulates payload bytes and writes them as framed blocks. Callers
+/// decide block granularity by calling flush(); destruction flushes any
+/// remaining bytes.
+class BlockWriter {
+ public:
+  explicit BlockWriter(std::ostream& out) : out_(out) {}
+  BlockWriter(const BlockWriter&) = delete;
+  BlockWriter& operator=(const BlockWriter&) = delete;
+  ~BlockWriter() { flush(); }
+
+  void append(const void* data, std::size_t size);
+  template <typename T>
+  void put(T value) {
+    append(&value, sizeof value);
+  }
+  void put_string(const std::string& s);
+
+  std::size_t pending() const { return buf_.size(); }
+  /// Write the buffered payload as one framed block (no-op when empty).
+  void flush();
+
+ private:
+  std::ostream& out_;
+  std::string buf_;
+};
+
+/// Reads framed blocks back. Strict mode throws ParseError (with the byte
+/// offset) on any damaged frame; lenient mode records the damage in `report`
+/// and resynchronizes at the next block marker.
+class BlockReader {
+ public:
+  BlockReader(std::istream& in, ParseMode mode, IngestReport* report,
+              const char* what)
+      : in_(in), mode_(mode), report_(report), what_(what) {}
+
+  /// Fetch the next intact block payload. Returns false at end of input
+  /// (clean EOF in strict mode; in lenient mode also after trailing
+  /// garbage, which is counted as one dropped frame).
+  bool next(std::string& payload);
+
+  /// Byte offset of the start of the block most recently returned.
+  std::uint64_t block_offset() const { return block_offset_; }
+
+ private:
+  void fill(std::size_t want);
+  void drop(std::size_t n);
+  void note_damage(std::uint64_t offset, const char* detail);
+
+  std::istream& in_;
+  ParseMode mode_;
+  IngestReport* report_;
+  const char* what_;  ///< "binary RAS log" / "binary job log" for messages
+  std::string pending_;           ///< bytes consumed from `in_`, not yet parsed
+  std::uint64_t pending_base_ = 0;  ///< absolute offset of pending_[0]
+  std::uint64_t block_offset_ = 0;
+};
+
+/// A bounds-checked little-endian cursor over one block payload. get<T>
+/// failures surface the absolute byte offset of the failing field.
+class PayloadCursor {
+ public:
+  PayloadCursor(const std::string& payload, std::uint64_t base_offset,
+                const char* what)
+      : data_(payload), base_(base_offset), what_(what) {}
+
+  template <typename T>
+  T get() {
+    T value{};
+    read(&value, sizeof value);
+    return value;
+  }
+  void read(void* dst, std::size_t n);
+  std::string get_string(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+  /// Absolute input offset of the next unread byte.
+  std::uint64_t offset() const { return base_ + pos_; }
+
+ private:
+  const std::string& data_;
+  std::size_t pos_ = 0;
+  std::uint64_t base_;
+  const char* what_;
+};
+
+}  // namespace coral::bin

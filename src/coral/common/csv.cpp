@@ -16,6 +16,135 @@ bool needs_quoting(const std::string& field, char sep) {
   return false;
 }
 
+/// The one field-splitting state machine behind CsvReader::read_row and
+/// parse_csv_line. Feed characters; a quote opens a quoted field only at
+/// field start, doubled quotes embed a literal quote, and the row ends at an
+/// unquoted newline (callers translate '\r'/'\r\n' terminators to '\n').
+class FieldSplitter {
+ public:
+  FieldSplitter(std::vector<std::string>& out, char sep, ParseMode mode,
+                std::uint64_t row_offset)
+      : out_(out), sep_(sep), mode_(mode), row_offset_(row_offset) {
+    out_.clear();
+  }
+
+  /// Consume one character; returns true when the row terminated (an
+  /// unquoted '\n' was consumed).
+  bool feed(char ch) {
+    switch (state_) {
+      case State::FieldStart:
+        if (ch == '"') {
+          state_ = State::Quoted;
+        } else if (ch == sep_) {
+          end_field();
+        } else if (ch == '\n') {
+          end_field();
+          return true;
+        } else {
+          field_ += ch;
+          state_ = State::Unquoted;
+        }
+        return false;
+      case State::Unquoted:
+        if (ch == sep_) {
+          end_field();
+          state_ = State::FieldStart;
+        } else if (ch == '\n') {
+          end_field();
+          return true;
+        } else {
+          field_ += ch;  // a quote after other characters is literal
+        }
+        return false;
+      case State::Quoted:
+        if (ch == '"') {
+          state_ = State::QuoteInQuoted;
+        } else {
+          field_ += ch;
+        }
+        return false;
+      case State::QuoteInQuoted:
+        if (ch == '"') {
+          field_ += '"';
+          state_ = State::Quoted;
+        } else if (ch == sep_) {
+          end_field();
+          state_ = State::FieldStart;
+        } else if (ch == '\n') {
+          end_field();
+          return true;
+        } else {
+          if (mode_ == ParseMode::Strict) {
+            throw ParseError("stray character after closing quote in CSV field at byte offset " +
+                             std::to_string(row_offset_));
+          }
+          state_ = State::AfterQuote;  // lenient: drop the stray character
+        }
+        return false;
+      case State::AfterQuote:  // lenient only
+        if (ch == sep_) {
+          end_field();
+          state_ = State::FieldStart;
+        } else if (ch == '\n') {
+          end_field();
+          return true;
+        }  // else: keep dropping strays
+        return false;
+    }
+    return false;
+  }
+
+  /// End of input: close the final field. Strict throws on an open quote.
+  void finish(const std::string* context) {
+    if (state_ == State::Quoted && mode_ == ParseMode::Strict) {
+      throw ParseError("unterminated quoted CSV field" +
+                       (context != nullptr ? ": '" + *context + "'"
+                                           : " at byte offset " + std::to_string(row_offset_)));
+    }
+    end_field();
+  }
+
+  /// Whether a '\r' arriving now is quoted data rather than a row terminator.
+  bool cr_is_data() const { return state_ == State::Quoted; }
+
+ private:
+  enum class State { FieldStart, Unquoted, Quoted, QuoteInQuoted, AfterQuote };
+
+  void end_field() {
+    out_.push_back(std::move(field_));
+    field_.clear();
+  }
+
+  std::vector<std::string>& out_;
+  std::string field_;
+  char sep_;
+  ParseMode mode_;
+  std::uint64_t row_offset_;
+  State state_ = State::FieldStart;
+};
+
+/// Split `text` (one logical row, possibly with quoted newlines) into
+/// fields. Returns the number of characters consumed: less than text.size()
+/// when an unquoted newline ended the row early.
+std::size_t split_fields(std::vector<std::string>& fields, const std::string& text,
+                         char sep, ParseMode mode, std::uint64_t offset) {
+  FieldSplitter splitter(fields, sep, mode, offset);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (splitter.feed(text[i])) return i + 1;
+  }
+  splitter.finish(&text);
+  return text.size();
+}
+
+/// Structural quotes toggle in/out of quoted fields, so a row whose quote
+/// count is odd cannot be complete — unless the odd quote is a literal one
+/// in an unquoted field, which the caller's splitter pass sorts out.
+bool quotes_unbalanced(const std::string& text) {
+  std::size_t quotes = 0;
+  for (const char c : text) quotes += c == '"' ? 1u : 0u;
+  return quotes % 2 != 0;
+}
+
 }  // namespace
 
 CsvWriter::CsvWriter(std::ostream& out, char sep) : out_(out), sep_(sep) {}
@@ -38,84 +167,114 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
   out_ << '\n';
 }
 
-CsvReader::CsvReader(std::istream& in, char sep) : in_(in), sep_(sep) {}
+CsvReader::CsvReader(std::istream& in, char sep, ParseMode mode, IngestReport* report)
+    : in_(in), sep_(sep), mode_(mode), report_(report) {}
 
 bool CsvReader::read_row(std::vector<std::string>& fields) {
-  fields.clear();
+  return mode_ == ParseMode::Strict ? read_row_strict(fields) : read_row_lenient(fields);
+}
+
+bool CsvReader::read_row_strict(std::vector<std::string>& fields) {
   int c = in_.get();
   if (c == std::istream::traits_type::eof()) return false;
-  std::string field;
-  bool in_quotes = false;
-  bool saw_any = false;
+  row_offset_ = pos_;
+  ++pos_;
+  FieldSplitter splitter(fields, sep_, ParseMode::Strict, row_offset_);
   while (true) {
-    if (c == std::istream::traits_type::eof()) {
-      if (in_quotes) throw ParseError("unterminated quoted CSV field");
-      break;
-    }
-    saw_any = true;
     const char ch = static_cast<char>(c);
-    if (in_quotes) {
-      if (ch == '"') {
-        const int peek = in_.peek();
-        if (peek == '"') {
-          field += '"';
-          in_.get();
-        } else {
-          in_quotes = false;
-        }
-      } else {
-        field += ch;
+    if (ch == '\r' && !splitter.cr_is_data()) {
+      if (in_.peek() == '\n') {
+        in_.get();
+        ++pos_;
       }
-    } else if (ch == '"' && field.empty()) {
-      in_quotes = true;
-    } else if (ch == sep_) {
-      fields.push_back(std::move(field));
-      field.clear();
-    } else if (ch == '\n') {
-      break;
-    } else if (ch == '\r') {
-      // swallow; handle \r\n
-      const int peek = in_.peek();
-      if (peek == '\n') in_.get();
-      break;
-    } else {
-      field += ch;
+      splitter.feed('\n');
+      return true;
     }
+    if (splitter.feed(ch)) return true;
     c = in_.get();
+    if (c == std::istream::traits_type::eof()) {
+      splitter.finish(nullptr);
+      return true;
+    }
+    ++pos_;
   }
-  (void)saw_any;
-  fields.push_back(std::move(field));
+}
+
+bool CsvReader::read_row_lenient(std::vector<std::string>& fields) {
+  // Physical lines a quoted field may legitimately span before the open
+  // quote is declared damage rather than data.
+  constexpr int kMaxContinuations = 8;
+  std::string line;
+  std::uint64_t offset = 0;
+  if (!next_line(line, offset)) return false;
+
+  // Join continuation lines while the quote parity says a quoted field is
+  // still open. If it never balances, fall back to parsing the first
+  // physical line alone — losing at most that line, not the rest of the
+  // file — and requeue the lines read ahead.
+  std::string logical = line;
+  std::deque<std::pair<std::string, std::uint64_t>> used;
+  while (quotes_unbalanced(logical) &&
+         static_cast<int>(used.size()) < kMaxContinuations) {
+    std::string more;
+    std::uint64_t more_offset = 0;
+    if (!next_line(more, more_offset)) break;
+    used.emplace_back(more, more_offset);
+    logical += '\n';
+    logical += more;
+  }
+  if (quotes_unbalanced(logical)) {
+    if (report_ != nullptr && !used.empty()) {
+      // The open quote swallowed lookahead lines; flag the damaged row (the
+      // row itself still reaches the caller and is judged by the schema).
+      report_->add_malformed(IngestReason::CsvStructure, offset, line,
+                             "unbalanced quote; resynchronized at next line");
+    }
+    while (!used.empty()) {
+      pending_.push_front(std::move(used.back()));
+      used.pop_back();
+    }
+    logical = std::move(line);
+  }
+
+  row_offset_ = offset;
+  const std::size_t consumed =
+      split_fields(fields, logical, sep_, ParseMode::Lenient, offset);
+  if (consumed < logical.size()) {
+    // The parity heuristic joined too much (a literal quote in an unquoted
+    // field): everything after the unquoted newline belongs to later rows.
+    pending_.emplace_front(logical.substr(consumed), offset + consumed);
+  }
   return true;
 }
 
-std::vector<std::string> parse_csv_line(const std::string& line, char sep) {
-  std::vector<std::string> fields;
-  std::string field;
-  bool in_quotes = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char ch = line[i];
-    if (in_quotes) {
-      if (ch == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          field += '"';
-          ++i;
-        } else {
-          in_quotes = false;
-        }
-      } else {
-        field += ch;
-      }
-    } else if (ch == '"' && field.empty()) {
-      in_quotes = true;
-    } else if (ch == sep) {
-      fields.push_back(std::move(field));
-      field.clear();
-    } else {
-      field += ch;
-    }
+bool CsvReader::next_line(std::string& line, std::uint64_t& offset) {
+  if (!pending_.empty()) {
+    line = std::move(pending_.front().first);
+    offset = pending_.front().second;
+    pending_.pop_front();
+    return true;
   }
-  if (in_quotes) throw ParseError("unterminated quoted CSV field: '" + line + "'");
-  fields.push_back(std::move(field));
+  line.clear();
+  offset = pos_;
+  int c = in_.get();
+  if (c == std::istream::traits_type::eof()) return false;
+  while (c != std::istream::traits_type::eof()) {
+    ++pos_;
+    if (c == '\n') break;
+    line += static_cast<char>(c);
+    c = in_.get();
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+std::vector<std::string> parse_csv_line(const std::string& line, char sep, ParseMode mode) {
+  std::vector<std::string> fields;
+  const std::size_t consumed = split_fields(fields, line, sep, mode, 0);
+  if (consumed < line.size() && mode == ParseMode::Strict) {
+    throw ParseError("unquoted newline in CSV line: '" + line + "'");
+  }
   return fields;
 }
 

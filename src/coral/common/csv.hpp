@@ -1,8 +1,13 @@
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "coral/common/ingest.hpp"
 
 namespace coral {
 
@@ -20,21 +25,55 @@ class CsvWriter {
   char sep_;
 };
 
-/// Streaming CSV reader matching CsvWriter's dialect.
+/// Streaming CSV reader matching CsvWriter's dialect. Both it and
+/// parse_csv_line() split fields through one shared state machine, so the
+/// two can never disagree on quoting semantics.
+///
+/// Strict mode (the default) preserves the historical contract: the first
+/// structural defect — an unterminated quoted field, or stray characters
+/// after a closing quote ("ab"x,) — throws ParseError. Lenient mode is for
+/// damaged inputs: stray characters after a closing quote are dropped, an
+/// unterminated quote is closed at end of input, and a row whose quoting
+/// cannot be balanced (a flipped bit injecting a quote mid-file) costs only
+/// that physical line — the reader resynchronizes at the next line boundary
+/// instead of swallowing the rest of the file into one runaway field.
 class CsvReader {
  public:
-  explicit CsvReader(std::istream& in, char sep = ',');
+  explicit CsvReader(std::istream& in, char sep = ',',
+                     ParseMode mode = ParseMode::Strict,
+                     IngestReport* report = nullptr);
 
   /// Read the next row into `fields`. Returns false at end of input.
-  /// Throws ParseError on an unterminated quoted field.
+  /// Strict: throws ParseError on a structural defect. Lenient: recovers as
+  /// described above, recording structure samples in the report (if any).
   bool read_row(std::vector<std::string>& fields);
 
+  /// Byte offset (from the start of the stream) of the first character of
+  /// the most recently returned row.
+  std::uint64_t row_offset() const { return row_offset_; }
+
  private:
+  bool read_row_strict(std::vector<std::string>& fields);
+  bool read_row_lenient(std::vector<std::string>& fields);
+  bool next_line(std::string& line, std::uint64_t& offset);
+
   std::istream& in_;
   char sep_;
+  ParseMode mode_;
+  IngestReport* report_;
+  std::uint64_t pos_ = 0;         ///< bytes consumed from the stream
+  std::uint64_t row_offset_ = 0;
+  /// Lenient mode: physical lines read ahead during quote-balancing that
+  /// turned out to belong to later rows (line text, byte offset).
+  std::deque<std::pair<std::string, std::uint64_t>> pending_;
 };
 
-/// Parse a single CSV line (no embedded newlines) into fields.
-std::vector<std::string> parse_csv_line(const std::string& line, char sep = ',');
+/// Parse a single CSV line (no embedded newlines) into fields, through the
+/// same state machine as CsvReader. Strict: throws ParseError on an
+/// unterminated quoted field, stray characters after a closing quote, or an
+/// unquoted newline. Lenient: recovers (strays dropped, open quote closed at
+/// end of line, anything after an unquoted newline ignored).
+std::vector<std::string> parse_csv_line(const std::string& line, char sep = ',',
+                                        ParseMode mode = ParseMode::Strict);
 
 }  // namespace coral

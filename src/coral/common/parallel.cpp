@@ -37,6 +37,9 @@ void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
   if (first_error_) {
+    // Clear the latch *before* rethrowing: the error belongs to the batch
+    // that just drained, and a stale latch would make the next (clean)
+    // wait_idle rethrow a failure its tasks never produced.
     std::exception_ptr e = first_error_;
     first_error_ = nullptr;
     std::rethrow_exception(e);

@@ -25,6 +25,16 @@ void civil_from_days(std::int64_t z, int& year, int& month, int& day) {
   day = static_cast<int>(d);
 }
 
+// A (year, month, day) triple is a real calendar date iff it survives the
+// days_from_civil -> civil_from_days round trip: days_from_civil silently
+// wraps impossible dates (2026-02-31 becomes 2026-03-03), so a changed
+// triple is exactly the signature of an impossible date.
+bool valid_civil_date(int year, int month, int day) {
+  int ry = 0, rm = 0, rd = 0;
+  civil_from_days(days_from_civil(year, month, day), ry, rm, rd);
+  return ry == year && rm == month && rd == day;
+}
+
 int parse_digits(const std::string& s, size_t pos, size_t count) {
   if (pos + count > s.size()) throw ParseError("timestamp too short: '" + s + "'");
   int v = 0;
@@ -55,6 +65,7 @@ TimePoint TimePoint::from_calendar(int year, int month, int day, int hour, int m
                                    int second, int usec) {
   CORAL_EXPECTS(month >= 1 && month <= 12);
   CORAL_EXPECTS(day >= 1 && day <= 31);
+  CORAL_EXPECTS(valid_civil_date(year, month, day));
   CORAL_EXPECTS(hour >= 0 && hour < 24);
   CORAL_EXPECTS(minute >= 0 && minute < 60);
   CORAL_EXPECTS(second >= 0 && second < 61);
@@ -94,6 +105,9 @@ TimePoint TimePoint::parse_ras(const std::string& text) {
   if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 || minute > 59 ||
       second > 60) {
     throw ParseError("out-of-range field in RAS timestamp: '" + text + "'");
+  }
+  if (!valid_civil_date(year, month, day)) {
+    throw ParseError("impossible calendar date in RAS timestamp: '" + text + "'");
   }
   return from_calendar(year, month, day, hour, minute, second, usec);
 }

@@ -28,13 +28,15 @@ class TimePoint {
   static TimePoint from_unix_seconds(double sec);
 
   /// Construct from calendar fields (UTC). Throws InvalidArgument on
-  /// out-of-range fields.
+  /// out-of-range fields, including impossible dates (2026-02-31) that a
+  /// plain day <= 31 check would silently wrap into the next month.
   static TimePoint from_calendar(int year, int month, int day, int hour = 0,
                                  int minute = 0, int second = 0, int usec = 0);
 
   /// Parse the BG/P RAS timestamp format "YYYY-MM-DD-HH.MM.SS.ffffff".
   /// The fractional part may have 1..6 digits or be absent.
-  /// Throws ParseError on malformed input.
+  /// Throws ParseError on malformed input or an impossible calendar date
+  /// (month-length and leap-year rules are enforced, not just day <= 31).
   static TimePoint parse_ras(const std::string& text);
 
   constexpr Usec usec() const { return usec_; }

@@ -45,6 +45,9 @@ class Context {
     pool_ = pool;
     return *this;
   }
+  /// Instrumentation sink for stage timings and ingest health: the hardened
+  /// log readers report "ingest.*" stage samples and per-reason
+  /// "ingest.*.malformed.*" counters here, alongside the engine stages.
   Context& with_sink(InstrumentationSink* sink) {
     sink_ = sink;
     return *this;

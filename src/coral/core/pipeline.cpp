@@ -19,6 +19,15 @@ par::ThreadPool* resolve_pool(const CoAnalysisConfig& config, const Context& ctx
 }  // namespace
 #pragma GCC diagnostic pop
 
+IngestedLogs ingest_csv_logs(std::istream& ras_in, std::istream& jobs_in, ParseMode mode,
+                             const Context& ctx) {
+  IngestedLogs logs;
+  logs.ras = ras::RasLog::read_csv(ras_in, ctx.catalog(), mode, &logs.ras_report,
+                                   ctx.sink());
+  logs.jobs = joblog::JobLog::read_csv(jobs_in, mode, &logs.jobs_report, ctx.sink());
+  return logs;
+}
+
 CoAnalysisResult complete_coanalysis(filter::FilterPipelineResult filtered,
                                      MatchResult matches, const joblog::JobLog& jobs,
                                      const CoAnalysisConfig& config, const Context& ctx) {

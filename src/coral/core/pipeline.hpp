@@ -1,11 +1,34 @@
 #pragma once
 
+#include <iosfwd>
+
+#include "coral/common/ingest.hpp"
 #include "coral/context.hpp"
 #include "coral/core/interarrival.hpp"
 #include "coral/core/propagation.hpp"
 #include "coral/core/vulnerability.hpp"
 
 namespace coral::core {
+
+/// A log pair loaded through the hardened ingest layer, with the per-log
+/// ingest-health ledgers. In strict mode the reports are trivially clean
+/// (the load would have thrown otherwise); in lenient mode they say exactly
+/// how many records were skipped and why.
+struct IngestedLogs {
+  ras::RasLog ras;
+  joblog::JobLog jobs;
+  IngestReport ras_report;
+  IngestReport jobs_report;
+
+  bool clean() const { return ras_report.clean() && jobs_report.clean(); }
+};
+
+/// Load a RAS CSV + job CSV pair under one parse mode, resolving errcodes
+/// against the context's catalog and reporting ingest stage timings plus
+/// malformed-record counters to the context's instrumentation sink.
+IngestedLogs ingest_csv_logs(std::istream& ras_in, std::istream& jobs_in,
+                             ParseMode mode = ParseMode::Strict,
+                             const Context& ctx = {});
 
 /// Which front-end (filtering + matching) implementation drives the
 /// methodology. Both produce byte-identical results; they differ in how

@@ -1,133 +1,252 @@
 #include "coral/joblog/binary_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
+#include <optional>
 #include <ostream>
 
+#include "coral/common/binary_frame.hpp"
 #include "coral/common/error.hpp"
+#include "coral/common/instrument.hpp"
 
 namespace coral::joblog {
 
 namespace {
 
 constexpr char kMagic[4] = {'C', 'J', 'O', 'B'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+constexpr char kHeaderTag = 'H';
+constexpr char kExecTag = 'X';
+constexpr char kUserTag = 'U';
+constexpr char kProjectTag = 'P';
+constexpr char kRecordTag = 'R';
+constexpr std::size_t kRecordsPerBlock = 64;
 
-template <typename T>
-void put(std::ostream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+struct PackedJob {
+  std::int64_t job_id = 0;
+  std::int32_t exec = 0;
+  std::int32_t user = 0;
+  std::int32_t project = 0;
+  std::int32_t first_midplane = 0;
+  std::int64_t queue_usec = 0;
+  std::int64_t start_usec = 0;
+  std::int64_t end_usec = 0;
+  std::int32_t midplane_count = 0;
+  std::int32_t exit_code = 0;
+};
+static_assert(sizeof(PackedJob) == 56);
+
+void write_table(bin::BlockWriter& w, char tag, const std::vector<std::string>& table) {
+  w.put(tag);
+  w.put(static_cast<std::uint32_t>(table.size()));
+  for (const std::string& s : table) w.put_string(s);
+  w.flush();
 }
 
-template <typename T>
-T get(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw ParseError("truncated binary job log");
-  return value;
-}
-
-void write_table(std::ostream& out, const std::vector<std::string>& table) {
-  put(out, static_cast<std::uint32_t>(table.size()));
-  for (const std::string& s : table) {
-    put(out, static_cast<std::uint16_t>(s.size()));
-    out.write(s.data(), static_cast<std::streamsize>(s.size()));
-  }
-}
-
-std::vector<std::string> read_table(std::istream& in) {
-  const auto count = get<std::uint32_t>(in);
+std::vector<std::string> parse_table(bin::PayloadCursor& cur) {
+  const auto count = cur.get<std::uint32_t>();
   if (count > 10'000'000) throw ParseError("implausible table size in binary job log");
-  std::vector<std::string> table(count);
-  for (auto& s : table) {
-    const auto len = get<std::uint16_t>(in);
-    s.resize(len);
-    in.read(s.data(), len);
-    if (!in) throw ParseError("truncated string table in binary job log");
+  std::vector<std::string> table;
+  table.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto len = cur.get<std::uint16_t>();
+    table.push_back(cur.get_string(len));
   }
   return table;
 }
-
-struct PackedJob {
-  std::int64_t job_id;
-  std::int32_t exec;
-  std::int32_t user;
-  std::int32_t project;
-  std::int32_t first_midplane;
-  std::int64_t queue_usec;
-  std::int64_t start_usec;
-  std::int64_t end_usec;
-  std::int32_t midplane_count;
-  std::int32_t exit_code;
-};
-static_assert(sizeof(PackedJob) == 56);
 
 }  // namespace
 
 void write_binary(std::ostream& out, const JobLog& log) {
   out.write(kMagic, sizeof kMagic);
-  put(out, kVersion);
-  write_table(out, log.exec_files());
-  write_table(out, log.users());
-  write_table(out, log.projects());
-  put(out, static_cast<std::uint64_t>(log.size()));
-  for (const JobRecord& j : log) {
-    PackedJob rec{};
-    rec.job_id = j.job_id;
-    rec.exec = j.exec_id;
-    rec.user = j.user_id;
-    rec.project = j.project_id;
-    rec.queue_usec = j.queue_time.usec();
-    rec.start_usec = j.start_time.usec();
-    rec.end_usec = j.end_time.usec();
-    rec.first_midplane = j.partition.first_midplane();
-    rec.midplane_count = j.partition.midplane_count();
-    rec.exit_code = j.exit_code;
-    out.write(reinterpret_cast<const char*>(&rec), sizeof rec);
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof kVersion);
+
+  bin::BlockWriter w(out);
+  // Metadata blocks are all written twice: losing any single frame must not
+  // orphan the record blocks that follow.
+  for (int copy = 0; copy < 2; ++copy) {
+    w.put(kHeaderTag);
+    w.put(static_cast<std::uint64_t>(log.size()));
+    w.flush();
+    write_table(w, kExecTag, log.exec_files());
+    write_table(w, kUserTag, log.users());
+    write_table(w, kProjectTag, log.projects());
+  }
+
+  for (std::size_t base = 0; base < log.size(); base += kRecordsPerBlock) {
+    const std::size_t n = std::min(kRecordsPerBlock, log.size() - base);
+    w.put(kRecordTag);
+    w.put(static_cast<std::uint32_t>(n));
+    for (std::size_t i = base; i < base + n; ++i) {
+      const JobRecord& j = log[i];
+      PackedJob rec;
+      rec.job_id = j.job_id;
+      rec.exec = j.exec_id;
+      rec.user = j.user_id;
+      rec.project = j.project_id;
+      rec.queue_usec = j.queue_time.usec();
+      rec.start_usec = j.start_time.usec();
+      rec.end_usec = j.end_time.usec();
+      rec.first_midplane = j.partition.first_midplane();
+      rec.midplane_count = j.partition.midplane_count();
+      rec.exit_code = j.exit_code;
+      w.append(&rec, sizeof rec);
+    }
+    w.flush();
   }
 }
 
-JobLog read_binary(std::istream& in) {
-  char magic[4];
-  in.read(magic, sizeof magic);
-  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    throw ParseError("not a binary job log (bad magic)");
-  }
-  const auto version = get<std::uint32_t>(in);
-  if (version != kVersion) {
-    throw ParseError("unsupported binary job log version " + std::to_string(version));
-  }
-  const auto execs = read_table(in);
-  const auto users = read_table(in);
-  const auto projects = read_table(in);
+JobLog read_binary(std::istream& in, ParseMode mode, IngestReport* report,
+                   InstrumentationSink* sink) {
+  IngestReport local;
+  IngestReport& rep = report != nullptr ? *report : local;
+  StageTimer timer(sink, "ingest.job_binary");
 
-  JobLog log;
-  for (const auto& s : execs) log.intern_exec(s);
-  for (const auto& s : users) log.intern_user(s);
-  for (const auto& s : projects) log.intern_project(s);
-
-  const auto count = get<std::uint64_t>(in);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    PackedJob rec{};
-    in.read(reinterpret_cast<char*>(&rec), sizeof rec);
-    if (!in) throw ParseError("truncated records in binary job log");
-    if (rec.exec < 0 || static_cast<std::size_t>(rec.exec) >= execs.size() ||
-        rec.user < 0 || static_cast<std::size_t>(rec.user) >= users.size() ||
-        rec.project < 0 || static_cast<std::size_t>(rec.project) >= projects.size()) {
-      throw ParseError("bad table index in binary job log");
+  char header[8];
+  in.read(header, sizeof header);
+  if (mode == ParseMode::Strict) {
+    if (!in || std::memcmp(header, kMagic, sizeof kMagic) != 0) {
+      throw ParseError("not a binary job log (bad magic)");
     }
-    JobRecord j;
-    j.job_id = rec.job_id;
-    j.exec_id = rec.exec;
-    j.user_id = rec.user;
-    j.project_id = rec.project;
-    j.queue_time = TimePoint(rec.queue_usec);
-    j.start_time = TimePoint(rec.start_usec);
-    j.end_time = TimePoint(rec.end_usec);
-    j.partition = bgp::Partition(rec.first_midplane, rec.midplane_count);
-    j.exit_code = rec.exit_code;
-    log.append(j);
+    std::uint32_t version = 0;
+    std::memcpy(&version, header + sizeof kMagic, sizeof version);
+    if (version != kVersion) {
+      throw ParseError("unsupported binary job log version " + std::to_string(version));
+    }
   }
+
+  IngestReport frames;
+  bin::BlockReader blocks(in, mode, &frames, "binary job log");
+
+  std::optional<std::uint64_t> total;
+  std::optional<std::vector<std::string>> execs, users, projects;
+  JobLog log;
+  bool interned = false;
+  std::uint64_t attempted = 0;  // records decoded or individually rejected
+  std::string payload;
+  while (blocks.next(payload)) {
+    bin::PayloadCursor cur(payload, blocks.block_offset() + bin::kBlockHeaderBytes,
+                           "binary job log");
+    try {
+      const char tag = cur.get<char>();
+      if (tag == kHeaderTag) {
+        const auto n = cur.get<std::uint64_t>();
+        if (!total) total = n;
+        continue;
+      }
+      if (tag == kExecTag || tag == kUserTag || tag == kProjectTag) {
+        auto& slot = tag == kExecTag ? execs : tag == kUserTag ? users : projects;
+        if (!slot) slot = parse_table(cur);
+        continue;
+      }
+      if (tag != kRecordTag) {
+        if (mode == ParseMode::Strict) {
+          throw ParseError("unknown block tag in binary job log at byte offset " +
+                           std::to_string(blocks.block_offset()));
+        }
+        continue;
+      }
+      if (!interned) {
+        // First record block: freeze whatever metadata survived. In an
+        // intact file every table precedes the records, so strict mode can
+        // insist on all three.
+        if (mode == ParseMode::Strict && (!execs || !users || !projects)) {
+          throw ParseError("records before string tables in binary job log");
+        }
+        if (execs) {
+          for (const auto& s : *execs) log.intern_exec(s);
+        }
+        if (users) {
+          for (const auto& s : *users) log.intern_user(s);
+        }
+        if (projects) {
+          for (const auto& s : *projects) log.intern_project(s);
+        }
+        interned = true;
+      }
+      const auto n = cur.get<std::uint32_t>();
+      const std::size_t n_execs = execs ? execs->size() : 0;
+      const std::size_t n_users = users ? users->size() : 0;
+      const std::size_t n_projects = projects ? projects->size() : 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint64_t rec_offset = cur.offset();
+        PackedJob rec;
+        cur.read(&rec, sizeof rec);
+        ++attempted;
+        if (rec.exec < 0 || static_cast<std::size_t>(rec.exec) >= n_execs ||
+            rec.user < 0 || static_cast<std::size_t>(rec.user) >= n_users ||
+            rec.project < 0 || static_cast<std::size_t>(rec.project) >= n_projects) {
+          if (mode == ParseMode::Strict) {
+            throw ParseError("bad table index in binary job log at byte offset " +
+                             std::to_string(rec_offset));
+          }
+          rep.add_malformed(IngestReason::BadRecord, rec_offset, "",
+                            "string-table index out of range");
+          continue;
+        }
+        if (mode == ParseMode::Lenient && rec.end_usec < rec.start_usec) {
+          rep.add_malformed(IngestReason::BadRecord, rec_offset, "",
+                            "job ends before it starts");
+          continue;
+        }
+        JobRecord j;
+        j.job_id = rec.job_id;
+        j.exec_id = rec.exec;
+        j.user_id = rec.user;
+        j.project_id = rec.project;
+        j.queue_time = TimePoint(rec.queue_usec);
+        j.start_time = TimePoint(rec.start_usec);
+        j.end_time = TimePoint(rec.end_usec);
+        j.exit_code = rec.exit_code;
+        try {
+          j.partition = bgp::Partition(rec.first_midplane, rec.midplane_count);
+          log.append(j);
+        } catch (const Error& e) {
+          if (mode == ParseMode::Strict) throw;
+          rep.add_malformed(IngestReason::BadLocation, rec_offset, "", e.what());
+          continue;
+        }
+        rep.add_ok();
+      }
+    } catch (const Error&) {
+      if (mode == ParseMode::Strict) throw;
+      // CRC-valid but unparseable payload: skip; the lost-record top-up
+      // below accounts for its records.
+    }
+  }
+
+  if (!interned) {
+    // No record blocks (empty log): still preserve the string tables so a
+    // round trip keeps interned names.
+    if (execs) {
+      for (const auto& s : *execs) log.intern_exec(s);
+    }
+    if (users) {
+      for (const auto& s : *users) log.intern_user(s);
+    }
+    if (projects) {
+      for (const auto& s : *projects) log.intern_project(s);
+    }
+  }
+
+  if (mode == ParseMode::Strict) {
+    if (!total) throw ParseError("missing header block in binary job log");
+    if (attempted != *total) {
+      throw ParseError("binary job log record count mismatch: expected " +
+                       std::to_string(*total) + ", got " + std::to_string(attempted));
+    }
+  } else {
+    const std::uint64_t expected = total ? *total : attempted;
+    if (expected > attempted) {
+      rep.add_malformed_bulk(IngestReason::BinaryFrame, expected - attempted);
+    }
+    rep.adopt_samples(frames);
+  }
+
   log.finalize();
+  timer.counts(rep.records_seen(), rep.records_ok());
+  rep.report_malformed(sink, "ingest.job_binary");
   return log;
 }
 

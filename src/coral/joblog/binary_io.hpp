@@ -2,20 +2,34 @@
 
 #include <iosfwd>
 
+#include "coral/common/ingest.hpp"
 #include "coral/joblog/log.hpp"
 
 namespace coral::joblog {
 
-/// Compact binary serialization of a JobLog. Format (little-endian):
+/// Compact binary serialization of a JobLog (format v2, block-framed).
 ///
-///   magic "CJOB" | u32 version | three string tables (exec files, users,
-///   projects: u32 count, then u16 length + bytes each) | u64 record count
-///   | records { i64 job_id, i32 exec, i32 user, i32 project, i64 queue,
-///   i64 start, i64 end (usec), i32 first_midplane, i32 midplane_count,
-///   i32 exit_code }
+/// v2 layout: a raw 8-byte file header (magic "CJOB" | u32 version = 2)
+/// followed by CRC32-framed blocks (see coral/common/binary_frame.hpp).
+/// Block payloads carry a one-byte tag:
+///
+///   'H' header: u64 total record count. Written twice.
+///   'X' / 'U' / 'P' string table (exec files / users / projects):
+///       u32 count, then u16 length + bytes each. Each written twice so a
+///       single damaged block cannot orphan the records.
+///   'R' records: u32 count | count x { i64 job_id, i32 exec, i32 user,
+///       i32 project, i32 first_midplane, i64 queue, i64 start, i64 end
+///       (usec), i32 midplane_count, i32 exit_code }, at most 64 records
+///       per block.
 void write_binary(std::ostream& out, const JobLog& log);
 
-/// Load a binary JobLog. Throws ParseError on malformed input.
-JobLog read_binary(std::istream& in);
+/// Load a binary JobLog. Strict mode throws ParseError (with the byte
+/// offset) on any damage; lenient mode drops damaged blocks, resynchronizes
+/// at the next block marker, and skips-and-counts undecodable records into
+/// `report` — the BinaryFrame counter ends up holding exactly the number of
+/// records lost to frame damage. With a `sink`, an "ingest.job_binary"
+/// stage sample plus per-reason malformed counters are recorded.
+JobLog read_binary(std::istream& in, ParseMode mode = ParseMode::Strict,
+                   IngestReport* report = nullptr, InstrumentationSink* sink = nullptr);
 
 }  // namespace coral::joblog

@@ -7,6 +7,7 @@
 
 #include "coral/common/csv.hpp"
 #include "coral/common/error.hpp"
+#include "coral/common/instrument.hpp"
 #include "coral/common/strings.hpp"
 
 namespace coral::joblog {
@@ -144,28 +145,84 @@ void JobLog::write_csv(std::ostream& out) const {
   }
 }
 
-JobLog JobLog::read_csv(std::istream& in) {
-  CsvReader r(in);
+namespace {
+
+std::string row_snippet(const std::vector<std::string>& row) {
+  std::string s;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) s += ',';
+    s += row[i];
+    if (s.size() > 64) break;
+  }
+  return s;
+}
+
+// Unix-second fields far outside the plausible log range would make llround
+// in from_unix_seconds implementation-defined; reject them as unparseable.
+TimePoint parse_job_time(const std::string& field) {
+  const double sec = parse_double(field);
+  if (!(sec > -1e12 && sec < 1e13)) {
+    throw ParseError("job time out of range: '" + field + "'");
+  }
+  return TimePoint::from_unix_seconds(sec);
+}
+
+}  // namespace
+
+JobLog JobLog::read_csv(std::istream& in, ParseMode mode, IngestReport* report,
+                        InstrumentationSink* sink) {
+  IngestReport local;
+  IngestReport& rep = report != nullptr ? *report : local;
+  StageTimer timer(sink, "ingest.job_csv");
+
+  CsvReader r(in, ',', mode, &rep);
   std::vector<std::string> row;
   if (!r.read_row(row)) throw ParseError("empty job CSV");
   if (row.size() != 9 || row[0] != "JOB_ID") throw ParseError("bad job CSV header");
   JobLog log;
   while (r.read_row(row)) {
     if (row.size() == 1 && row[0].empty()) continue;
-    if (row.size() != 9) throw ParseError("bad job CSV row width");
+    const std::uint64_t offset = r.row_offset();
+    if (row.size() != 9) {
+      if (mode == ParseMode::Strict) throw ParseError("bad job CSV row width");
+      rep.add_malformed(IngestReason::RowWidth, offset, row_snippet(row),
+                        "expected 9 fields, got " + std::to_string(row.size()));
+      continue;
+    }
+    // Parse every throwing field before interning, so a rejected row leaves
+    // no stray entries in the string tables.
     JobRecord j;
-    j.job_id = parse_int(row[0]);
+    IngestReason reason = IngestReason::BadRecord;
+    try {
+      reason = IngestReason::BadNumber;
+      j.job_id = parse_int(row[0]);
+      reason = IngestReason::BadTimestamp;
+      j.queue_time = parse_job_time(row[4]);
+      j.start_time = parse_job_time(row[5]);
+      j.end_time = parse_job_time(row[6]);
+      reason = IngestReason::BadLocation;
+      j.partition = bgp::Partition::parse(row[7]);
+      reason = IngestReason::BadNumber;
+      j.exit_code = static_cast<int>(parse_int(row[8]));
+    } catch (const Error& e) {
+      if (mode == ParseMode::Strict) throw;
+      rep.add_malformed(reason, offset, row_snippet(row), e.what());
+      continue;
+    }
+    if (mode == ParseMode::Lenient && j.end_time < j.start_time) {
+      rep.add_malformed(IngestReason::BadRecord, offset, row_snippet(row),
+                        "job ends before it starts");
+      continue;
+    }
     j.exec_id = log.intern_exec(row[1]);
     j.user_id = log.intern_user(row[2]);
     j.project_id = log.intern_project(row[3]);
-    j.queue_time = TimePoint::from_unix_seconds(parse_double(row[4]));
-    j.start_time = TimePoint::from_unix_seconds(parse_double(row[5]));
-    j.end_time = TimePoint::from_unix_seconds(parse_double(row[6]));
-    j.partition = bgp::Partition::parse(row[7]);
-    j.exit_code = static_cast<int>(parse_int(row[8]));
     log.append(j);
+    rep.add_ok();
   }
   log.finalize();
+  timer.counts(rep.records_seen(), rep.records_ok());
+  rep.report_malformed(sink, "ingest.job_csv");
   return log;
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "coral/common/ingest.hpp"
 #include "coral/joblog/job.hpp"
 
 namespace coral::joblog {
@@ -69,7 +70,15 @@ class JobLog {
   /// CSV with the Table III column set:
   /// JOB_ID,EXEC_FILE,USER,PROJECT,QUEUE_TIME,START_TIME,END_TIME,LOCATION,EXIT
   void write_csv(std::ostream& out) const;
-  static JobLog read_csv(std::istream& in);
+
+  /// Load a job CSV. Strict mode (the default) throws ParseError on the
+  /// first malformed byte; lenient mode skips-and-counts malformed rows into
+  /// `report` and resynchronizes at the next row boundary. With a `sink`,
+  /// an "ingest.job_csv" stage sample plus per-reason malformed counters are
+  /// recorded.
+  static JobLog read_csv(std::istream& in, ParseMode mode = ParseMode::Strict,
+                         IngestReport* report = nullptr,
+                         InstrumentationSink* sink = nullptr);
 
  private:
   template <typename Pred>

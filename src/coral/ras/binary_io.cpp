@@ -1,39 +1,36 @@
 #include "coral/ras/binary_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
-#include <map>
+#include <optional>
 #include <ostream>
 
+#include "coral/common/binary_frame.hpp"
 #include "coral/common/error.hpp"
+#include "coral/common/instrument.hpp"
 
 namespace coral::ras {
 
 namespace {
 
 constexpr char kMagic[4] = {'C', 'R', 'A', 'S'};
-constexpr std::uint32_t kVersion = 1;
-
-template <typename T>
-void put(std::ostream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof value);
-}
-
-template <typename T>
-T get(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw ParseError("truncated binary RAS log");
-  return value;
-}
+constexpr std::uint32_t kVersion = 2;
+constexpr char kDictTag = 'D';
+constexpr char kRecordTag = 'R';
+// Small blocks bound what one damaged frame can take with it: 64 records is
+// ~1.5 KB of payload, so the 12-byte frame header stays under 1% overhead
+// while a single bit flip in a 100k-record log costs at most 0.064% of it.
+constexpr std::size_t kRecordsPerBlock = 64;
 
 struct PackedRecord {
-  std::int64_t time_usec;
-  std::uint32_t packed_location;
-  std::uint32_t dict_index;
-  std::uint32_t serial;
-  std::uint8_t severity;
-  std::uint8_t pad[3];
+  std::int64_t time_usec = 0;
+  std::uint32_t packed_location = 0;
+  std::uint32_t dict_index = 0;
+  std::uint32_t serial = 0;
+  std::uint8_t severity = 0;
+  std::uint8_t pad[3] = {0, 0, 0};  ///< explicit zeros: serialization is memcpy'd,
+                                    ///< so padding bytes must be deterministic
 };
 static_assert(sizeof(PackedRecord) == 24);
 
@@ -70,74 +67,193 @@ bgp::Location unpack_location(std::uint32_t packed) {
   throw ParseError("bad location kind in binary RAS log");
 }
 
+// Decoded 'D' payload: dictionary remapped into the target catalog plus the
+// file's total record count. A name missing from the catalog stays nullopt
+// in strict-vs-lenient-neutral form; the caller decides whether to throw.
+struct Dictionary {
+  std::vector<std::optional<ErrcodeId>> remap;
+  std::uint64_t total_records = 0;
+};
+
+Dictionary parse_dictionary(bin::PayloadCursor& cur, const Catalog& catalog,
+                            ParseMode mode) {
+  Dictionary dict;
+  const auto size = cur.get<std::uint32_t>();
+  if (size > 1'000'000) throw ParseError("implausible dictionary size");
+  dict.remap.reserve(size);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    const auto len = cur.get<std::uint16_t>();
+    const std::string name = cur.get_string(len);
+    const auto id = catalog.find(name);
+    if (!id && mode == ParseMode::Strict) {
+      throw ParseError("unknown errcode in binary RAS log: '" + name + "'");
+    }
+    dict.remap.push_back(id);
+  }
+  dict.total_records = cur.get<std::uint64_t>();
+  return dict;
+}
+
 }  // namespace
 
 void write_binary(std::ostream& out, const RasLog& log) {
   out.write(kMagic, sizeof kMagic);
-  put(out, kVersion);
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof kVersion);
 
-  // Dictionary: every catalog errcode name, indexed by ErrcodeId.
+  bin::BlockWriter w(out);
+  // Dictionary: every catalog errcode name, indexed by ErrcodeId. Written
+  // twice so one damaged frame cannot make every record undecodable.
   const Catalog& catalog = log.catalog();
-  put(out, static_cast<std::uint32_t>(catalog.size()));
-  for (const ErrcodeInfo& info : catalog.all()) {
-    put(out, static_cast<std::uint16_t>(info.name.size()));
-    out.write(info.name.data(), static_cast<std::streamsize>(info.name.size()));
+  for (int copy = 0; copy < 2; ++copy) {
+    w.put(kDictTag);
+    w.put(static_cast<std::uint32_t>(catalog.size()));
+    for (const ErrcodeInfo& info : catalog.all()) w.put_string(info.name);
+    w.put(static_cast<std::uint64_t>(log.size()));
+    w.flush();
   }
 
-  put(out, static_cast<std::uint64_t>(log.size()));
-  for (const RasEvent& ev : log) {
-    PackedRecord rec{};
-    rec.time_usec = ev.event_time.usec();
-    rec.packed_location = ev.location.packed();
-    rec.dict_index = static_cast<std::uint32_t>(ev.errcode);
-    rec.serial = ev.serial;
-    rec.severity = static_cast<std::uint8_t>(ev.severity);
-    out.write(reinterpret_cast<const char*>(&rec), sizeof rec);
+  for (std::size_t base = 0; base < log.size(); base += kRecordsPerBlock) {
+    const std::size_t n = std::min(kRecordsPerBlock, log.size() - base);
+    w.put(kRecordTag);
+    w.put(static_cast<std::uint32_t>(n));
+    for (std::size_t i = base; i < base + n; ++i) {
+      const RasEvent& ev = log[i];
+      PackedRecord rec;
+      rec.time_usec = ev.event_time.usec();
+      rec.packed_location = ev.location.packed();
+      rec.dict_index = static_cast<std::uint32_t>(ev.errcode);
+      rec.serial = ev.serial;
+      rec.severity = static_cast<std::uint8_t>(ev.severity);
+      w.append(&rec, sizeof rec);
+    }
+    w.flush();
   }
 }
 
-RasLog read_binary(std::istream& in, const Catalog& catalog) {
-  char magic[4];
-  in.read(magic, sizeof magic);
-  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    throw ParseError("not a binary RAS log (bad magic)");
-  }
-  const auto version = get<std::uint32_t>(in);
-  if (version != kVersion) {
-    throw ParseError("unsupported binary RAS log version " + std::to_string(version));
-  }
+RasLog read_binary(std::istream& in, const Catalog& catalog, ParseMode mode,
+                   IngestReport* report, InstrumentationSink* sink) {
+  IngestReport local;
+  IngestReport& rep = report != nullptr ? *report : local;
+  StageTimer timer(sink, "ingest.ras_binary");
 
-  // Dictionary -> target catalog id mapping.
-  const auto dict_size = get<std::uint32_t>(in);
-  if (dict_size > 1'000'000) throw ParseError("implausible dictionary size");
-  std::vector<ErrcodeId> remap(dict_size);
-  std::string name;
-  for (std::uint32_t i = 0; i < dict_size; ++i) {
-    const auto len = get<std::uint16_t>(in);
-    name.resize(len);
-    in.read(name.data(), len);
-    if (!in) throw ParseError("truncated dictionary in binary RAS log");
-    const auto id = catalog.find(name);
-    if (!id) throw ParseError("unknown errcode in binary RAS log: '" + name + "'");
-    remap[i] = *id;
+  char header[8];
+  in.read(header, sizeof header);
+  if (mode == ParseMode::Strict) {
+    if (!in || std::memcmp(header, kMagic, sizeof kMagic) != 0) {
+      throw ParseError("not a binary RAS log (bad magic)");
+    }
+    std::uint32_t version = 0;
+    std::memcpy(&version, header + sizeof kMagic, sizeof version);
+    if (version != kVersion) {
+      throw ParseError("unsupported binary RAS log version " + std::to_string(version));
+    }
   }
+  // Lenient mode tolerates a damaged file header: the framed blocks are
+  // self-locating, so recovery proceeds from whatever survives.
 
-  const auto count = get<std::uint64_t>(in);
+  // Frame damage is tracked in a side report: one sample per damaged
+  // stretch, while the caller-visible BinaryFrame *count* is computed below
+  // as the exact number of records lost (the dictionary carries the total).
+  IngestReport frames;
+  bin::BlockReader blocks(in, mode, &frames, "binary RAS log");
+
+  std::optional<Dictionary> dict;
   std::vector<RasEvent> events;
-  events.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    PackedRecord rec{};
-    in.read(reinterpret_cast<char*>(&rec), sizeof rec);
-    if (!in) throw ParseError("truncated records in binary RAS log");
-    if (rec.dict_index >= dict_size) throw ParseError("bad dictionary index");
-    RasEvent ev;
-    ev.event_time = TimePoint(rec.time_usec);
-    ev.location = unpack_location(rec.packed_location);
-    ev.errcode = remap[rec.dict_index];
-    ev.serial = rec.serial;
-    ev.severity = static_cast<Severity>(rec.severity);
-    events.push_back(ev);
+  std::uint64_t attempted = 0;  // records decoded or individually rejected
+  std::string payload;
+  while (blocks.next(payload)) {
+    bin::PayloadCursor cur(payload, blocks.block_offset() + bin::kBlockHeaderBytes,
+                           "binary RAS log");
+    try {
+      const char tag = cur.get<char>();
+      if (tag == kDictTag) {
+        Dictionary d = parse_dictionary(cur, catalog, mode);
+        if (!dict) dict = std::move(d);  // later copies are redundancy
+        continue;
+      }
+      if (tag != kRecordTag) {
+        if (mode == ParseMode::Strict) {
+          throw ParseError("unknown block tag in binary RAS log at byte offset " +
+                           std::to_string(blocks.block_offset()));
+        }
+        continue;  // records inside are covered by the lost-record top-up
+      }
+      const auto n = cur.get<std::uint32_t>();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint64_t rec_offset = cur.offset();
+        PackedRecord rec;
+        cur.read(&rec, sizeof rec);
+        ++attempted;
+        if (!dict) {
+          // Both dictionary copies were damaged; nothing to resolve against.
+          if (mode == ParseMode::Strict) {
+            throw ParseError("records before dictionary in binary RAS log");
+          }
+          rep.add_malformed(IngestReason::UnknownErrcode, rec_offset, "",
+                            "record with no surviving dictionary");
+          continue;
+        }
+        if (rec.dict_index >= dict->remap.size()) {
+          if (mode == ParseMode::Strict) throw ParseError("bad dictionary index");
+          rep.add_malformed(IngestReason::BadRecord, rec_offset, "",
+                            "dictionary index out of range");
+          continue;
+        }
+        if (!dict->remap[rec.dict_index]) {
+          rep.add_malformed(IngestReason::UnknownErrcode, rec_offset, "",
+                            "errcode name not in target catalog");
+          continue;
+        }
+        if (rec.severity > static_cast<std::uint8_t>(Severity::Fatal)) {
+          if (mode == ParseMode::Strict) {
+            throw ParseError("bad severity in binary RAS log at byte offset " +
+                             std::to_string(rec_offset));
+          }
+          rep.add_malformed(IngestReason::BadSeverity, rec_offset, "",
+                            "severity byte out of range");
+          continue;
+        }
+        RasEvent ev;
+        ev.event_time = TimePoint(rec.time_usec);
+        try {
+          ev.location = unpack_location(rec.packed_location);
+        } catch (const Error& e) {
+          if (mode == ParseMode::Strict) throw;
+          rep.add_malformed(IngestReason::BadLocation, rec_offset, "", e.what());
+          continue;
+        }
+        ev.errcode = *dict->remap[rec.dict_index];
+        ev.serial = rec.serial;
+        ev.severity = static_cast<Severity>(rec.severity);
+        events.push_back(ev);
+        rep.add_ok();
+      }
+    } catch (const Error&) {
+      if (mode == ParseMode::Strict) throw;
+      // A CRC-valid block whose payload still does not parse (writer bug or
+      // an adversarial file): skip it; the lost-record top-up accounts for
+      // its records.
+    }
   }
+
+  if (mode == ParseMode::Strict) {
+    if (!dict) throw ParseError("missing dictionary in binary RAS log");
+    if (attempted != dict->total_records) {
+      throw ParseError("binary RAS log record count mismatch: expected " +
+                       std::to_string(dict->total_records) + ", got " +
+                       std::to_string(attempted));
+    }
+  } else {
+    // Exactly the records that vanished with dropped/undecodable frames.
+    const std::uint64_t expected = dict ? dict->total_records : attempted;
+    if (expected > attempted) {
+      rep.add_malformed_bulk(IngestReason::BinaryFrame, expected - attempted);
+    }
+    rep.adopt_samples(frames);
+  }
+
+  timer.counts(rep.records_seen(), rep.records_ok());
+  rep.report_malformed(sink, "ingest.ras_binary");
   return RasLog(std::move(events), catalog);
 }
 

@@ -2,28 +2,46 @@
 
 #include <iosfwd>
 
+#include "coral/common/ingest.hpp"
 #include "coral/ras/log.hpp"
 
 namespace coral::ras {
 
-/// Compact binary serialization of a RasLog.
+/// Compact binary serialization of a RasLog (format v2, block-framed).
 ///
 /// CSV round-trips of the 2M-record Intrepid log cost seconds and 300+ MB;
-/// the binary format stores fixed 20-byte records (errcodes as catalog
+/// the binary format stores fixed 24-byte records (errcodes as catalog
 /// names in a small dictionary, locations in their packed form) and loads
-/// in tens of milliseconds. Format (little-endian):
+/// in tens of milliseconds.
 ///
-///   magic "CRAS" | u32 version | u32 dictionary size | dictionary entries
-///   (u16 length + bytes, index = ErrcodeId used in records) | u64 record
-///   count | records { i64 time_usec, u32 packed_location, u32 dict_index,
-///   u32 serial, u8 severity, 3 pad bytes }
+/// v2 layout: a raw 8-byte file header (magic "CRAS" | u32 version = 2)
+/// followed by CRC32-framed blocks (see coral/common/binary_frame.hpp).
+/// Block payloads carry a one-byte tag:
+///
+///   'D' dictionary: u32 size | entries (u16 length + bytes, index =
+///       ErrcodeId used in records) | u64 total record count.
+///       Written twice so a single damaged block cannot orphan the records.
+///   'R' records: u32 count | count x { i64 time_usec, u32 packed_location,
+///       u32 dict_index, u32 serial, u8 severity, 3 zero pad bytes },
+///       at most 64 records per block to bound the blast radius of a
+///       damaged frame.
 ///
 /// The dictionary makes files self-describing: a log written with one
 /// catalog build loads correctly even if catalog ordering changes.
 void write_binary(std::ostream& out, const RasLog& log);
 
 /// Load a binary RasLog, resolving dictionary names against `catalog`.
-/// Throws ParseError on malformed input or unknown errcode names.
-RasLog read_binary(std::istream& in, const Catalog& catalog = default_catalog());
+///
+/// Strict mode throws ParseError (with the byte offset) on any damage.
+/// Lenient mode drops damaged blocks, resynchronizes at the next block
+/// marker, and skips-and-counts undecodable records into `report`; the
+/// BinaryFrame counter ends up holding exactly the number of records lost
+/// to frame damage (the dictionary's total record count makes the loss
+/// computable even when the records themselves are unreadable). With a
+/// `sink`, an "ingest.ras_binary" stage sample plus per-reason malformed
+/// counters are recorded.
+RasLog read_binary(std::istream& in, const Catalog& catalog = default_catalog(),
+                   ParseMode mode = ParseMode::Strict, IngestReport* report = nullptr,
+                   InstrumentationSink* sink = nullptr);
 
 }  // namespace coral::ras

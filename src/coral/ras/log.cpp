@@ -7,6 +7,7 @@
 
 #include "coral/common/csv.hpp"
 #include "coral/common/error.hpp"
+#include "coral/common/instrument.hpp"
 #include "coral/common/strings.hpp"
 
 namespace coral::ras {
@@ -102,26 +103,85 @@ void RasLog::write_csv(std::ostream& out) const {
   }
 }
 
-RasLog RasLog::read_csv(std::istream& in, const Catalog& catalog) {
-  CsvReader r(in);
+namespace {
+
+std::string row_snippet(const std::vector<std::string>& row) {
+  std::string s;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) s += ',';
+    s += row[i];
+    if (s.size() > 64) break;
+  }
+  return s;
+}
+
+}  // namespace
+
+RasLog RasLog::read_csv(std::istream& in, const Catalog& catalog, ParseMode mode,
+                        IngestReport* report, InstrumentationSink* sink) {
+  IngestReport local;
+  IngestReport& rep = report != nullptr ? *report : local;
+  StageTimer timer(sink, "ingest.ras_csv");
+
+  CsvReader r(in, ',', mode, &rep);
   std::vector<std::string> row;
   if (!r.read_row(row)) throw ParseError("empty RAS CSV");
-  if (row.size() != 10 || row[0] != "RECID") throw ParseError("bad RAS CSV header");
+  if (row.size() != 10 || row[0] != "RECID") {
+    // A damaged header is unrecoverable for column meaning, so even lenient
+    // mode refuses to guess a schema.
+    throw ParseError("bad RAS CSV header");
+  }
   std::vector<RasEvent> events;
   while (r.read_row(row)) {
     if (row.size() == 1 && row[0].empty()) continue;  // trailing newline
-    if (row.size() != 10) throw ParseError("bad RAS CSV row width");
+    const std::uint64_t offset = r.row_offset();
+    if (row.size() != 10) {
+      if (mode == ParseMode::Strict) throw ParseError("bad RAS CSV row width");
+      rep.add_malformed(IngestReason::RowWidth, offset, row_snippet(row),
+                        "expected 10 fields, got " + std::to_string(row.size()));
+      continue;
+    }
+    if (mode == ParseMode::Strict) {
+      RasEvent ev;
+      ev.recid = parse_int(row[0]);
+      const auto code = catalog.find(row[4]);
+      if (!code) throw ParseError("unknown ERRCODE in CSV: '" + row[4] + "'");
+      ev.errcode = *code;
+      ev.severity = parse_severity(row[5]);
+      ev.event_time = TimePoint::parse_ras(row[6]);
+      ev.location = bgp::Location::parse(row[7]);
+      ev.serial = static_cast<std::uint32_t>(parse_int(row[8]));
+      events.push_back(ev);
+      rep.add_ok();
+      continue;
+    }
+    // Lenient: classify the first failing field and move on to the next row.
     RasEvent ev;
-    ev.recid = parse_int(row[0]);
-    const auto code = catalog.find(row[4]);
-    if (!code) throw ParseError("unknown ERRCODE in CSV: '" + row[4] + "'");
-    ev.errcode = *code;
-    ev.severity = parse_severity(row[5]);
-    ev.event_time = TimePoint::parse_ras(row[6]);
-    ev.location = bgp::Location::parse(row[7]);
-    ev.serial = static_cast<std::uint32_t>(parse_int(row[8]));
+    IngestReason reason = IngestReason::BadRecord;
+    try {
+      reason = IngestReason::BadNumber;
+      ev.recid = parse_int(row[0]);
+      reason = IngestReason::UnknownErrcode;
+      const auto code = catalog.find(row[4]);
+      if (!code) throw ParseError("unknown ERRCODE in CSV: '" + row[4] + "'");
+      ev.errcode = *code;
+      reason = IngestReason::BadSeverity;
+      ev.severity = parse_severity(row[5]);
+      reason = IngestReason::BadTimestamp;
+      ev.event_time = TimePoint::parse_ras(row[6]);
+      reason = IngestReason::BadLocation;
+      ev.location = bgp::Location::parse(row[7]);
+      reason = IngestReason::BadNumber;
+      ev.serial = static_cast<std::uint32_t>(parse_int(row[8]));
+    } catch (const Error& e) {
+      rep.add_malformed(reason, offset, row_snippet(row), e.what());
+      continue;
+    }
     events.push_back(ev);
+    rep.add_ok();
   }
+  timer.counts(rep.records_seen(), rep.records_ok());
+  rep.report_malformed(sink, "ingest.ras_csv");
   return RasLog(std::move(events), catalog);
 }
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "coral/common/ingest.hpp"
 #include "coral/ras/event.hpp"
 
 namespace coral::ras {
@@ -67,7 +68,19 @@ class RasLog {
   /// CSV serialization with the Table II column set:
   /// RECID,MSG_ID,COMPONENT,SUBCOMPONENT,ERRCODE,SEVERITY,EVENT_TIME,LOCATION,SERIAL,MESSAGE
   void write_csv(std::ostream& out) const;
-  static RasLog read_csv(std::istream& in, const Catalog& catalog = default_catalog());
+
+  /// Load a RAS CSV. Strict mode (the default) throws ParseError on the
+  /// first malformed byte. Lenient mode skips-and-counts malformed rows
+  /// (per-reason tallies, byte offsets and samples in `report` if given)
+  /// and resynchronizes at the next row boundary, so a truncated or
+  /// bit-flipped log still yields every intact record. When `sink` is given
+  /// an "ingest.ras_csv" stage sample (wall time, rows seen -> rows kept)
+  /// plus per-reason malformed counters are recorded, alongside whatever
+  /// stage timings the analysis engines emit into the same sink.
+  static RasLog read_csv(std::istream& in, const Catalog& catalog = default_catalog(),
+                         ParseMode mode = ParseMode::Strict,
+                         IngestReport* report = nullptr,
+                         InstrumentationSink* sink = nullptr);
 
  private:
   const Catalog* catalog_;

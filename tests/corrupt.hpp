@@ -1,0 +1,131 @@
+#pragma once
+
+// Deterministic corruption harness for the hardened-ingest tests: every
+// mutation is driven by a caller-seeded coral::Rng, so a failing corpus case
+// reproduces from its seed alone. The mutators work on raw serialized bytes
+// (CSV text or framed binary), exactly like damage in the wild: truncation
+// at an arbitrary byte, flipped bits, mangled fields, duplicated rows and
+// interleaved garbage.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coral/common/rng.hpp"
+
+namespace coral::testing {
+
+/// Cut the tail off: keep a uniform fraction in [min_keep, 1) of the bytes.
+inline std::string truncate_bytes(const std::string& data, Rng& rng,
+                                  double min_keep = 0.5) {
+  if (data.empty()) return data;
+  const auto keep = static_cast<std::size_t>(
+      rng.uniform(min_keep, 1.0) * static_cast<double>(data.size()));
+  return data.substr(0, std::max<std::size_t>(keep, 1));
+}
+
+/// Flip `flips` random bits anywhere in the buffer.
+inline std::string flip_bits(const std::string& data, Rng& rng, int flips) {
+  std::string out = data;
+  for (int i = 0; i < flips && !out.empty(); ++i) {
+    const std::size_t at = rng.uniform_index(out.size());
+    out[at] = static_cast<char>(out[at] ^ (1 << rng.uniform_index(8)));
+  }
+  return out;
+}
+
+// -- CSV-specific mutators: operate on physical lines so the damage modes
+// -- are recognizable (and countable) at the record layer.
+
+inline std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+inline std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Index of a random data line (line 0, the header, is never touched).
+inline std::size_t pick_data_line(const std::vector<std::string>& lines, Rng& rng) {
+  return 1 + rng.uniform_index(lines.size() - 1);
+}
+
+/// Mangle one field of `count` random data rows: the field's bytes are
+/// replaced with text that parses as a string but not as the field's type.
+inline std::string mangle_csv_fields(const std::string& csv, Rng& rng, int count) {
+  std::vector<std::string> lines = split_lines(csv);
+  if (lines.size() < 2) return csv;
+  for (int i = 0; i < count; ++i) {
+    std::string& line = lines[pick_data_line(lines, rng)];
+    std::vector<std::size_t> commas;
+    for (std::size_t p = 0; p < line.size(); ++p) {
+      if (line[p] == ',') commas.push_back(p);
+    }
+    if (commas.empty()) continue;
+    const std::size_t f = rng.uniform_index(commas.size());
+    const std::size_t begin = f == 0 ? 0 : commas[f - 1] + 1;
+    const std::size_t end = f < commas.size() ? commas[f] : line.size();
+    line = line.substr(0, begin) + "?garbled?" + line.substr(end);
+  }
+  return join_lines(lines);
+}
+
+/// Duplicate `count` random data rows in place (adjacent duplicate).
+inline std::string duplicate_csv_rows(const std::string& csv, Rng& rng, int count) {
+  std::vector<std::string> lines = split_lines(csv);
+  if (lines.size() < 2) return csv;
+  for (int i = 0; i < count; ++i) {
+    const std::size_t at = pick_data_line(lines, rng);
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at), lines[at]);
+  }
+  return join_lines(lines);
+}
+
+/// Insert `count` lines of non-CSV garbage (wrong width, binary-ish bytes).
+inline std::string insert_garbage_rows(const std::string& csv, Rng& rng, int count) {
+  static const char* kGarbage[] = {
+      "### log rotated here ###",
+      "\x01\x02\x03 binary splatter \x7f\x10",
+      "kernel panic - not syncing: attempted to kill init",
+      "0,1,2",
+  };
+  std::vector<std::string> lines = split_lines(csv);
+  if (lines.size() < 2) return csv;
+  for (int i = 0; i < count; ++i) {
+    const std::size_t at = pick_data_line(lines, rng);
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at),
+                 kGarbage[rng.uniform_index(std::size(kGarbage))]);
+  }
+  return join_lines(lines);
+}
+
+/// Drop a closing quote into one data row ("ab" -> "ab) so the row's quote
+/// parity goes odd — the classic framing corruption a lenient reader must
+/// contain to one line.
+inline std::string unbalance_csv_quote(const std::string& csv, Rng& rng) {
+  std::vector<std::string> lines = split_lines(csv);
+  if (lines.size() < 2) return csv;
+  std::string& line = lines[pick_data_line(lines, rng)];
+  const std::size_t at = line.empty() ? 0 : rng.uniform_index(line.size());
+  line.insert(at, 1, '"');
+  return join_lines(lines);
+}
+
+}  // namespace coral::testing

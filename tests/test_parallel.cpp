@@ -45,6 +45,19 @@ TEST(ThreadPool, PropagatesTaskException) {
   EXPECT_EQ(counter.load(), 1);
 }
 
+TEST(ThreadPool, ErrorLatchClearsAfterRethrow) {
+  // wait_idle must clear the first-error latch before rethrowing: the error
+  // belongs to the batch that raised it, and a later clean batch must not
+  // re-report it.
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("first batch boom"); });
+  EXPECT_THROW(pool.wait_idle(), Error);
+  pool.submit([] {});
+  EXPECT_NO_THROW(pool.wait_idle());
+  // An error is delivered exactly once, even across consecutive waits.
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   const std::size_t n = 10000;

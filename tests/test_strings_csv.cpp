@@ -99,5 +99,104 @@ TEST(Csv, UnterminatedQuoteThrows) {
   EXPECT_THROW(r.read_row(got), ParseError);
 }
 
+TEST(Csv, StrayAfterClosingQuoteStrictThrows) {
+  // "ab"x, — characters between the closing quote and the separator used to
+  // be silently misparsed; strict mode now rejects them outright.
+  EXPECT_THROW(parse_csv_line("\"ab\"x,c"), ParseError);
+  std::istringstream in("\"ab\"x,c\n");
+  CsvReader r(in);
+  std::vector<std::string> got;
+  EXPECT_THROW(r.read_row(got), ParseError);
+}
+
+TEST(Csv, StrayAfterClosingQuoteLenientRecovers) {
+  EXPECT_EQ(parse_csv_line("\"ab\"x,c", ',', ParseMode::Lenient),
+            (std::vector<std::string>{"ab", "c"}));
+  std::istringstream in("\"ab\"xyz,c\nnext,row\n");
+  CsvReader r(in, ',', ParseMode::Lenient);
+  std::vector<std::string> got;
+  ASSERT_TRUE(r.read_row(got));
+  EXPECT_EQ(got, (std::vector<std::string>{"ab", "c"}));
+  ASSERT_TRUE(r.read_row(got));
+  EXPECT_EQ(got, (std::vector<std::string>{"next", "row"}));
+  EXPECT_FALSE(r.read_row(got));
+}
+
+// CsvReader::read_row and parse_csv_line run the same splitter, so a row
+// written by CsvWriter must read back identically through both.
+TEST(Csv, ReaderAndParseLineAgreeOnWriterOutput) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "with,comma", "with\"quote", ""},
+      {"\"leading", "trailing\"", "a\"\"b", "  spaced  "},
+      {"", "", ""},
+      {"semi;colon", "tab\there", "dot."},
+  };
+  for (const auto& row : rows) {
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.write_row(row);
+    std::string line = out.str();
+    line.pop_back();  // trailing '\n'
+
+    EXPECT_EQ(parse_csv_line(line), row) << line;
+    EXPECT_EQ(parse_csv_line(line, ',', ParseMode::Lenient), row) << line;
+
+    std::istringstream in(out.str());
+    CsvReader strict(in);
+    std::vector<std::string> got;
+    ASSERT_TRUE(strict.read_row(got));
+    EXPECT_EQ(got, row) << line;
+
+    std::istringstream in2(out.str());
+    CsvReader lenient(in2, ',', ParseMode::Lenient);
+    ASSERT_TRUE(lenient.read_row(got));
+    EXPECT_EQ(got, row) << line;
+  }
+}
+
+TEST(Csv, LenientResynchronizesAfterUnbalancedQuote) {
+  // A stray quote opens a field that swallows the rest of the file in naive
+  // readers; the lenient reader must lose at most the damaged line.
+  std::istringstream in("good,row\n\"damaged,row\nalso,good\nlast,one\n");
+  IngestReport report;
+  CsvReader r(in, ',', ParseMode::Lenient, &report);
+  std::vector<std::string> got;
+  ASSERT_TRUE(r.read_row(got));
+  EXPECT_EQ(got, (std::vector<std::string>{"good", "row"}));
+  ASSERT_TRUE(r.read_row(got));  // the damaged line, parsed alone
+  ASSERT_TRUE(r.read_row(got));
+  EXPECT_EQ(got, (std::vector<std::string>{"also", "good"}));
+  ASSERT_TRUE(r.read_row(got));
+  EXPECT_EQ(got, (std::vector<std::string>{"last", "one"}));
+  EXPECT_FALSE(r.read_row(got));
+  EXPECT_EQ(report.malformed(IngestReason::CsvStructure), 1u);
+  EXPECT_FALSE(report.samples().empty());
+}
+
+TEST(Csv, LenientQuotedNewlinesStillJoin) {
+  // Balanced quoted newlines are data, not damage — lenient mode must not
+  // split them.
+  std::istringstream in("a,\"multi\nline\nfield\"\nb,c\n");
+  IngestReport report;
+  CsvReader r(in, ',', ParseMode::Lenient, &report);
+  std::vector<std::string> got;
+  ASSERT_TRUE(r.read_row(got));
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "multi\nline\nfield"}));
+  ASSERT_TRUE(r.read_row(got));
+  EXPECT_EQ(got, (std::vector<std::string>{"b", "c"}));
+  EXPECT_FALSE(r.read_row(got));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Csv, RowOffsetsTrackTheStream) {
+  std::istringstream in("aa,bb\ncc,dd\n");
+  CsvReader r(in);
+  std::vector<std::string> got;
+  ASSERT_TRUE(r.read_row(got));
+  EXPECT_EQ(r.row_offset(), 0u);
+  ASSERT_TRUE(r.read_row(got));
+  EXPECT_EQ(r.row_offset(), 6u);
+}
+
 }  // namespace
 }  // namespace coral

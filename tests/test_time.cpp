@@ -77,6 +77,34 @@ TEST(Time, LeapYearHandling) {
   EXPECT_EQ(to_calendar(t + kUsecPerDay).month, 3);
 }
 
+TEST(Time, ImpossibleCalendarDatesRejected) {
+  // These used to normalize silently (2026-02-31 wrapped to 2026-03-03);
+  // the civil round-trip check now rejects them at the parser.
+  EXPECT_THROW(TimePoint::parse_ras("2026-02-31-00.00.00"), ParseError);
+  EXPECT_THROW(TimePoint::parse_ras("2009-04-31-12.00.00"), ParseError);
+  EXPECT_THROW(TimePoint::parse_ras("2009-06-31-12.00.00"), ParseError);
+  EXPECT_THROW(TimePoint::parse_ras("2009-09-31-12.00.00"), ParseError);
+  EXPECT_THROW(TimePoint::parse_ras("2009-11-31-12.00.00"), ParseError);
+  EXPECT_THROW(TimePoint::from_calendar(2026, 2, 31), InvalidArgument);
+  EXPECT_THROW(TimePoint::from_calendar(2009, 4, 31), InvalidArgument);
+  // Month lengths that do exist parse fine.
+  EXPECT_NO_THROW(TimePoint::parse_ras("2009-01-31-23.59.59"));
+  EXPECT_NO_THROW(TimePoint::parse_ras("2009-04-30-23.59.59"));
+}
+
+TEST(Time, LeapYearDatesValidated) {
+  // Divisible-by-4 leap year.
+  EXPECT_NO_THROW(TimePoint::parse_ras("2008-02-29-00.00.00"));
+  // Non-leap year.
+  EXPECT_THROW(TimePoint::parse_ras("2009-02-29-00.00.00"), ParseError);
+  EXPECT_THROW(TimePoint::from_calendar(2009, 2, 29), InvalidArgument);
+  // Century rules: 2000 is a leap year, 1900 is not.
+  EXPECT_NO_THROW(TimePoint::parse_ras("2000-02-29-00.00.00"));
+  EXPECT_THROW(TimePoint::parse_ras("1900-02-29-00.00.00"), ParseError);
+  // February 30 never exists.
+  EXPECT_THROW(TimePoint::parse_ras("2008-02-30-00.00.00"), ParseError);
+}
+
 TEST(Time, DisplayString) {
   EXPECT_EQ(TimePoint::from_calendar(2009, 1, 5, 1, 2, 3).to_display_string(),
             "2009-01-05 01:02:03");
