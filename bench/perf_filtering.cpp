@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "coral/common/parallel.hpp"
+#include "coral/filter/columns.hpp"
 #include "coral/filter/pipeline.hpp"
 #include "coral/ras/binary_io.hpp"
 #include "coral/synth/intrepid.hpp"
@@ -26,6 +28,32 @@ void BM_ExtractFatal(benchmark::State& state) {
                           static_cast<std::int64_t>(data().ras.size()));
 }
 BENCHMARK(BM_ExtractFatal);
+
+// The columnar kernels the pipeline actually runs: spans over the SoA fatal
+// view with CSR group sets, no per-iteration event gather.
+void BM_TemporalFilterColumnar(benchmark::State& state) {
+  const filter::EventColumns cols = filter::columns_of(data().ras.fatal_columns());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        filter::temporal_filter(cols, filter::GroupSet::singletons(cols.size()), {}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cols.size()));
+}
+BENCHMARK(BM_TemporalFilterColumnar);
+
+void BM_SpatialFilterColumnar(benchmark::State& state) {
+  const filter::EventColumns cols = filter::columns_of(data().ras.fatal_columns());
+  const filter::GroupSet pre =
+      filter::temporal_filter(cols, filter::GroupSet::singletons(cols.size()), {});
+  for (auto _ : state) {
+    auto groups = pre;
+    benchmark::DoNotOptimize(filter::spatial_filter(cols, std::move(groups), {}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pre.size()));
+}
+BENCHMARK(BM_SpatialFilterColumnar);
 
 void BM_TemporalFilter(benchmark::State& state) {
   const auto events = data().ras.fatal_events();
@@ -97,5 +125,20 @@ void BM_RasBinaryRead(benchmark::State& state) {
                           static_cast<std::int64_t>(data().ras.size()));
 }
 BENCHMARK(BM_RasBinaryRead);
+
+void BM_RasBinaryReadParallel(benchmark::State& state) {
+  std::ostringstream out;
+  ras::write_binary(out, data().ras);
+  const std::string bytes = out.str();
+  par::ThreadPool pool;
+  for (auto _ : state) {
+    std::istringstream in(bytes);
+    benchmark::DoNotOptimize(ras::read_binary(in, ras::default_catalog(),
+                                              ParseMode::Strict, nullptr, nullptr, &pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data().ras.size()));
+}
+BENCHMARK(BM_RasBinaryReadParallel);
 
 }  // namespace

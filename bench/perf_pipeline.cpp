@@ -1,0 +1,85 @@
+// End-to-end co-analysis benchmark on the full-scale Intrepid scenario:
+// binary ingest -> filter -> match -> full methodology report, timed as one
+// unit — the headline figure for the columnar hot path. Ingest reads from an
+// in-memory image of the binary v2 logs, so the numbers measure decode and
+// analysis, not disk.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "coral/common/parallel.hpp"
+#include "coral/core/pipeline.hpp"
+#include "coral/joblog/binary_io.hpp"
+#include "coral/ras/binary_io.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace {
+
+using namespace coral;
+
+const synth::SynthResult& data() {
+  static const synth::SynthResult result = synth::generate(synth::intrepid_scenario(42));
+  return result;
+}
+
+const std::string& ras_bytes() {
+  static const std::string bytes = [] {
+    std::ostringstream out;
+    ras::write_binary(out, data().ras);
+    return out.str();
+  }();
+  return bytes;
+}
+
+const std::string& job_bytes() {
+  static const std::string bytes = [] {
+    std::ostringstream out;
+    joblog::write_binary(out, data().jobs);
+    return out.str();
+  }();
+  return bytes;
+}
+
+void BM_EndToEndCoAnalysis(benchmark::State& state) {
+  (void)ras_bytes();
+  (void)job_bytes();
+  par::ThreadPool pool;
+  const Context ctx = Context{}.with_pool(&pool);
+  std::size_t interruptions = 0;
+  for (auto _ : state) {
+    std::istringstream ras_in(ras_bytes());
+    const ras::RasLog ras = ras::read_binary(ras_in, ras::default_catalog(),
+                                             ParseMode::Strict, nullptr, nullptr, &pool);
+    std::istringstream job_in(job_bytes());
+    const joblog::JobLog jobs = joblog::read_binary(job_in);
+    const core::CoAnalysisResult result = core::run_coanalysis(ras, jobs, {}, ctx);
+    interruptions = result.interruption_count();
+    benchmark::DoNotOptimize(result.matches.interruptions.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data().ras.size()));
+  state.counters["interruptions"] = static_cast<double>(interruptions);
+}
+BENCHMARK(BM_EndToEndCoAnalysis)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndBatchEngine(benchmark::State& state) {
+  (void)ras_bytes();
+  (void)job_bytes();
+  par::ThreadPool pool;
+  const Context ctx = Context{}.with_pool(&pool);
+  core::CoAnalysisConfig config;
+  config.execution.engine = core::Engine::Batch;
+  for (auto _ : state) {
+    std::istringstream ras_in(ras_bytes());
+    const ras::RasLog ras = ras::read_binary(ras_in, ras::default_catalog(),
+                                             ParseMode::Strict, nullptr, nullptr, &pool);
+    std::istringstream job_in(job_bytes());
+    const joblog::JobLog jobs = joblog::read_binary(job_in);
+    benchmark::DoNotOptimize(core::run_coanalysis(ras, jobs, config, ctx));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data().ras.size()));
+}
+BENCHMARK(BM_EndToEndBatchEngine)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,13 +1,26 @@
 #!/usr/bin/env bash
 # CI entry point: build every preset (release, asan-ubsan, tsan) and run the
-# test suite under each. Usage: scripts/ci.sh [preset...] (default: all).
+# test suite under each, then run the perf benches and gate regressions.
+# Usage: scripts/ci.sh [stage...] (default: all presets + bench). Stages are
+# preset names plus "bench", which runs the perf_* suites on the release
+# build and merges the results into BENCH_coanalysis.json at the repo root,
+# failing on a >25% regression versus the committed numbers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PRESETS=("$@")
-if [ ${#PRESETS[@]} -eq 0 ]; then
+RUN_BENCH=0
+PRESETS=()
+for stage in "$@"; do
+  if [ "$stage" = bench ]; then
+    RUN_BENCH=1
+  else
+    PRESETS+=("$stage")
+  fi
+done
+if [ $# -eq 0 ]; then
   PRESETS=(release asan-ubsan tsan)
+  RUN_BENCH=1
 fi
 
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
@@ -49,4 +62,30 @@ case " ${PRESETS[*]} " in
     ;;
 esac
 
-echo "==== all presets green ===="
+if [ "$RUN_BENCH" -eq 1 ]; then
+  echo "==== [bench] build (release) ===="
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS" \
+    --target perf_filtering perf_matching perf_pipeline perf_streaming
+  BENCH_DIR=build/release/bench
+  BENCH_OUT=$(mktemp -d)
+  trap 'rm -rf "$BENCH_OUT"' EXIT
+  echo "==== [bench] run ===="
+  # The installed google-benchmark wants a plain double for min_time (no
+  # "0.1s" duration suffix).
+  for b in perf_filtering perf_matching perf_pipeline; do
+    "$BENCH_DIR/$b" --benchmark_min_time=0.1 --benchmark_format=json \
+      > "$BENCH_OUT/$b.json"
+  done
+  # Run from the bench dir: perf_streaming drops its BENCH_streaming.json
+  # stage-timing artifact in cwd, which should stay out of the repo root.
+  (cd "$BENCH_DIR" && ./perf_streaming) > "$BENCH_OUT/perf_streaming.json"
+  echo "==== [bench] merge + regression gate ===="
+  python3 scripts/merge_bench.py --out BENCH_coanalysis.json \
+    --gbench "$BENCH_OUT"/perf_filtering.json "$BENCH_OUT"/perf_matching.json \
+             "$BENCH_OUT"/perf_pipeline.json \
+    --streaming "$BENCH_OUT"/perf_streaming.json \
+    --max-regression 0.25
+fi
+
+echo "==== all stages green ===="

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Merge benchmark runs into BENCH_coanalysis.json and gate regressions.
+
+Reads google-benchmark JSON files (--gbench) and the perf_streaming
+self-main JSON (--streaming), normalizes everything to milliseconds of
+real time, and merges the result into the committed trajectory file:
+
+    {
+      "schema": 1,
+      "units": "ms_real_time",
+      "baseline": { "<bench>": ms, ... },   # pre-columnar-hot-path numbers
+      "current":  { "<bench>": ms, ... }    # latest run, updated here
+    }
+
+"baseline" is historical (written once, before the columnar rewrite) and
+never touched; "current" is the regression reference: any bench that got
+more than --max-regression slower than the committed "current" entry
+fails the run. Benches faster than --gate-floor-ms are reported but not
+gated — at microsecond scale, scheduler noise on a shared CI box easily
+exceeds any sane threshold.
+"""
+
+import argparse
+import json
+import sys
+
+GBENCH_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def load_gbench(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench["real_time"] * GBENCH_TO_MS[bench["time_unit"]]
+    return out
+
+
+def load_streaming(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        "perf_streaming/" + mode["name"]: mode["seconds"] * 1e3
+        for mode in doc.get("modes", [])
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", required=True, help="trajectory JSON to merge into")
+    ap.add_argument("--gbench", nargs="*", default=[], help="google-benchmark JSON files")
+    ap.add_argument("--streaming", help="perf_streaming self-main JSON file")
+    ap.add_argument("--max-regression", type=float, default=0.25,
+                    help="fail when current/committed - 1 exceeds this (default 0.25)")
+    ap.add_argument("--gate-floor-ms", type=float, default=0.5,
+                    help="skip the gate for benches faster than this (default 0.5 ms)")
+    args = ap.parse_args()
+
+    fresh = {}
+    for path in args.gbench:
+        fresh.update(load_gbench(path))
+    if args.streaming:
+        fresh.update(load_streaming(args.streaming))
+    if not fresh:
+        sys.exit("merge_bench.py: no benchmark results given")
+
+    try:
+        with open(args.out) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        doc = {}
+    committed = doc.get("current", {})
+
+    failures = []
+    for name in sorted(fresh):
+        now = fresh[name]
+        ref = committed.get(name)
+        if ref is None:
+            print(f"  new   {name}: {now:.3f} ms")
+            continue
+        delta = (now - ref) / ref if ref > 0 else 0.0
+        gated = ref >= args.gate_floor_ms
+        tag = "" if gated else " (below gate floor)"
+        print(f"  {'ok ' if delta <= args.max_regression or not gated else 'REG'}   "
+              f"{name}: {now:.3f} ms vs {ref:.3f} ms ({delta:+.1%}){tag}")
+        if gated and delta > args.max_regression:
+            failures.append(name)
+
+    if failures:
+        sys.exit(f"merge_bench.py: regression over {args.max_regression:.0%} in: "
+                 + ", ".join(failures))
+
+    merged = dict(committed)
+    merged.update(fresh)
+    out_doc = {
+        "schema": 1,
+        "units": "ms_real_time",
+        "baseline": doc.get("baseline", {}),
+        "current": {k: round(v, 4) for k, v in sorted(merged.items())},
+    }
+    with open(args.out, "w") as f:
+        json.dump(out_doc, f, indent=2)
+        f.write("\n")
+    print(f"merge_bench.py: wrote {len(merged)} entries to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

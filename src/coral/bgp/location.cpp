@@ -166,6 +166,33 @@ Location Location::parse(std::string_view text) {
   return compute_card(mid, card, jslot);
 }
 
+Location Location::from_packed(std::uint32_t key) {
+  const auto kind = static_cast<LocationKind>((key >> 24) & 0xFF);
+  const int rack = static_cast<int>((key >> 16) & 0xFF);
+  const int mid_in_rack =
+      static_cast<int>((key >> 12) & 0xF) == 0xF ? -1 : static_cast<int>((key >> 12) & 0xF);
+  const int card =
+      static_cast<int>((key >> 6) & 0x3F) == 0x3F ? -1 : static_cast<int>((key >> 6) & 0x3F);
+  const int sub = static_cast<int>(key & 0x3F) == 0x3F ? -1 : static_cast<int>(key & 0x3F);
+  switch (kind) {
+    case LocationKind::Rack:
+      return Location::rack(rack);
+    case LocationKind::Midplane:
+      return Location::midplane(bgp::midplane_id(rack, mid_in_rack));
+    case LocationKind::NodeCard:
+      return Location::node_card(bgp::midplane_id(rack, mid_in_rack), card);
+    case LocationKind::ComputeCard:
+      return Location::compute_card(bgp::midplane_id(rack, mid_in_rack), card, sub);
+    case LocationKind::ServiceCard:
+      return Location::service_card(bgp::midplane_id(rack, mid_in_rack));
+    case LocationKind::LinkCard:
+      return Location::link_card(bgp::midplane_id(rack, mid_in_rack), card);
+    case LocationKind::IoNode:
+      return Location::io_node(bgp::midplane_id(rack, mid_in_rack), card, sub);
+  }
+  throw ParseError("bad location kind in packed key");
+}
+
 std::optional<MidplaneId> Location::midplane_id() const {
   if (kind_ == LocationKind::Rack) return std::nullopt;
   return bgp::midplane_id(rack_, midplane_);

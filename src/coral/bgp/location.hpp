@@ -53,6 +53,11 @@ class Location {
   /// materializing a temporary std::string per field.
   static Location parse(std::string_view text);
 
+  /// Rebuild a Location from its packed() key, validating every field (the
+  /// key may come from an untrusted binary log). Throws ParseError on an
+  /// impossible encoding.
+  static Location from_packed(std::uint32_t key);
+
   LocationKind kind() const { return kind_; }
   int rack_index() const { return rack_; }
 
@@ -89,5 +94,18 @@ class Location {
   std::int8_t card_ = -1;      ///< node-card or link-card slot
   std::int8_t sub_ = -1;       ///< compute-card J-slot or I/O-node slot
 };
+
+/// Field accessors for packed() keys, so the columnar hot paths can reason
+/// about a location without materializing a Location. These assume a key
+/// produced by Location::packed() (use Location::from_packed to validate an
+/// untrusted key).
+constexpr LocationKind packed_kind(std::uint32_t key) {
+  return static_cast<LocationKind>(key >> 24);
+}
+constexpr int packed_rack(std::uint32_t key) { return static_cast<int>((key >> 16) & 0xFF); }
+/// Machine midplane id of a sub-rack key; meaningless for rack-level keys.
+constexpr MidplaneId packed_midplane(std::uint32_t key) {
+  return midplane_id(packed_rack(key), static_cast<int>((key >> 12) & 0xF));
+}
 
 }  // namespace coral::bgp

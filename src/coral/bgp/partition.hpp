@@ -45,6 +45,17 @@ class Partition {
   /// True if `loc` denotes hardware on one of this partition's midplanes.
   bool covers(const Location& loc) const;
 
+  /// covers() on a Location::packed() key without materializing a Location —
+  /// the matching hot loops test millions of (job, event) pairs. Rack-level
+  /// keys touch both midplanes of the rack, same as Location::touches_midplane.
+  bool covers_key(std::uint32_t key) const {
+    if (packed_kind(key) == LocationKind::Rack) {
+      const MidplaneId lo = midplane_id(packed_rack(key), 0);
+      return lo < end_midplane() && first_ <= lo + 1;
+    }
+    return contains(packed_midplane(key));
+  }
+
   /// Midplane ids of this partition, ascending.
   std::vector<MidplaneId> midplanes() const;
 

@@ -10,13 +10,22 @@ namespace coral::bin {
 
 namespace {
 
+// Slicing-by-8 tables: entries[0] is the classic byte-at-a-time table, and
+// entries[k][b] is the CRC of byte b followed by k zero bytes, so one round
+// folds eight input bytes with eight independent lookups.
 struct Crc32Table {
-  std::uint32_t entries[256];
+  std::uint32_t entries[8][256];
   Crc32Table() {
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      entries[i] = c;
+      entries[0][i] = c;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        const std::uint32_t prev = entries[k - 1][i];
+        entries[k][i] = entries[0][prev & 0xFFu] ^ (prev >> 8);
+      }
     }
   }
 };
@@ -32,12 +41,42 @@ constexpr std::size_t kHeaderBytes = kBlockHeaderBytes;
 
 std::uint32_t crc32(const void* data, std::size_t size) {
   const auto* p = static_cast<const unsigned char*>(data);
-  const Crc32Table& table = crc_table();
+  const auto& t = crc_table().entries;
   std::uint32_t c = 0xFFFFFFFFu;
+  // Same little-endian-host assumption the frame layout already makes.
+  while (size >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, sizeof lo);
+    std::memcpy(&hi, p + 4, sizeof hi);
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
   for (std::size_t i = 0; i < size; ++i) {
-    c = table.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    c = t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
+}
+
+bool index_frames(std::string_view region, std::vector<FrameRef>& out) {
+  std::size_t pos = 0;
+  while (pos < region.size()) {
+    if (region.size() - pos < kHeaderBytes) return false;  // truncated header
+    if (std::memcmp(region.data() + pos, kBlockMagic, sizeof kBlockMagic) != 0) return false;
+    std::uint32_t size = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&size, region.data() + pos + sizeof kBlockMagic, sizeof size);
+    std::memcpy(&crc, region.data() + pos + sizeof kBlockMagic + sizeof size, sizeof crc);
+    if (size == 0 || size > kMaxBlockPayload) return false;
+    if (region.size() - pos - kHeaderBytes < size) return false;  // truncated payload
+    out.push_back({pos, size, crc});
+    pos += kHeaderBytes + size;
+  }
+  return true;
 }
 
 void BlockWriter::append(const void* data, std::size_t size) {
@@ -162,12 +201,22 @@ void PayloadCursor::read(void* dst, std::size_t n) {
   pos_ += n;
 }
 
+std::string_view PayloadCursor::take(std::size_t n) {
+  if (n > remaining()) {
+    throw ParseError(std::string(what_) + ": truncated field at byte offset " +
+                     std::to_string(offset()));
+  }
+  const std::string_view v = data_.substr(pos_, n);
+  pos_ += n;
+  return v;
+}
+
 std::string PayloadCursor::get_string(std::size_t n) {
   if (n > remaining()) {
     throw ParseError(std::string(what_) + ": truncated string at byte offset " +
                      std::to_string(offset()));
   }
-  std::string s = data_.substr(pos_, n);
+  std::string s(data_.substr(pos_, n));
   pos_ += n;
   return s;
 }

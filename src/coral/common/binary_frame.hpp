@@ -4,12 +4,15 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "coral/common/ingest.hpp"
 
 namespace coral::bin {
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected), the zlib/gzip checksum.
+/// Slicing-by-8: eight bytes per table round instead of one.
 std::uint32_t crc32(const void* data, std::size_t size);
 
 /// Per-block framing for the v2 binary log formats.
@@ -56,6 +59,25 @@ class BlockWriter {
   std::string buf_;
 };
 
+/// One block located by index_frames(): header at `offset` into the scanned
+/// region, payload of `size` bytes at `offset + kBlockHeaderBytes`. The
+/// stored checksum is carried so CRC verification can run later (and in
+/// parallel) over the payload in place.
+struct FrameRef {
+  std::uint64_t offset = 0;
+  std::uint32_t size = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Walk `region` as a sequence of framed blocks without touching payload
+/// bytes (headers only — no CRC pass, no copies). Returns true when the
+/// region is tiled exactly by well-formed frames, appending one FrameRef per
+/// block; returns false at the first framing anomaly (bad magic, implausible
+/// size, truncation), leaving `out` holding the frames located so far.
+/// Callers that need damage recovery or exact damage messages fall back to
+/// BlockReader, which is the authority on both.
+bool index_frames(std::string_view region, std::vector<FrameRef>& out);
+
 /// Reads framed blocks back. Strict mode throws ParseError (with the byte
 /// offset) on any damaged frame; lenient mode records the damage in `report`
 /// and resynchronizes at the next block marker.
@@ -87,11 +109,13 @@ class BlockReader {
   std::uint64_t block_offset_ = 0;
 };
 
-/// A bounds-checked little-endian cursor over one block payload. get<T>
-/// failures surface the absolute byte offset of the failing field.
+/// A bounds-checked little-endian cursor over one block payload — a view,
+/// so it reads equally from a BlockReader's copied payload or from a mapped
+/// file region in place. get<T> failures surface the absolute byte offset of
+/// the failing field.
 class PayloadCursor {
  public:
-  PayloadCursor(const std::string& payload, std::uint64_t base_offset,
+  PayloadCursor(std::string_view payload, std::uint64_t base_offset,
                 const char* what)
       : data_(payload), base_(base_offset), what_(what) {}
 
@@ -103,6 +127,9 @@ class PayloadCursor {
   }
   void read(void* dst, std::size_t n);
   std::string get_string(std::size_t n);
+  /// Zero-copy view of the next n bytes, advancing the cursor. Throws like
+  /// read() when fewer than n remain; the view aliases the payload.
+  std::string_view take(std::size_t n);
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool at_end() const { return pos_ == data_.size(); }
@@ -110,7 +137,7 @@ class PayloadCursor {
   std::uint64_t offset() const { return base_ + pos_; }
 
  private:
-  const std::string& data_;
+  std::string_view data_;
   std::size_t pos_ = 0;
   std::uint64_t base_;
   const char* what_;

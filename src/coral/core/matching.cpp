@@ -1,57 +1,66 @@
 #include "coral/core/matching.hpp"
 
 #include <algorithm>
-#include <set>
+
+#include "coral/bgp/topology.hpp"
 
 namespace coral::core {
 
 namespace {
 
-/// Sorted-by-end-time view of the job log for window queries.
-struct EndIndex {
-  std::vector<std::size_t> by_end;
-  std::vector<TimePoint> end_times;
-
-  explicit EndIndex(const joblog::JobLog& jobs) {
-    by_end.resize(jobs.size());
-    for (std::size_t i = 0; i < by_end.size(); ++i) by_end[i] = i;
-    std::sort(by_end.begin(), by_end.end(), [&jobs](std::size_t a, std::size_t b) {
-      return jobs[a].end_time < jobs[b].end_time;
-    });
-    end_times.resize(by_end.size());
-    for (std::size_t i = 0; i < by_end.size(); ++i) end_times[i] = jobs[by_end[i]].end_time;
-  }
-};
-
 /// Jobs matched by one group: the per-group work item (independent of every
 /// other group, hence trivially parallel).
 std::vector<std::size_t> match_one_group(const filter::FilterPipelineResult& filtered,
-                                         const joblog::JobLog& jobs, const EndIndex& index,
+                                         const joblog::IntervalIndex& index,
                                          const filter::EventGroup& group, Usec window) {
   // The independent event happens at the representative record's time;
   // later member records are redundant re-reports. Jobs are therefore
   // matched against a window around the representative time, but the
   // location test runs over every member record (a shared-file-system
   // fault's records land inside each victim job's partition).
+  //
+  // With the per-midplane interval index the member loop collapses into a
+  // footprint: a job in midplane bucket m has a partition containing m, and
+  // m is only queried because some member record touches it — so bucket
+  // membership *is* the coverage test, and only jobs that can possibly
+  // match are ever examined.
   const TimePoint rep_time = filtered.fatal_events[group.rep].event_time;
   const TimePoint lo = rep_time - window;
   const TimePoint hi = rep_time + window;
 
-  std::set<std::size_t> matched;
-  auto it = std::lower_bound(index.end_times.begin(), index.end_times.end(), lo);
-  for (; it != index.end_times.end() && *it <= hi; ++it) {
-    const std::size_t job_idx =
-        index.by_end[static_cast<std::size_t>(it - index.end_times.begin())];
-    const joblog::JobRecord& job = jobs[job_idx];
-    if (job.start_time > rep_time + window) continue;  // not yet running
-    for (std::size_t member : group.members) {
-      if (job.partition.covers(filtered.fatal_events[member].location)) {
-        matched.insert(job_idx);
-        break;
-      }
+  bool touched[bgp::Topology::kMidplanes] = {};
+  bgp::MidplaneId footprint[bgp::Topology::kMidplanes];
+  std::size_t footprint_size = 0;
+  const auto touch = [&](bgp::MidplaneId m) {
+    if (touched[m]) return;
+    touched[m] = true;
+    footprint[footprint_size++] = m;
+  };
+  for (const std::size_t member : group.members) {
+    const bgp::Location& loc = filtered.fatal_events[member].location;
+    if (loc.kind() == bgp::LocationKind::Rack) {
+      touch(bgp::midplane_id(loc.rack_index(), 0));
+      touch(bgp::midplane_id(loc.rack_index(), 1));
+    } else {
+      touch(*loc.midplane_id());
+    }
+    if (footprint_size == bgp::Topology::kMidplanes) break;  // whole machine reached
+  }
+
+  std::vector<std::size_t> matched;
+  for (std::size_t f = 0; f < footprint_size; ++f) {
+    const auto slice = index.ends(footprint[f]);
+    const auto begin = slice.end_time.begin();
+    auto it = std::lower_bound(begin, slice.end_time.end(), lo);
+    for (; it != slice.end_time.end() && *it <= hi; ++it) {
+      const auto k = static_cast<std::size_t>(it - begin);
+      if (slice.start_time[k] > hi) continue;  // not yet running
+      matched.push_back(slice.job[k]);
     }
   }
-  return {matched.begin(), matched.end()};
+  std::sort(matched.begin(), matched.end());
+  matched.erase(std::unique(matched.begin(), matched.end()), matched.end());
+  return matched;
 }
 
 }  // namespace
@@ -62,7 +71,7 @@ MatchResult match_interruptions(const filter::FilterPipelineResult& filtered,
   result.jobs_by_group.resize(filtered.groups.size());
   result.group_by_job.assign(jobs.size(), std::nullopt);
 
-  const EndIndex index(jobs);
+  const joblog::IntervalIndex& index = jobs.interval_index();
 
   // Phase 1 (parallel): per-group candidate lists. Writes go to disjoint
   // slots of jobs_by_group, so no synchronization is needed.
@@ -71,7 +80,7 @@ MatchResult match_interruptions(const filter::FilterPipelineResult& filtered,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t g = begin; g < end; ++g) {
           result.jobs_by_group[g] =
-              match_one_group(filtered, jobs, index, filtered.groups[g], config.window);
+              match_one_group(filtered, index, filtered.groups[g], config.window);
         }
       },
       config.pool);

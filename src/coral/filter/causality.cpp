@@ -1,107 +1,184 @@
 #include "coral/filter/causality.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <map>
-#include <set>
 #include <unordered_map>
 
 namespace coral::filter {
 
-std::vector<CausalPair> mine_causal_pairs(std::span<const ras::RasEvent> events,
-                                          std::span<const EventGroup> groups,
+namespace {
+
+// Gathered per-group rep fields plus a dense renumbering of the errcodes
+// seen. Errcodes are catalog indices, so the dense universe is small (tens
+// of codes) and pair counts fit a flat d*d matrix.
+struct RepColumns {
+  std::vector<TimePoint> time;
+  std::vector<std::uint32_t> dense;  ///< dense code id per group
+  std::vector<ras::ErrcodeId> code;  ///< dense id -> original errcode
+
+  RepColumns(const EventColumns& events, const GroupSet& groups) {
+    time.reserve(groups.size());
+    dense.reserve(groups.size());
+    std::unordered_map<ras::ErrcodeId, std::uint32_t> ids;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      const std::size_t rep = groups.rep(i);
+      time.push_back(events.time[rep]);
+      const auto [it, fresh] =
+          ids.try_emplace(events.errcode[rep], static_cast<std::uint32_t>(code.size()));
+      if (fresh) code.push_back(events.errcode[rep]);
+      dense.push_back(it->second);
+    }
+  }
+
+  std::size_t codes() const { return code.size(); }
+};
+
+}  // namespace
+
+std::vector<CausalPair> mine_causal_pairs(const EventColumns& events, const GroupSet& groups,
                                           const CausalityFilterConfig& config) {
-  // Count unordered co-occurrences of distinct codes among group reps
-  // within the window (each pair of groups counted once). The outer loop is
-  // embarrassingly parallel: each chunk owns disjoint left-endpoints i and
-  // accumulates into a local map; maps are merged afterwards, so the result
-  // is independent of the chunking.
-  using Counts = std::map<std::pair<ras::ErrcodeId, ras::ErrcodeId>, int>;
-  const auto count_range = [&](std::size_t begin, std::size_t end, Counts& counts) {
+  const RepColumns reps(events, groups);
+  const std::size_t d = reps.codes();
+
+  // counts[min*d + max] over dense id pairs; each pair of groups counted
+  // once. The outer loop is embarrassingly parallel: each chunk owns
+  // disjoint left-endpoints i and accumulates into a local matrix; matrices
+  // are summed afterwards, so the result is independent of the chunking.
+  const auto count_range = [&](std::size_t begin, std::size_t end,
+                               std::vector<std::int64_t>& counts) {
     for (std::size_t i = begin; i < end; ++i) {
-      const ras::RasEvent& a = events[groups[i].rep];
-      for (std::size_t j = i + 1; j < groups.size(); ++j) {
-        const ras::RasEvent& b = events[groups[j].rep];
-        if (b.event_time - a.event_time > config.window) break;
-        if (a.errcode == b.errcode) continue;
-        const auto key = a.errcode < b.errcode ? std::pair{a.errcode, b.errcode}
-                                               : std::pair{b.errcode, a.errcode};
-        counts[key] += 1;
+      const TimePoint ta = reps.time[i];
+      const std::uint32_t da = reps.dense[i];
+      for (std::size_t j = i + 1; j < reps.time.size(); ++j) {
+        if (reps.time[j] - ta > config.window) break;
+        const std::uint32_t db = reps.dense[j];
+        if (da == db) continue;
+        const std::uint32_t lo = std::min(da, db);
+        const std::uint32_t hi = std::max(da, db);
+        counts[lo * d + hi] += 1;
       }
     }
   };
 
-  Counts counts;
-  if (config.pool != nullptr && config.pool->thread_count() > 1) {
-    std::vector<Counts> partial(config.pool->thread_count() * 4);
+  std::vector<std::int64_t> counts(d * d, 0);
+  if (config.pool != nullptr && config.pool->thread_count() > 1 && !groups.empty()) {
+    std::vector<std::vector<std::int64_t>> partial(config.pool->thread_count() * 4);
     std::atomic<std::size_t> slot{0};
     par::parallel_for_chunks(
         groups.size(), 256,
         [&](std::size_t begin, std::size_t end) {
-          count_range(begin, end, partial[slot.fetch_add(1) % partial.size()]);
+          auto& mine = partial[slot.fetch_add(1) % partial.size()];
+          if (mine.empty()) mine.assign(d * d, 0);
+          count_range(begin, end, mine);
         },
         config.pool);
-    for (const Counts& p : partial) {
-      for (const auto& [key, n] : p) counts[key] += n;
+    for (const auto& p : partial) {
+      for (std::size_t k = 0; k < p.size(); ++k) counts[k] += p[k];
     }
   } else {
     count_range(0, groups.size(), counts);
   }
 
   std::vector<CausalPair> pairs;
-  for (const auto& [key, n] : counts) {
-    if (n >= config.min_support) pairs.push_back(key);
+  for (std::uint32_t a = 0; a < d; ++a) {
+    for (std::uint32_t b = a + 1; b < d; ++b) {
+      if (counts[a * d + b] < config.min_support) continue;
+      const ras::ErrcodeId ca = reps.code[a];
+      const ras::ErrcodeId cb = reps.code[b];
+      pairs.push_back(ca < cb ? CausalPair{ca, cb} : CausalPair{cb, ca});
+    }
   }
+  std::sort(pairs.begin(), pairs.end());
   return pairs;
+}
+
+GroupSet causality_filter(const EventColumns& events, GroupSet groups,
+                          std::span<const CausalPair> pairs,
+                          const CausalityFilterConfig& config) {
+  // Dense-renumber every code mentioned by a pair or a group rep, then run
+  // the merge loop against flat partner/open arrays. Partner lists are kept
+  // in ascending code order, matching the set iteration the tie-break rule
+  // ("first best wins") depends on.
+  std::unordered_map<ras::ErrcodeId, std::uint32_t> ids;
+  std::vector<ras::ErrcodeId> code_of_dense;
+  const auto dense_of = [&](ras::ErrcodeId c) {
+    const auto [it, fresh] = ids.try_emplace(c, static_cast<std::uint32_t>(code_of_dense.size()));
+    if (fresh) code_of_dense.push_back(c);
+    return it->second;
+  };
+  std::vector<std::uint32_t> rep_dense(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    rep_dense[i] = dense_of(events.errcode[groups.rep(i)]);
+  }
+  struct Partner {
+    ras::ErrcodeId code;
+    std::uint32_t dense;
+  };
+  std::vector<std::vector<Partner>> partner(code_of_dense.size());
+  for (const auto& [a, b] : pairs) {
+    const std::uint32_t da = dense_of(a);
+    const std::uint32_t db = dense_of(b);
+    partner.resize(code_of_dense.size());
+    partner[da].push_back({b, db});
+    partner[db].push_back({a, da});
+  }
+  for (auto& list : partner) {
+    std::sort(list.begin(), list.end(),
+              [](const Partner& x, const Partner& y) { return x.code < y.code; });
+    list.erase(std::unique(list.begin(), list.end(),
+                           [](const Partner& x, const Partner& y) { return x.code == y.code; }),
+               list.end());
+  }
+
+  struct Open {
+    std::uint32_t out_index = 0;
+    TimePoint last;
+    bool valid = false;
+  };
+  std::vector<Open> open(code_of_dense.size());
+  std::vector<std::uint32_t> target(groups.size());
+  std::uint32_t out_count = 0;
+
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const TimePoint t = events.time[groups.rep(i)];
+    const std::uint32_t dc = rep_dense[i];
+    // Merge into the most recent partner group within the window.
+    bool found = false;
+    std::uint32_t best_out = 0;
+    TimePoint best_time;
+    for (const Partner& p : partner[dc]) {
+      const Open& o = open[p.dense];
+      if (!o.valid || t - o.last > config.window) continue;
+      if (!found || o.last > best_time) {
+        found = true;
+        best_time = o.last;
+        best_out = o.out_index;
+      }
+    }
+    if (found) {
+      target[i] = best_out;
+      continue;
+    }
+    open[dc] = {out_count, t, true};
+    target[i] = out_count++;
+  }
+  return groups.merged(target, out_count);
+}
+
+std::vector<CausalPair> mine_causal_pairs(std::span<const ras::RasEvent> events,
+                                          std::span<const EventGroup> groups,
+                                          const CausalityFilterConfig& config) {
+  const OwnedColumns cols(events);
+  return mine_causal_pairs(cols.view(), GroupSet::from_groups(groups), config);
 }
 
 std::vector<EventGroup> causality_filter(std::span<const ras::RasEvent> events,
                                          std::vector<EventGroup> groups,
                                          std::span<const CausalPair> pairs,
                                          const CausalityFilterConfig& config) {
-  // partner[c] = set of codes causally coupled with c.
-  std::unordered_map<ras::ErrcodeId, std::set<ras::ErrcodeId>> partner;
-  for (const auto& [a, b] : pairs) {
-    partner[a].insert(b);
-    partner[b].insert(a);
-  }
-
-  struct Open {
-    std::size_t out_index;
-    TimePoint last;
-  };
-  std::unordered_map<ras::ErrcodeId, Open> open;  // last group per code
-  std::vector<EventGroup> out;
-  out.reserve(groups.size());
-
-  for (EventGroup& g : groups) {
-    const ras::RasEvent& rep = events[g.rep];
-    bool merged = false;
-    if (const auto pit = partner.find(rep.errcode); pit != partner.end()) {
-      // Merge into the most recent partner group within the window.
-      std::size_t best_out = 0;
-      TimePoint best_time;
-      bool found = false;
-      for (ras::ErrcodeId p : pit->second) {
-        const auto oit = open.find(p);
-        if (oit == open.end()) continue;
-        if (rep.event_time - oit->second.last > config.window) continue;
-        if (!found || oit->second.last > best_time) {
-          found = true;
-          best_time = oit->second.last;
-          best_out = oit->second.out_index;
-        }
-      }
-      if (found) {
-        merge_groups(out[best_out], std::move(g));
-        merged = true;
-      }
-    }
-    if (!merged) {
-      open[rep.errcode] = Open{out.size(), rep.event_time};
-      out.push_back(std::move(g));
-    }
-  }
-  return out;
+  const OwnedColumns cols(events);
+  return causality_filter(cols.view(), GroupSet::from_groups(groups), pairs, config)
+      .to_groups();
 }
 
 }  // namespace coral::filter

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "coral/common/parallel.hpp"
+#include "coral/filter/columns.hpp"
 #include "coral/filter/groups.hpp"
 
 namespace coral::filter {
@@ -26,13 +27,23 @@ using CausalPair = std::pair<ras::ErrcodeId, ras::ErrcodeId>;
 
 /// Mine frequently co-occurring errcode pairs from grouped events. Counting
 /// is done on group representatives (post temporal/spatial), so storms do
-/// not inflate support.
+/// not inflate support. Columnar hot path: rep times/codes are gathered into
+/// contiguous arrays and counted in a dense code-pair matrix.
+std::vector<CausalPair> mine_causal_pairs(const EventColumns& events, const GroupSet& groups,
+                                          const CausalityFilterConfig& config);
+
+/// Compatibility wrapper over the columnar kernel.
 std::vector<CausalPair> mine_causal_pairs(std::span<const ras::RasEvent> events,
                                           std::span<const EventGroup> groups,
                                           const CausalityFilterConfig& config);
 
 /// Merge each group whose code is causally paired with a group seen within
-/// the window into that earlier group.
+/// the window into that earlier group (columnar hot path).
+GroupSet causality_filter(const EventColumns& events, GroupSet groups,
+                          std::span<const CausalPair> pairs,
+                          const CausalityFilterConfig& config);
+
+/// Compatibility wrapper over the columnar kernel.
 std::vector<EventGroup> causality_filter(std::span<const ras::RasEvent> events,
                                          std::vector<EventGroup> groups,
                                          std::span<const CausalPair> pairs,

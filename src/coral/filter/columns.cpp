@@ -1,0 +1,80 @@
+#include "coral/filter/columns.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "coral/common/error.hpp"
+
+namespace coral::filter {
+
+OwnedColumns::OwnedColumns(std::span<const ras::RasEvent> events) {
+  time.reserve(events.size());
+  errcode.reserve(events.size());
+  loc_key.reserve(events.size());
+  for (const ras::RasEvent& ev : events) {
+    time.push_back(ev.event_time);
+    errcode.push_back(ev.errcode);
+    loc_key.push_back(ev.location.packed());
+  }
+}
+
+GroupSet GroupSet::singletons(std::size_t count) {
+  CORAL_EXPECTS(count <= std::numeric_limits<std::uint32_t>::max());
+  GroupSet out;
+  out.rep_.resize(count);
+  std::iota(out.rep_.begin(), out.rep_.end(), 0u);
+  out.offset_.resize(count + 1);
+  std::iota(out.offset_.begin(), out.offset_.end(), 0u);
+  out.member_ = out.rep_;
+  return out;
+}
+
+GroupSet GroupSet::from_groups(std::span<const EventGroup> groups) {
+  GroupSet out;
+  out.rep_.reserve(groups.size());
+  out.offset_.reserve(groups.size() + 1);
+  out.offset_.push_back(0);
+  std::size_t total = 0;
+  for (const EventGroup& g : groups) total += g.members.size();
+  CORAL_EXPECTS(total <= std::numeric_limits<std::uint32_t>::max());
+  out.member_.reserve(total);
+  for (const EventGroup& g : groups) {
+    out.rep_.push_back(static_cast<std::uint32_t>(g.rep));
+    for (const std::size_t m : g.members) out.member_.push_back(static_cast<std::uint32_t>(m));
+    out.offset_.push_back(static_cast<std::uint32_t>(out.member_.size()));
+  }
+  return out;
+}
+
+std::vector<EventGroup> GroupSet::to_groups() const {
+  std::vector<EventGroup> out(size());
+  for (std::size_t g = 0; g < size(); ++g) {
+    out[g].rep = rep_[g];
+    const auto m = members(g);
+    out[g].members.assign(m.begin(), m.end());
+  }
+  return out;
+}
+
+GroupSet GroupSet::merged(std::span<const std::uint32_t> target, std::size_t out_count) const {
+  GroupSet out;
+  out.rep_.assign(out_count, std::numeric_limits<std::uint32_t>::max());
+  out.offset_.assign(out_count + 1, 0);
+  for (std::size_t i = 0; i < size(); ++i) {
+    out.offset_[target[i] + 1] += offset_[i + 1] - offset_[i];
+  }
+  for (std::size_t s = 0; s < out_count; ++s) out.offset_[s + 1] += out.offset_[s];
+  out.member_.resize(member_.size());
+  std::vector<std::uint32_t> cursor(out.offset_.begin(), out.offset_.end() - 1);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const std::uint32_t slot = target[i];
+    if (out.rep_[slot] == std::numeric_limits<std::uint32_t>::max()) out.rep_[slot] = rep_[i];
+    const auto m = members(i);
+    std::copy(m.begin(), m.end(), out.member_.begin() + cursor[slot]);
+    cursor[slot] += static_cast<std::uint32_t>(m.size());
+  }
+  return out;
+}
+
+}  // namespace coral::filter

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coral/filter/groups.hpp"
+#include "coral/ras/log.hpp"
+
+namespace coral::filter {
+
+/// Borrowed SoA columns over the records being filtered. The filter stages
+/// only ever touch three fields per record — time, errcode and location —
+/// so the hot loops scan three contiguous columns instead of striding over
+/// whole RasEvents. Spans borrow from a RasLog's FatalColumns (columns_of)
+/// or from an OwnedColumns gather.
+struct EventColumns {
+  std::span<const TimePoint> time;
+  std::span<const ras::ErrcodeId> errcode;
+  std::span<const std::uint32_t> loc_key;  ///< Location::packed() keys
+
+  std::size_t size() const { return time.size(); }
+};
+
+/// Borrow the SoA view a finalized RasLog already maintains.
+inline EventColumns columns_of(const ras::FatalColumns& c) {
+  return {c.event_time, c.errcode, c.loc_key};
+}
+
+/// Columns gathered from an AoS event span — the compatibility path behind
+/// the span-based filter overloads, and the only copy those wrappers make.
+struct OwnedColumns {
+  std::vector<TimePoint> time;
+  std::vector<ras::ErrcodeId> errcode;
+  std::vector<std::uint32_t> loc_key;
+
+  explicit OwnedColumns(std::span<const ras::RasEvent> events);
+  EventColumns view() const { return {time, errcode, loc_key}; }
+};
+
+/// A whole group partition in one flat CSR layout: group g owns
+/// members()[offset(g)..offset(g+1)) and keeps its representative record in
+/// rep(g). This replaces std::vector<EventGroup> in the pipeline hot path —
+/// merging stages build a target map and re-scatter the member column once,
+/// instead of concatenating thousands of little heap vectors.
+///
+/// Invariants (matching the EventGroup form): members are listed with the
+/// group's own record first and absorbed records appended in merge order;
+/// groups are ordered by representative time.
+class GroupSet {
+ public:
+  GroupSet() = default;
+
+  /// One group per record, the pre-filtering state (singleton_groups).
+  static GroupSet singletons(std::size_t count);
+  /// Flatten an EventGroup vector (compatibility ingress).
+  static GroupSet from_groups(std::span<const EventGroup> groups);
+  /// Materialize the EventGroup form (compatibility egress).
+  std::vector<EventGroup> to_groups() const;
+
+  std::size_t size() const { return rep_.size(); }
+  bool empty() const { return rep_.empty(); }
+  std::size_t total_members() const { return member_.size(); }
+  std::size_t rep(std::size_t g) const { return rep_[g]; }
+  std::span<const std::uint32_t> members(std::size_t g) const {
+    return {member_.data() + offset_[g], offset_[g + 1] - offset_[g]};
+  }
+
+  /// Apply a merge plan: input group i lands in output slot target[i], with
+  /// slots numbered in first-appearance order. Groups sharing a slot are
+  /// concatenated in input order — the first group's members lead and its
+  /// rep is kept — which reproduces a sequence of merge_groups calls
+  /// exactly, in two passes over the member column.
+  GroupSet merged(std::span<const std::uint32_t> target, std::size_t out_count) const;
+
+ private:
+  std::vector<std::uint32_t> rep_;     ///< representative record per group
+  std::vector<std::uint32_t> offset_;  ///< size()+1 prefix offsets into member_
+  std::vector<std::uint32_t> member_;  ///< concatenated member record indices
+};
+
+}  // namespace coral::filter

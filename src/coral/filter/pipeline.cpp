@@ -1,14 +1,19 @@
 #include "coral/filter/pipeline.hpp"
 
+#include "coral/filter/columns.hpp"
+
 namespace coral::filter {
 
 FilterPipelineResult run_filter_pipeline(const ras::RasLog& log,
                                          const FilterPipelineConfig& config) {
   FilterPipelineResult result;
+  // The stages themselves run on the log's SoA fatal view; the AoS copy is
+  // materialized once, only because downstream consumers (matching,
+  // classification, reports) index into it.
   result.fatal_events = log.fatal_events();
-  const auto& events = result.fatal_events;
+  const EventColumns events = columns_of(log.fatal_columns());
 
-  std::vector<EventGroup> groups = singleton_groups(events.size());
+  GroupSet groups = GroupSet::singletons(events.size());
   result.stages.push_back({"raw FATAL records", events.size(), groups.size()});
 
   const std::size_t before_temporal = groups.size();
@@ -27,7 +32,7 @@ FilterPipelineResult run_filter_pipeline(const ras::RasLog& log,
     result.stages.push_back({"causality", before_causality, groups.size()});
   }
 
-  result.groups = std::move(groups);
+  result.groups = groups.to_groups();
   return result;
 }
 

@@ -4,29 +4,47 @@
 
 namespace coral::filter {
 
+GroupSet spatial_filter(const EventColumns& events, GroupSet groups,
+                        const SpatialFilterConfig& config) {
+  // Errcodes are catalog indices (a few dozen distinct values), so remap
+  // them to dense ids once and run the merge loop over a flat array instead
+  // of a per-group hash lookup.
+  std::unordered_map<ras::ErrcodeId, std::uint32_t> dense;
+  std::vector<std::uint32_t> code_of(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const auto [it, _] =
+        dense.try_emplace(events.errcode[groups.rep(i)], static_cast<std::uint32_t>(dense.size()));
+    code_of[i] = it->second;
+  }
+
+  struct Open {
+    std::uint32_t out_index = 0;
+    TimePoint last;
+    bool valid = false;
+  };
+  std::vector<Open> open(dense.size());
+  std::vector<std::uint32_t> target(groups.size());
+  std::uint32_t out_count = 0;
+
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const TimePoint t = events.time[groups.rep(i)];
+    Open& slot = open[code_of[i]];
+    if (slot.valid && t - slot.last <= config.threshold) {
+      slot.last = t;
+      target[i] = slot.out_index;
+      continue;
+    }
+    slot = {out_count, t, true};
+    target[i] = out_count++;
+  }
+  return groups.merged(target, out_count);
+}
+
 std::vector<EventGroup> spatial_filter(std::span<const ras::RasEvent> events,
                                        std::vector<EventGroup> groups,
                                        const SpatialFilterConfig& config) {
-  struct Open {
-    std::size_t out_index;
-    TimePoint last;
-  };
-  std::unordered_map<std::int32_t, Open> open;  // keyed by errcode
-  std::vector<EventGroup> out;
-  out.reserve(groups.size());
-
-  for (EventGroup& g : groups) {
-    const ras::RasEvent& rep = events[g.rep];
-    const auto it = open.find(rep.errcode);
-    if (it != open.end() && rep.event_time - it->second.last <= config.threshold) {
-      it->second.last = rep.event_time;
-      merge_groups(out[it->second.out_index], std::move(g));
-      continue;
-    }
-    open[rep.errcode] = Open{out.size(), rep.event_time};
-    out.push_back(std::move(g));
-  }
-  return out;
+  const OwnedColumns cols(events);
+  return spatial_filter(cols.view(), GroupSet::from_groups(groups), config).to_groups();
 }
 
 }  // namespace coral::filter

@@ -1,43 +1,86 @@
 #include "coral/filter/temporal.hpp"
 
-#include <unordered_map>
+#include <algorithm>
+#include <bit>
+#include <limits>
 
 namespace coral::filter {
 
 namespace {
 
-std::uint64_t key_of(const ras::RasEvent& ev) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ev.errcode)) << 32) |
-         ev.location.packed();
-}
+// Open-addressed (errcode << 32 | loc_key) -> open-chain map. The merge loop
+// does one lookup per group; a flat power-of-two table with linear probing
+// avoids unordered_map's per-node allocations and pointer chases. The
+// all-ones key is unreachable: errcode is a non-negative catalog index and
+// loc_key's kind byte never reaches 0xFF.
+class OpenChains {
+ public:
+  struct Slot {
+    std::uint32_t out_index;
+    TimePoint last;
+  };
+
+  explicit OpenChains(std::size_t expected) {
+    const std::size_t cap = std::bit_ceil(std::max<std::size_t>(16, expected * 2));
+    mask_ = cap - 1;
+    keys_.assign(cap, kEmpty);
+    slots_.resize(cap);
+  }
+
+  /// Returns the slot for `key`; `fresh` is true when the key was absent.
+  Slot& find_or_insert(std::uint64_t key, bool& fresh) {
+    std::size_t i = (key * 0x9E3779B97F4A7C15ull) & mask_;
+    while (keys_[i] != key) {
+      if (keys_[i] == kEmpty) {
+        keys_[i] = key;
+        fresh = true;
+        return slots_[i];
+      }
+      i = (i + 1) & mask_;
+    }
+    fresh = false;
+    return slots_[i];
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> keys_;
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+};
 
 }  // namespace
+
+GroupSet temporal_filter(const EventColumns& events, GroupSet groups,
+                         const TemporalFilterConfig& config) {
+  OpenChains open(groups.size());
+  std::vector<std::uint32_t> target(groups.size());
+  std::uint32_t out_count = 0;
+
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const std::size_t rep = groups.rep(i);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(events.errcode[rep])) << 32) |
+        events.loc_key[rep];
+    const TimePoint t = events.time[rep];
+    bool fresh = false;
+    auto& slot = open.find_or_insert(key, fresh);
+    if (!fresh && t - slot.last <= config.threshold) {
+      slot.last = t;  // chain renews the window
+      target[i] = slot.out_index;
+      continue;
+    }
+    slot = {out_count, t};
+    target[i] = out_count++;
+  }
+  return groups.merged(target, out_count);
+}
 
 std::vector<EventGroup> temporal_filter(std::span<const ras::RasEvent> events,
                                         std::vector<EventGroup> groups,
                                         const TemporalFilterConfig& config) {
-  struct Open {
-    std::size_t out_index;
-    TimePoint last;
-  };
-  std::unordered_map<std::uint64_t, Open> open;
-  open.reserve(groups.size());
-  std::vector<EventGroup> out;
-  out.reserve(groups.size());
-
-  for (EventGroup& g : groups) {
-    const ras::RasEvent& rep = events[g.rep];
-    const std::uint64_t key = key_of(rep);
-    const auto it = open.find(key);
-    if (it != open.end() && rep.event_time - it->second.last <= config.threshold) {
-      it->second.last = rep.event_time;  // chain renews the window
-      merge_groups(out[it->second.out_index], std::move(g));
-      continue;
-    }
-    open[key] = Open{out.size(), rep.event_time};
-    out.push_back(std::move(g));
-  }
-  return out;
+  const OwnedColumns cols(events);
+  return temporal_filter(cols.view(), GroupSet::from_groups(groups), config).to_groups();
 }
 
 }  // namespace coral::filter

@@ -1,0 +1,58 @@
+#include "coral/joblog/interval_index.hpp"
+
+#include <limits>
+
+#include "coral/bgp/topology.hpp"
+#include "coral/common/error.hpp"
+
+namespace coral::joblog {
+
+IntervalIndex::IntervalIndex(std::span<const JobRecord> jobs,
+                             std::span<const std::size_t> by_end) {
+  CORAL_EXPECTS(jobs.size() <= std::numeric_limits<std::uint32_t>::max());
+  CORAL_EXPECTS(jobs.size() == by_end.size());
+  offset_.assign(bgp::Topology::kMidplanes + 1, 0);
+  for (const JobRecord& j : jobs) {
+    for (auto m = j.partition.first_midplane(); m < j.partition.end_midplane(); ++m) {
+      offset_[static_cast<std::size_t>(m) + 1] += 1;
+    }
+  }
+  for (std::size_t m = 0; m < static_cast<std::size_t>(bgp::Topology::kMidplanes); ++m) {
+    offset_[m + 1] += offset_[m];
+  }
+  const std::size_t total = offset_.back();
+  end_job_.resize(total);
+  end_time_.resize(total);
+  end_start_.resize(total);
+  start_job_.resize(total);
+  start_time_.resize(total);
+  start_end_.resize(total);
+  start_max_end_.resize(total);
+
+  std::vector<std::uint32_t> cursor(offset_.begin(), offset_.end() - 1);
+  for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+    const JobRecord& j = jobs[idx];
+    for (auto m = j.partition.first_midplane(); m < j.partition.end_midplane(); ++m) {
+      const std::size_t pos = cursor[static_cast<std::size_t>(m)]++;
+      start_job_[pos] = static_cast<std::uint32_t>(idx);
+      start_time_[pos] = j.start_time;
+      start_end_[pos] = j.end_time;
+      start_max_end_[pos] =
+          pos > offset_[static_cast<std::size_t>(m)] && start_max_end_[pos - 1] > j.end_time
+              ? start_max_end_[pos - 1]
+              : j.end_time;
+    }
+  }
+  cursor.assign(offset_.begin(), offset_.end() - 1);
+  for (const std::size_t idx : by_end) {
+    const JobRecord& j = jobs[idx];
+    for (auto m = j.partition.first_midplane(); m < j.partition.end_midplane(); ++m) {
+      const std::size_t pos = cursor[static_cast<std::size_t>(m)]++;
+      end_job_[pos] = static_cast<std::uint32_t>(idx);
+      end_time_[pos] = j.end_time;
+      end_start_[pos] = j.start_time;
+    }
+  }
+}
+
+}  // namespace coral::joblog

@@ -62,12 +62,18 @@ void JobLog::finalize() {
     }
     return a < b;
   });
+  interval_ = IntervalIndex(jobs_, by_end_);
   finalized_ = true;
 }
 
 const std::vector<std::size_t>& JobLog::by_end_time() const {
   CORAL_EXPECTS(finalized_);
   return by_end_;
+}
+
+const IntervalIndex& JobLog::interval_index() const {
+  CORAL_EXPECTS(finalized_ || jobs_.empty());
+  return interval_;
 }
 
 template <typename Pred>
@@ -89,8 +95,40 @@ std::vector<std::size_t> JobLog::running_matching(TimePoint t, Pred pred) const 
   return out;
 }
 
+namespace {
+
+// Jobs in one interval-index bucket that are running at `t`, descending job
+// index (the caller reverses or merges). Same bounded backward scan as the
+// whole-log running_matching, but confined to the jobs that can cover the
+// queried midplane.
+void bucket_running_at(const IntervalIndex::StartSlice& s, TimePoint t,
+                       std::vector<std::size_t>& out) {
+  const auto it = std::upper_bound(s.start_time.begin(), s.start_time.end(), t);
+  for (auto i = static_cast<std::ptrdiff_t>(it - s.start_time.begin()) - 1; i >= 0; --i) {
+    const auto k = static_cast<std::size_t>(i);
+    if (s.max_end[k] <= t) break;  // nothing earlier in the bucket can still run
+    if (s.end_time[k] > t) out.push_back(s.job[k]);
+  }
+}
+
+}  // namespace
+
 std::vector<std::size_t> JobLog::running_at(TimePoint t, const bgp::Location& loc) const {
-  return running_matching(t, [&loc](const JobRecord& j) { return j.partition.covers(loc); });
+  CORAL_EXPECTS(finalized_);
+  if (jobs_.empty()) return {};
+  std::vector<std::size_t> out;
+  if (loc.kind() == bgp::LocationKind::Rack) {
+    // Rack-level locations touch both midplanes of the rack; a >=2-midplane
+    // partition can sit in both buckets, so merge and dedupe.
+    bucket_running_at(interval_.starts(bgp::midplane_id(loc.rack_index(), 0)), t, out);
+    bucket_running_at(interval_.starts(bgp::midplane_id(loc.rack_index(), 1)), t, out);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+  bucket_running_at(interval_.starts(*loc.midplane_id()), t, out);
+  std::reverse(out.begin(), out.end());
+  return out;
 }
 
 std::vector<std::size_t> JobLog::running_at(TimePoint t, const bgp::Partition& part) const {
@@ -100,9 +138,17 @@ std::vector<std::size_t> JobLog::running_at(TimePoint t, const bgp::Partition& p
 
 std::vector<std::size_t> JobLog::overlapping(TimePoint begin, TimePoint end) const {
   CORAL_EXPECTS(finalized_);
+  // Binary-search both edges of the candidate slice: jobs starting at or
+  // after `end` cannot intersect, and neither can any prefix whose running
+  // max end time is still <= `begin`.
+  const auto lo = std::partition_point(max_end_prefix_.begin(), max_end_prefix_.end(),
+                                       [&](TimePoint m) { return m <= begin; });
+  const auto hi = std::partition_point(jobs_.begin(), jobs_.end(),
+                                       [&](const JobRecord& j) { return j.start_time < end; });
   std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    if (jobs_[i].start_time >= end) break;
+  const auto first = static_cast<std::size_t>(lo - max_end_prefix_.begin());
+  const auto last = static_cast<std::size_t>(hi - jobs_.begin());
+  for (std::size_t i = first; i < last; ++i) {
     if (jobs_[i].end_time > begin) out.push_back(i);
   }
   return out;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "coral/common/ingest.hpp"
+#include "coral/joblog/interval_index.hpp"
 #include "coral/joblog/job.hpp"
 
 namespace coral::joblog {
@@ -65,6 +66,10 @@ class JobLog {
   /// streaming consumers can walk terminations without re-sorting per run.
   const std::vector<std::size_t>& by_end_time() const;
 
+  /// Per-midplane interval index over the jobs, maintained by finalize().
+  /// The matching hot loop slices it instead of scanning every in-window job.
+  const IntervalIndex& interval_index() const;
+
   JobLogSummary summary() const;
 
   /// CSV with the Table III column set:
@@ -93,6 +98,7 @@ class JobLog {
   std::unordered_map<std::string, std::int32_t> project_index_;
   std::vector<TimePoint> max_end_prefix_;  ///< running max of end_time by start order
   std::vector<std::size_t> by_end_;        ///< indices sorted by (end_time, index)
+  IntervalIndex interval_;                 ///< per-midplane buckets over jobs_
   bool finalized_ = false;
 };
 

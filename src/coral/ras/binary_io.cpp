@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cstring>
 #include <istream>
+#include <iterator>
 #include <optional>
 #include <ostream>
+#include <streambuf>
+#include <string_view>
 
 #include "coral/common/binary_frame.hpp"
 #include "coral/common/error.hpp"
 #include "coral/common/instrument.hpp"
+#include "coral/common/parallel.hpp"
 
 namespace coral::ras {
 
@@ -33,39 +37,6 @@ struct PackedRecord {
                                     ///< so padding bytes must be deterministic
 };
 static_assert(sizeof(PackedRecord) == 24);
-
-// Rebuild a Location from its packed form (inverse of Location::packed()).
-bgp::Location unpack_location(std::uint32_t packed) {
-  const auto kind = static_cast<bgp::LocationKind>((packed >> 24) & 0xFF);
-  const int rack = static_cast<int>((packed >> 16) & 0xFF);
-  const int mid_in_rack = static_cast<int>((packed >> 12) & 0xF) == 0xF
-                              ? -1
-                              : static_cast<int>((packed >> 12) & 0xF);
-  const int card = static_cast<int>((packed >> 6) & 0x3F) == 0x3F
-                       ? -1
-                       : static_cast<int>((packed >> 6) & 0x3F);
-  const int sub =
-      static_cast<int>(packed & 0x3F) == 0x3F ? -1 : static_cast<int>(packed & 0x3F);
-  using bgp::Location;
-  using bgp::LocationKind;
-  switch (kind) {
-    case LocationKind::Rack:
-      return Location::rack(rack);
-    case LocationKind::Midplane:
-      return Location::midplane(bgp::midplane_id(rack, mid_in_rack));
-    case LocationKind::NodeCard:
-      return Location::node_card(bgp::midplane_id(rack, mid_in_rack), card);
-    case LocationKind::ComputeCard:
-      return Location::compute_card(bgp::midplane_id(rack, mid_in_rack), card, sub);
-    case LocationKind::ServiceCard:
-      return Location::service_card(bgp::midplane_id(rack, mid_in_rack));
-    case LocationKind::LinkCard:
-      return Location::link_card(bgp::midplane_id(rack, mid_in_rack), card);
-    case LocationKind::IoNode:
-      return Location::io_node(bgp::midplane_id(rack, mid_in_rack), card, sub);
-  }
-  throw ParseError("bad location kind in binary RAS log");
-}
 
 // Decoded 'D' payload: dictionary remapped into the target catalog plus the
 // file's total record count. A name missing from the catalog stays nullopt
@@ -92,6 +63,341 @@ Dictionary parse_dictionary(bin::PayloadCursor& cur, const Catalog& catalog,
   }
   dict.total_records = cur.get<std::uint64_t>();
   return dict;
+}
+
+// Validate and append one fixed-size record. Shared by the contiguous fast
+// path and the bounds-checked slow path so their accounting cannot drift.
+void decode_one(const PackedRecord& rec, std::uint64_t rec_offset, const Dictionary& dict,
+                ParseMode mode, IngestReport& rep, std::vector<RasEvent>& events) {
+  if (rec.dict_index >= dict.remap.size()) {
+    if (mode == ParseMode::Strict) throw ParseError("bad dictionary index");
+    rep.add_malformed(IngestReason::BadRecord, rec_offset, "",
+                      "dictionary index out of range");
+    return;
+  }
+  if (!dict.remap[rec.dict_index]) {
+    rep.add_malformed(IngestReason::UnknownErrcode, rec_offset, "",
+                      "errcode name not in target catalog");
+    return;
+  }
+  if (rec.severity > static_cast<std::uint8_t>(Severity::Fatal)) {
+    if (mode == ParseMode::Strict) {
+      throw ParseError("bad severity in binary RAS log at byte offset " +
+                       std::to_string(rec_offset));
+    }
+    rep.add_malformed(IngestReason::BadSeverity, rec_offset, "",
+                      "severity byte out of range");
+    return;
+  }
+  RasEvent ev;
+  ev.event_time = TimePoint(rec.time_usec);
+  try {
+    ev.location = bgp::Location::from_packed(rec.packed_location);
+  } catch (const Error& e) {
+    if (mode == ParseMode::Strict) throw;
+    rep.add_malformed(IngestReason::BadLocation, rec_offset, "", e.what());
+    return;
+  }
+  ev.errcode = *dict.remap[rec.dict_index];
+  ev.serial = rec.serial;
+  ev.severity = static_cast<Severity>(rec.severity);
+  events.push_back(ev);
+  rep.add_ok();
+}
+
+// Decode one 'R' payload's records (cursor past the tag byte). `dict` may be
+// null only when both dictionary copies were lost earlier in the input.
+// Shared by the sequential and parallel readers so their per-record
+// accounting cannot drift apart.
+void decode_records(bin::PayloadCursor& cur, const Dictionary* dict, ParseMode mode,
+                    IngestReport& rep, std::vector<RasEvent>& events,
+                    std::uint64_t& attempted) {
+  const auto n = cur.get<std::uint32_t>();
+  // Writer-canonical blocks hold exactly n contiguous records; decode them
+  // straight from the payload view, skipping per-record cursor bookkeeping.
+  // Any other shape (an adversarial CRC-valid payload) takes the
+  // bounds-checked loop below with identical accounting.
+  if (dict != nullptr &&
+      cur.remaining() == std::size_t{n} * sizeof(PackedRecord)) {
+    const std::uint64_t base = cur.offset();
+    const std::string_view raw = cur.take(cur.remaining());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      PackedRecord rec;
+      std::memcpy(&rec, raw.data() + std::size_t{i} * sizeof rec, sizeof rec);
+      ++attempted;
+      decode_one(rec, base + std::uint64_t{i} * sizeof rec, *dict, mode, rep, events);
+    }
+    return;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t rec_offset = cur.offset();
+    PackedRecord rec;
+    cur.read(&rec, sizeof rec);
+    ++attempted;
+    if (dict == nullptr) {
+      // Both dictionary copies were damaged; nothing to resolve against.
+      if (mode == ParseMode::Strict) {
+        throw ParseError("records before dictionary in binary RAS log");
+      }
+      rep.add_malformed(IngestReason::UnknownErrcode, rec_offset, "",
+                        "record with no surviving dictionary");
+      continue;
+    }
+    decode_one(rec, rec_offset, *dict, mode, rep, events);
+  }
+}
+
+/// An istream over an in-memory region, so the recovering BlockReader can
+/// run on the already-buffered file without copying it.
+struct ViewBuf : std::streambuf {
+  explicit ViewBuf(std::string_view v) {
+    char* p = const_cast<char*>(v.data());
+    setg(p, p, p + v.size());
+  }
+};
+
+// The reference reader: the recovering BlockReader walked front to back.
+// Handles every damage shape, and defines the exact error messages and
+// lenient accounting the parallel fast path must reproduce.
+RasLog read_region_sequential(std::string_view region, const Catalog& catalog,
+                              ParseMode mode, IngestReport& rep) {
+  ViewBuf viewbuf(region);
+  std::istream in(&viewbuf);
+
+  // Frame damage is tracked in a side report: one sample per damaged
+  // stretch, while the caller-visible BinaryFrame *count* is computed below
+  // as the exact number of records lost (the dictionary carries the total).
+  IngestReport frames;
+  bin::BlockReader blocks(in, mode, &frames, "binary RAS log");
+
+  std::optional<Dictionary> dict;
+  std::vector<RasEvent> events;
+  std::uint64_t attempted = 0;  // records decoded or individually rejected
+  std::string payload;
+  while (blocks.next(payload)) {
+    bin::PayloadCursor cur(payload, blocks.block_offset() + bin::kBlockHeaderBytes,
+                           "binary RAS log");
+    try {
+      const char tag = cur.get<char>();
+      if (tag == kDictTag) {
+        Dictionary d = parse_dictionary(cur, catalog, mode);
+        if (!dict) dict = std::move(d);  // later copies are redundancy
+        // Pre-size from the declared total, capped by what the region could
+        // physically hold so a corrupt count cannot force a huge allocation.
+        events.reserve(static_cast<std::size_t>(
+            std::min<std::uint64_t>(dict->total_records,
+                                    region.size() / sizeof(PackedRecord))));
+        continue;
+      }
+      if (tag != kRecordTag) {
+        if (mode == ParseMode::Strict) {
+          throw ParseError("unknown block tag in binary RAS log at byte offset " +
+                           std::to_string(blocks.block_offset()));
+        }
+        continue;  // records inside are covered by the lost-record top-up
+      }
+      decode_records(cur, dict ? &*dict : nullptr, mode, rep, events, attempted);
+    } catch (const Error&) {
+      if (mode == ParseMode::Strict) throw;
+      // A CRC-valid block whose payload still does not parse (writer bug or
+      // an adversarial file): skip it; the lost-record top-up accounts for
+      // its records.
+    }
+  }
+
+  if (mode == ParseMode::Strict) {
+    if (!dict) throw ParseError("missing dictionary in binary RAS log");
+    if (attempted != dict->total_records) {
+      throw ParseError("binary RAS log record count mismatch: expected " +
+                       std::to_string(dict->total_records) + ", got " +
+                       std::to_string(attempted));
+    }
+  } else {
+    // Exactly the records that vanished with dropped/undecodable frames.
+    const std::uint64_t expected = dict ? dict->total_records : attempted;
+    if (expected > attempted) {
+      rep.add_malformed_bulk(IngestReason::BinaryFrame, expected - attempted);
+    }
+    rep.adopt_samples(frames);
+  }
+
+  return RasLog(std::move(events), catalog);
+}
+
+// The fast path: index frames in place, decode the dictionary (the writer
+// always puts it in block 0), then fan CRC verification + record decode over
+// contiguous block ranges. Any framing anomaly defers to the sequential
+// reader, which is the authority on recovery; the caller's report is only
+// touched on a committed parallel result, so the fallback starts clean.
+RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
+                            ParseMode mode, IngestReport& rep, par::ThreadPool& pool) {
+  const auto fall_back = [&] { return read_region_sequential(region, catalog, mode, rep); };
+
+  std::vector<bin::FrameRef> frames;
+  if (!bin::index_frames(region, frames) || frames.empty()) return fall_back();
+  const char* base = region.data();
+  if (base[frames[0].offset + bin::kBlockHeaderBytes] != kDictTag) return fall_back();
+
+  // Block 0 carries the dictionary, so any error in it — CRC or content — is
+  // also the sequential reader's first error; order is preserved by handling
+  // it before the fan-out.
+  const bin::FrameRef& f0 = frames[0];
+  const char* dict_payload = base + f0.offset + bin::kBlockHeaderBytes;
+  if (bin::crc32(dict_payload, f0.size) != f0.crc) {
+    if (mode == ParseMode::Strict) {
+      throw ParseError("binary RAS log: block CRC mismatch at byte offset " +
+                       std::to_string(f0.offset));
+    }
+    return fall_back();  // the redundant copy may still be intact
+  }
+  Dictionary dict;
+  {
+    bin::PayloadCursor cur(std::string_view(dict_payload, f0.size),
+                           f0.offset + bin::kBlockHeaderBytes, "binary RAS log");
+    try {
+      cur.get<char>();  // tag, known to be 'D'
+      dict = parse_dictionary(cur, catalog, mode);
+    } catch (const Error&) {
+      if (mode == ParseMode::Strict) throw;
+      return fall_back();  // sequential skips the block, second copy serves
+    }
+  }
+
+  struct ChunkOut {
+    std::vector<RasEvent> events;
+    IngestReport rep;
+    std::uint64_t attempted = 0;
+    bool damaged = false;    ///< lenient CRC failure: whole read falls back
+    std::string error;       ///< strict: first error in block order
+    bool has_error = false;
+  };
+
+  const std::size_t nblocks = frames.size() - 1;
+  // 4 chunks per thread for load balance; a single-thread pool gets one
+  // chunk so the merge below is a plain move.
+  const std::size_t chunks =
+      pool.thread_count() <= 1
+          ? 1
+          : std::max<std::size_t>(1, std::min(nblocks, pool.thread_count() * 4));
+  std::vector<ChunkOut> outs(chunks);
+
+  par::parallel_for_chunks(
+      chunks, 1,
+      [&](std::size_t cb, std::size_t ce) {
+        for (std::size_t c = cb; c < ce; ++c) {
+          ChunkOut& out = outs[c];
+          const std::size_t fb = 1 + c * nblocks / chunks;
+          const std::size_t fe = 1 + (c + 1) * nblocks / chunks;
+          out.events.reserve((fe - fb) * kRecordsPerBlock);
+          for (std::size_t f = fb; f < fe; ++f) {
+            const bin::FrameRef& fr = frames[f];
+            const char* payload = base + fr.offset + bin::kBlockHeaderBytes;
+            if (bin::crc32(payload, fr.size) != fr.crc) {
+              if (mode == ParseMode::Strict) {
+                out.has_error = true;
+                out.error = "binary RAS log: block CRC mismatch at byte offset " +
+                            std::to_string(fr.offset);
+              } else {
+                out.damaged = true;
+              }
+              break;
+            }
+            bin::PayloadCursor cur(std::string_view(payload, fr.size),
+                                   fr.offset + bin::kBlockHeaderBytes, "binary RAS log");
+            try {
+              const char tag = cur.get<char>();
+              if (tag == kDictTag) {
+                parse_dictionary(cur, catalog, mode);  // redundant copy
+                continue;
+              }
+              if (tag != kRecordTag) {
+                if (mode == ParseMode::Strict) {
+                  throw ParseError("unknown block tag in binary RAS log at byte offset " +
+                                   std::to_string(fr.offset));
+                }
+                continue;
+              }
+              decode_records(cur, &dict, mode, out.rep, out.events, out.attempted);
+            } catch (const Error& e) {
+              if (mode == ParseMode::Strict) {
+                out.has_error = true;
+                out.error = e.what();
+                break;
+              }
+              // Lenient: CRC-valid block that still fails to parse — skip
+              // it, the lost-record top-up accounts for its records.
+            }
+          }
+        }
+      },
+      &pool);
+
+  if (mode == ParseMode::Strict) {
+    // Chunks cover contiguous, ascending block ranges and each stopped at
+    // its first error, so the earliest chunk's capture is the input-order
+    // first error — exactly what the sequential reader would have thrown.
+    for (const ChunkOut& out : outs) {
+      if (out.has_error) throw ParseError(out.error);
+    }
+  } else {
+    for (const ChunkOut& out : outs) {
+      if (out.damaged) return fall_back();
+    }
+  }
+
+  std::size_t total = 0;
+  for (const ChunkOut& out : outs) total += out.events.size();
+  std::vector<RasEvent> events;
+  std::uint64_t attempted = 0;
+  if (outs.size() == 1) {
+    events = std::move(outs[0].events);
+    rep.merge(outs[0].rep);
+    attempted = outs[0].attempted;
+  } else {
+    events.reserve(total);
+    for (ChunkOut& out : outs) {
+      events.insert(events.end(), std::make_move_iterator(out.events.begin()),
+                    std::make_move_iterator(out.events.end()));
+      rep.merge(out.rep);  // chunk order == offset order: samples stay sorted
+      attempted += out.attempted;
+    }
+  }
+
+  if (mode == ParseMode::Strict) {
+    if (attempted != dict.total_records) {
+      throw ParseError("binary RAS log record count mismatch: expected " +
+                       std::to_string(dict.total_records) + ", got " +
+                       std::to_string(attempted));
+    }
+  } else if (dict.total_records > attempted) {
+    rep.add_malformed_bulk(IngestReason::BinaryFrame, dict.total_records - attempted);
+  }
+
+  return RasLog(std::move(events), catalog);
+}
+
+std::string slurp(std::istream& in) {
+  std::string buf;
+  // Pre-size from the stream length when it is seekable (files, stringstreams).
+  const auto pos = in.tellg();
+  if (pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    in.seekg(pos);
+    if (end != std::istream::pos_type(-1) && end > pos) {
+      buf.reserve(static_cast<std::size_t>(end - pos));
+    }
+  }
+  constexpr std::size_t kChunk = 1 << 20;
+  for (;;) {
+    const std::size_t old = buf.size();
+    buf.resize(old + kChunk);
+    in.read(buf.data() + old, static_cast<std::streamsize>(kChunk));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    buf.resize(old + got);
+    if (got < kChunk) break;
+  }
+  return buf;
 }
 
 }  // namespace
@@ -131,130 +437,43 @@ void write_binary(std::ostream& out, const RasLog& log) {
 }
 
 RasLog read_binary(std::istream& in, const Catalog& catalog, ParseMode mode,
-                   IngestReport* report, InstrumentationSink* sink) {
+                   IngestReport* report, InstrumentationSink* sink,
+                   par::ThreadPool* pool) {
   IngestReport local;
   IngestReport& rep = report != nullptr ? *report : local;
   StageTimer timer(sink, "ingest.ras_binary");
 
-  char header[8];
-  in.read(header, sizeof header);
+  // Buffer the whole input once; frames are then indexed and decoded in
+  // place, with no per-block payload copies.
+  const std::string buffer = slurp(in);
+
   if (mode == ParseMode::Strict) {
-    if (!in || std::memcmp(header, kMagic, sizeof kMagic) != 0) {
+    if (buffer.size() < sizeof kMagic + sizeof kVersion ||
+        std::memcmp(buffer.data(), kMagic, sizeof kMagic) != 0) {
       throw ParseError("not a binary RAS log (bad magic)");
     }
     std::uint32_t version = 0;
-    std::memcpy(&version, header + sizeof kMagic, sizeof version);
+    std::memcpy(&version, buffer.data() + sizeof kMagic, sizeof version);
     if (version != kVersion) {
       throw ParseError("unsupported binary RAS log version " + std::to_string(version));
     }
   }
   // Lenient mode tolerates a damaged file header: the framed blocks are
-  // self-locating, so recovery proceeds from whatever survives.
+  // self-locating, so recovery proceeds from whatever survives. Offsets in
+  // reports and errors are relative to the end of the 8-byte header, as the
+  // streaming reader always counted them.
+  const std::string_view region = std::string_view(buffer).substr(
+      std::min(buffer.size(), sizeof kMagic + sizeof kVersion));
 
-  // Frame damage is tracked in a side report: one sample per damaged
-  // stretch, while the caller-visible BinaryFrame *count* is computed below
-  // as the exact number of records lost (the dictionary carries the total).
-  IngestReport frames;
-  bin::BlockReader blocks(in, mode, &frames, "binary RAS log");
-
-  std::optional<Dictionary> dict;
-  std::vector<RasEvent> events;
-  std::uint64_t attempted = 0;  // records decoded or individually rejected
-  std::string payload;
-  while (blocks.next(payload)) {
-    bin::PayloadCursor cur(payload, blocks.block_offset() + bin::kBlockHeaderBytes,
-                           "binary RAS log");
-    try {
-      const char tag = cur.get<char>();
-      if (tag == kDictTag) {
-        Dictionary d = parse_dictionary(cur, catalog, mode);
-        if (!dict) dict = std::move(d);  // later copies are redundancy
-        continue;
-      }
-      if (tag != kRecordTag) {
-        if (mode == ParseMode::Strict) {
-          throw ParseError("unknown block tag in binary RAS log at byte offset " +
-                           std::to_string(blocks.block_offset()));
-        }
-        continue;  // records inside are covered by the lost-record top-up
-      }
-      const auto n = cur.get<std::uint32_t>();
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint64_t rec_offset = cur.offset();
-        PackedRecord rec;
-        cur.read(&rec, sizeof rec);
-        ++attempted;
-        if (!dict) {
-          // Both dictionary copies were damaged; nothing to resolve against.
-          if (mode == ParseMode::Strict) {
-            throw ParseError("records before dictionary in binary RAS log");
-          }
-          rep.add_malformed(IngestReason::UnknownErrcode, rec_offset, "",
-                            "record with no surviving dictionary");
-          continue;
-        }
-        if (rec.dict_index >= dict->remap.size()) {
-          if (mode == ParseMode::Strict) throw ParseError("bad dictionary index");
-          rep.add_malformed(IngestReason::BadRecord, rec_offset, "",
-                            "dictionary index out of range");
-          continue;
-        }
-        if (!dict->remap[rec.dict_index]) {
-          rep.add_malformed(IngestReason::UnknownErrcode, rec_offset, "",
-                            "errcode name not in target catalog");
-          continue;
-        }
-        if (rec.severity > static_cast<std::uint8_t>(Severity::Fatal)) {
-          if (mode == ParseMode::Strict) {
-            throw ParseError("bad severity in binary RAS log at byte offset " +
-                             std::to_string(rec_offset));
-          }
-          rep.add_malformed(IngestReason::BadSeverity, rec_offset, "",
-                            "severity byte out of range");
-          continue;
-        }
-        RasEvent ev;
-        ev.event_time = TimePoint(rec.time_usec);
-        try {
-          ev.location = unpack_location(rec.packed_location);
-        } catch (const Error& e) {
-          if (mode == ParseMode::Strict) throw;
-          rep.add_malformed(IngestReason::BadLocation, rec_offset, "", e.what());
-          continue;
-        }
-        ev.errcode = *dict->remap[rec.dict_index];
-        ev.serial = rec.serial;
-        ev.severity = static_cast<Severity>(rec.severity);
-        events.push_back(ev);
-        rep.add_ok();
-      }
-    } catch (const Error&) {
-      if (mode == ParseMode::Strict) throw;
-      // A CRC-valid block whose payload still does not parse (writer bug or
-      // an adversarial file): skip it; the lost-record top-up accounts for
-      // its records.
-    }
-  }
-
-  if (mode == ParseMode::Strict) {
-    if (!dict) throw ParseError("missing dictionary in binary RAS log");
-    if (attempted != dict->total_records) {
-      throw ParseError("binary RAS log record count mismatch: expected " +
-                       std::to_string(dict->total_records) + ", got " +
-                       std::to_string(attempted));
-    }
-  } else {
-    // Exactly the records that vanished with dropped/undecodable frames.
-    const std::uint64_t expected = dict ? dict->total_records : attempted;
-    if (expected > attempted) {
-      rep.add_malformed_bulk(IngestReason::BinaryFrame, expected - attempted);
-    }
-    rep.adopt_samples(frames);
-  }
+  // The indexed in-place path wins even on a single-thread pool (no per-block
+  // payload copies), so any pool at all selects it.
+  RasLog log = pool != nullptr
+                   ? read_region_parallel(region, catalog, mode, rep, *pool)
+                   : read_region_sequential(region, catalog, mode, rep);
 
   timer.counts(rep.records_seen(), rep.records_ok());
   rep.report_malformed(sink, "ingest.ras_binary");
-  return RasLog(std::move(events), catalog);
+  return log;
 }
 
 }  // namespace coral::ras

@@ -5,6 +5,10 @@
 #include "coral/common/ingest.hpp"
 #include "coral/ras/log.hpp"
 
+namespace coral::par {
+class ThreadPool;
+}
+
 namespace coral::ras {
 
 /// Compact binary serialization of a RasLog (format v2, block-framed).
@@ -40,8 +44,14 @@ void write_binary(std::ostream& out, const RasLog& log);
 /// computable even when the records themselves are unreadable). With a
 /// `sink`, an "ingest.ras_binary" stage sample plus per-reason malformed
 /// counters are recorded.
+///
+/// The input is buffered whole and frames are decoded in place. With a
+/// `pool`, CRC verification and record decoding fan out across contiguous
+/// block ranges — results (events, error messages, lenient accounting) are
+/// identical to the sequential read; a file with any frame damage falls back
+/// to the sequential recovering reader.
 RasLog read_binary(std::istream& in, const Catalog& catalog = default_catalog(),
                    ParseMode mode = ParseMode::Strict, IngestReport* report = nullptr,
-                   InstrumentationSink* sink = nullptr);
+                   InstrumentationSink* sink = nullptr, par::ThreadPool* pool = nullptr);
 
 }  // namespace coral::ras

@@ -23,26 +23,49 @@ void RasLog::append(RasEvent ev) {
 }
 
 void RasLog::finalize() {
-  std::stable_sort(events_.begin(), events_.end(),
-                   [](const RasEvent& a, const RasEvent& b) {
-                     return a.event_time < b.event_time;
-                   });
+  const auto by_time = [](const RasEvent& a, const RasEvent& b) {
+    return a.event_time < b.event_time;
+  };
+  // Binary logs are written from a finalized (time-ordered) RasLog, so the
+  // common reload path is already sorted; stable_sort on sorted input is the
+  // identity, and the O(n) check is ~50x cheaper than the sort itself.
+  if (!std::is_sorted(events_.begin(), events_.end(), by_time)) {
+    std::stable_sort(events_.begin(), events_.end(), by_time);
+  }
   std::int64_t recid = 1;
   for (auto& ev : events_) ev.recid = recid++;
-  fatal_index_.clear();
+  fatal_.event_time.clear();
+  fatal_.errcode.clear();
+  fatal_.loc_key.clear();
+  fatal_.log_index.clear();
   for (std::size_t i = 0; i < events_.size(); ++i) {
-    if (events_[i].is_fatal()) fatal_index_.push_back(i);
+    const RasEvent& ev = events_[i];
+    if (!ev.is_fatal()) continue;
+    fatal_.event_time.push_back(ev.event_time);
+    fatal_.errcode.push_back(ev.errcode);
+    fatal_.loc_key.push_back(ev.location.packed());
+    fatal_.log_index.push_back(i);
   }
   finalized_ = true;
 }
 
 const std::vector<std::size_t>& RasLog::fatal_indices() const {
   CORAL_EXPECTS(finalized_);
-  return fatal_index_;
+  return fatal_.log_index;
+}
+
+const FatalColumns& RasLog::fatal_columns() const {
+  CORAL_EXPECTS(finalized_);
+  return fatal_;
 }
 
 std::vector<RasEvent> RasLog::fatal_events() const {
   std::vector<RasEvent> out;
+  if (finalized_) {
+    out.reserve(fatal_.log_index.size());
+    for (const std::size_t i : fatal_.log_index) out.push_back(events_[i]);
+    return out;
+  }
   for (const auto& ev : events_) {
     if (ev.is_fatal()) out.push_back(ev);
   }

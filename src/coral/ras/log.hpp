@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <vector>
@@ -19,6 +20,25 @@ struct RasLogSummary {
   TimePoint last_time;
   std::map<Severity, std::size_t> by_severity;
   std::map<Component, std::size_t> fatal_by_component;
+};
+
+/// Structure-of-arrays view of the FATAL-severity records, materialized once
+/// by RasLog::finalize(). The filter/match hot loops touch exactly three
+/// fields per record — time, errcode and location — so scanning three
+/// contiguous columns (8+4+4 bytes) instead of chasing whole RasEvents keeps
+/// the working set a fraction of the AoS walk and lets the filters carry
+/// plain index spans instead of copied event groups. `log_index[i]` maps
+/// column row i back to the owning RasLog's events() (and doubles as
+/// fatal_indices()); locations are stored as Location::packed() keys
+/// (recover with bgp::Location::from_packed).
+struct FatalColumns {
+  std::vector<TimePoint> event_time;
+  std::vector<ErrcodeId> errcode;
+  std::vector<std::uint32_t> loc_key;
+  std::vector<std::size_t> log_index;
+
+  std::size_t size() const { return event_time.size(); }
+  bool empty() const { return event_time.empty(); }
 };
 
 /// An in-memory RAS log: records sorted by EVENT_TIME, RECIDs assigned in
@@ -49,13 +69,19 @@ class RasLog {
   /// appends and before analysis.
   void finalize();
 
-  /// Copy of all FATAL-severity records, time-ordered.
+  /// Copy of all FATAL-severity records, time-ordered. Deprecated
+  /// compatibility shim: prefer fatal_columns() (no copy) or gather through
+  /// fatal_indices(); this materializes a full AoS copy per call.
   std::vector<RasEvent> fatal_events() const;
 
   /// Indices of all FATAL-severity records, time-ordered. Maintained by
   /// finalize() so streaming consumers can gather fatal records without
   /// re-scanning the full log per run.
   const std::vector<std::size_t>& fatal_indices() const;
+
+  /// Columnar (SoA) view of the FATAL records, maintained by finalize().
+  /// Row i describes events()[fatal_columns().log_index[i]].
+  const FatalColumns& fatal_columns() const;
 
   /// Index of the first event with time >= t (log must be finalized).
   std::size_t lower_bound(TimePoint t) const;
@@ -85,7 +111,7 @@ class RasLog {
  private:
   const Catalog* catalog_;
   std::vector<RasEvent> events_;
-  std::vector<std::size_t> fatal_index_;
+  FatalColumns fatal_;
   bool finalized_ = false;
 };
 

@@ -43,7 +43,10 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
     for (const std::size_t i : idx) r.filtered.fatal_events.push_back(ras[i]);
     timer.counts(ras.size(), r.filtered.fatal_events.size());
   }
-  const auto& fatal = r.filtered.fatal_events;
+  // The SoA view drives the hot loops; fatal_events above is only the
+  // materialised copy downstream reports expect.
+  const ras::FatalColumns& cols = ras.fatal_columns();
+  const std::size_t fatal_count = cols.size();
   const auto& all_jobs = jobs.jobs();
   const bool causality = config.filters.enable_causality;
 
@@ -53,15 +56,13 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
   const std::vector<std::size_t>& by_end = jobs.by_end_time();
 
   // Shard plan: cuts only at quiesce gaps, so shard concatenation is exact.
+  // The planner reads the event-time column in place — no gather copy.
   ShardPlan plan;
-  if (config.shards > 1 && fatal.size() >= 2) {
-    std::vector<TimePoint> times;
-    times.reserve(fatal.size());
-    for (const auto& ev : fatal) times.push_back(ev.event_time);
+  if (config.shards > 1 && fatal_count >= 2) {
     const Usec quiesce =
         quiesce_gap(config.filters.temporal.threshold, config.filters.spatial.threshold,
                     causality ? config.filters.causality.window : 0, config.match_window);
-    plan = plan_shards(times, config.shards, quiesce);
+    plan = plan_shards(cols.event_time, config.shards, quiesce);
   }
   const std::size_t nshards = plan.shard_count();
   r.shards_used = nshards;
@@ -70,14 +71,14 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
   // end-ordered job list.
   std::vector<std::size_t> fatal_begin(nshards + 1, 0);
   std::vector<std::size_t> ends_begin(nshards + 1, 0);
-  fatal_begin[nshards] = fatal.size();
+  fatal_begin[nshards] = fatal_count;
   ends_begin[nshards] = by_end.size();
   for (std::size_t s = 1; s < nshards; ++s) {
     const TimePoint cut = plan.cuts[s - 1];
     fatal_begin[s] = static_cast<std::size_t>(
-        std::partition_point(fatal.begin(), fatal.end(),
-                             [cut](const ras::RasEvent& ev) { return ev.event_time < cut; }) -
-        fatal.begin());
+        std::partition_point(cols.event_time.begin(), cols.event_time.end(),
+                             [cut](TimePoint t) { return t < cut; }) -
+        cols.event_time.begin());
     ends_begin[s] = static_cast<std::size_t>(
         std::partition_point(by_end.begin(), by_end.end(),
                              [&all_jobs, cut](std::size_t j) {
@@ -109,7 +110,7 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
       opt.mine_pairs = causality;
       StreamingFilter filter(std::move(opt), buffer);
       for (std::size_t i = fatal_begin[s]; i < fatal_begin[s + 1]; ++i) {
-        filter.on_ras(fatal[i].event_time, fatal[i], i);
+        filter.on_fatal(cols.event_time[i], cols.errcode[i], cols.loc_key[i], i);
       }
       filter.flush();
       ShardOutput& out = shard[s];
@@ -124,7 +125,7 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
   {
     std::size_t spatial_out = 0;
     for (const ShardOutput& s : shard) spatial_out += s.spatial_out;
-    phase1_timer.counts(fatal.size(), spatial_out);
+    phase1_timer.counts(fatal_count, spatial_out);
     phase1_timer.report();
   }
 
@@ -190,8 +191,8 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
   phase2_timer.counts(spatial_total, groups_total);
   phase2_timer.report();
   StageTimer merge_timer(sink, "merge");
-  r.filtered.stages.push_back({"raw FATAL records", fatal.size(), fatal.size()});
-  r.filtered.stages.push_back({"temporal", fatal.size(), temporal_total});
+  r.filtered.stages.push_back({"raw FATAL records", fatal_count, fatal_count});
+  r.filtered.stages.push_back({"temporal", fatal_count, temporal_total});
   r.filtered.stages.push_back({"spatial", temporal_total, spatial_total});
   if (causality) {
     r.filtered.stages.push_back({"causality", spatial_total, groups_total});

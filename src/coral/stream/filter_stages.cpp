@@ -89,12 +89,17 @@ StreamingFilter::StreamingFilter(Options options, GroupSink& out)
 void StreamingFilter::on_ras(TimePoint t, const ras::RasEvent& event,
                              std::size_t event_index) {
   (void)t;
+  on_fatal(event.event_time, event.errcode, event.location.packed(), event_index);
+}
+
+void StreamingFilter::on_fatal(TimePoint t, ras::ErrcodeId errcode, std::uint32_t loc_key,
+                               std::size_t event_index) {
   ++raw_count_;
   StreamGroup g;
   g.rep = event_index;
-  g.rep_time = event.event_time;
-  g.errcode = event.errcode;
-  g.rep_location = event.location;
+  g.rep_time = t;
+  g.errcode = errcode;
+  g.rep_key = loc_key;
   temporal_->on_group(std::move(g));
 }
 

@@ -113,7 +113,7 @@ class WindowedCoalescer : public GroupSink {
 struct TemporalKey {
   std::uint64_t operator()(const StreamGroup& g) const {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.errcode)) << 32) |
-           g.rep_location.packed();
+           g.rep_key;
   }
 };
 
@@ -260,6 +260,10 @@ class StreamingFilter : public Stage {
   StreamingFilter(Options options, GroupSink& out);
 
   void on_ras(TimePoint t, const ras::RasEvent& event, std::size_t event_index) override;
+  /// Columnar entry point: feed a fatal record without materializing a
+  /// RasEvent (the coanalysis driver reads straight from ras::FatalColumns).
+  void on_fatal(TimePoint t, ras::ErrcodeId errcode, std::uint32_t loc_key,
+                std::size_t event_index);
   void on_job_start(TimePoint t, const joblog::JobRecord& job, std::size_t job_index) override;
   void on_job_end(TimePoint t, const joblog::JobRecord& job, std::size_t job_index) override;
   void flush() override;

@@ -66,10 +66,10 @@ void StreamingMatcher::emit_front() {
                              [](const JobEnd& e, TimePoint t) { return e.end < t; });
   for (; it != ends_.end() && it->end <= hi; ++it) {
     if (it->start > hi) continue;  // not yet running at the event
-    bool covered = it->partition.covers(match.group.rep_location);
+    bool covered = it->partition.covers_key(match.group.rep_key);
     if (!covered) {
       for (const GroupMember& m : match.group.extra) {
-        if (it->partition.covers(m.location)) {
+        if (it->partition.covers_key(m.loc_key)) {
           covered = true;
           break;
         }

@@ -11,7 +11,7 @@ void absorb(StreamGroup& dst, StreamGroup&& src) {
   if (dst.extra.capacity() < needed) {
     dst.extra.reserve(std::max(needed, dst.extra.capacity() * 2));
   }
-  dst.extra.push_back({src.rep, src.rep_location});
+  dst.extra.push_back({src.rep, src.rep_key});
   for (GroupMember& m : src.extra) dst.extra.push_back(m);
   src.extra.clear();
 }

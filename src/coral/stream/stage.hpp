@@ -32,22 +32,24 @@ class Stage {
 };
 
 /// A non-representative member record of an in-flight event group. The
-/// location is carried inline so the matcher can run partition-coverage
-/// tests without random access into the full log.
+/// location is carried inline — as a Location::packed() key, which is what
+/// every consumer (filter keys, partition-coverage tests) actually wants —
+/// so the matcher needs no random access into the full log. Recover a full
+/// Location with bgp::Location::from_packed.
 struct GroupMember {
   std::size_t index = 0;  ///< index into the delivered fatal-record sequence
-  bgp::Location location;
+  std::uint32_t loc_key = 0;
 };
 
 /// An event group flowing between filter stages: the representative record
 /// plus any absorbed re-reports. Equivalent to filter::EventGroup but
-/// self-contained (it carries the rep's time/code/location), so a stage
+/// self-contained (it carries the rep's time/code/location key), so a stage
 /// needs no side table of events. Singletons carry no heap allocation.
 struct StreamGroup {
   std::size_t rep = 0;  ///< fatal-record index of the representative
   TimePoint rep_time;   ///< the independent event's time
   ras::ErrcodeId errcode = 0;
-  bgp::Location rep_location;
+  std::uint32_t rep_key = 0;       ///< Location::packed() of the rep record
   std::vector<GroupMember> extra;  ///< members after the rep (often empty)
 
   std::size_t size() const { return 1 + extra.size(); }

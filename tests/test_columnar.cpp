@@ -1,0 +1,411 @@
+// Equality pins for the columnar hot path: the SoA fatal view against the
+// AoS records, the per-midplane interval index against brute-force job
+// scans, the flat-vector group matcher against the historical std::set
+// collection, and the sliced CRC32 / parallel binary reader against their
+// sequential references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coral/common/binary_frame.hpp"
+#include "coral/common/error.hpp"
+#include "coral/common/parallel.hpp"
+#include "coral/common/rng.hpp"
+#include "coral/core/matching.hpp"
+#include "coral/filter/pipeline.hpp"
+#include "coral/joblog/log.hpp"
+#include "coral/ras/binary_io.hpp"
+#include "coral/ras/log.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace coral {
+namespace {
+
+const synth::SynthResult& scenario() {
+  static const synth::SynthResult result = synth::generate(synth::small_scenario(42));
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// FatalColumns: the SoA view must agree with the AoS records index for index.
+
+void expect_columns_match_events(const ras::RasLog& log) {
+  const ras::FatalColumns& cols = log.fatal_columns();
+  const std::vector<ras::RasEvent> fatal = log.fatal_events();
+  ASSERT_EQ(cols.size(), fatal.size());
+  ASSERT_EQ(cols.errcode.size(), cols.size());
+  ASSERT_EQ(cols.loc_key.size(), cols.size());
+  ASSERT_EQ(cols.log_index.size(), cols.size());
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    EXPECT_EQ(cols.event_time[i], fatal[i].event_time) << "row " << i;
+    EXPECT_EQ(cols.errcode[i], fatal[i].errcode) << "row " << i;
+    EXPECT_EQ(cols.loc_key[i], fatal[i].location.packed()) << "row " << i;
+    // log_index maps back into the full log, and the packed key round-trips.
+    const ras::RasEvent& owner = log[cols.log_index[i]];
+    EXPECT_EQ(owner.severity, ras::Severity::Fatal);
+    EXPECT_EQ(owner.event_time, fatal[i].event_time);
+    EXPECT_EQ(bgp::Location::from_packed(cols.loc_key[i]), owner.location);
+  }
+}
+
+TEST(FatalColumns, MatchesAosViewOnScenarioLog) {
+  expect_columns_match_events(scenario().ras);
+}
+
+TEST(FatalColumns, OutOfOrderAppendsAreSortedConsistently) {
+  const ras::Catalog& cat = ras::default_catalog();
+  const TimePoint base = TimePoint::from_calendar(2009, 3, 1);
+  ras::RasLog log;
+  // Appends arrive shuffled in time and mixed in severity; finalize() owns
+  // the sort, and the columns must mirror whatever order it settles on.
+  for (std::size_t i = 0; i < 500; ++i) {
+    ras::RasEvent ev;
+    ev.event_time = base + static_cast<Usec>((i * 7919) % 500) * kUsecPerMin;
+    ev.location = i % 3 == 0 ? bgp::Location::rack(static_cast<int>(i % 40))
+                             : bgp::Location::node_card(static_cast<int>(i % 80),
+                                                        static_cast<int>(i % 16));
+    ev.errcode = i % 2 == 0 ? cat.fatal_ids()[i % cat.fatal_ids().size()]
+                            : cat.nonfatal_ids()[i % cat.nonfatal_ids().size()];
+    ev.severity = i % 2 == 0 ? ras::Severity::Fatal : ras::Severity::Warning;
+    ev.serial = static_cast<std::uint32_t>(i);
+    log.append(ev);
+  }
+  log.finalize();
+  expect_columns_match_events(log);
+}
+
+TEST(FatalColumns, ConsistentAfterLenientIngestDrops) {
+  std::stringstream buf;
+  ras::write_binary(buf, scenario().ras);
+  std::string bytes = buf.str();
+  // Corrupt a payload byte in the third record block: its frame drops in
+  // lenient mode, and the surviving log's columns must still mirror it.
+  std::size_t p = bytes.find("CBLK");
+  for (int skip = 0; skip < 4; ++skip) p = bytes.find("CBLK", p + 1);
+  ASSERT_NE(p, std::string::npos);
+  bytes[p + 20] = static_cast<char>(bytes[p + 20] ^ 0xFF);
+
+  std::istringstream in(bytes);
+  IngestReport rep;
+  const ras::RasLog parsed =
+      ras::read_binary(in, ras::default_catalog(), ParseMode::Lenient, &rep);
+  ASSERT_LT(parsed.size(), scenario().ras.size());
+  EXPECT_GT(rep.malformed(IngestReason::BinaryFrame), 0u);
+  expect_columns_match_events(parsed);
+}
+
+// ---------------------------------------------------------------------------
+// JobLog::overlapping against the all-jobs reference scan, including the
+// boundary shapes the binary-searched slice must not get wrong.
+
+std::vector<std::size_t> overlapping_reference(const joblog::JobLog& jobs,
+                                               TimePoint begin, TimePoint end) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].start_time < end && jobs[i].end_time > begin) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(Overlapping, EmptyLog) {
+  joblog::JobLog empty;
+  empty.finalize();
+  EXPECT_TRUE(empty.overlapping(TimePoint(0), TimePoint(1'000'000)).empty());
+}
+
+TEST(Overlapping, DegenerateBeginEqualsEnd) {
+  const joblog::JobLog& jobs = scenario().jobs;
+  ASSERT_FALSE(jobs.empty());
+  // A zero-width window [t, t): jobs straddling t still qualify under the
+  // start < end, end > begin predicate, exactly as the linear scan had it.
+  const TimePoint t = jobs[jobs.size() / 2].start_time + kUsecPerMin;
+  EXPECT_EQ(jobs.overlapping(t, t), overlapping_reference(jobs, t, t));
+}
+
+TEST(Overlapping, AllJobsOverlap) {
+  const joblog::JobLog& jobs = scenario().jobs;
+  TimePoint lo = jobs[0].start_time;
+  TimePoint hi = jobs[0].end_time;
+  for (const joblog::JobRecord& j : jobs) {
+    if (j.start_time < lo) lo = j.start_time;
+    if (j.end_time > hi) hi = j.end_time;
+  }
+  const auto all = jobs.overlapping(lo - kUsecPerMin, hi + kUsecPerMin);
+  ASSERT_EQ(all.size(), jobs.size());
+  EXPECT_EQ(all, overlapping_reference(jobs, lo - kUsecPerMin, hi + kUsecPerMin));
+}
+
+TEST(Overlapping, SampledWindowsMatchReference) {
+  const joblog::JobLog& jobs = scenario().jobs;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const joblog::JobRecord& a = jobs[rng.uniform_index(jobs.size())];
+    const joblog::JobRecord& b = jobs[rng.uniform_index(jobs.size())];
+    const TimePoint begin = std::min(a.start_time, b.end_time);
+    const TimePoint end = std::max(a.start_time, b.end_time);
+    EXPECT_EQ(jobs.overlapping(begin, end), overlapping_reference(jobs, begin, end));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IntervalIndex-backed running_at against the covers() scan it replaced.
+
+std::vector<std::size_t> running_at_reference(const joblog::JobLog& jobs, TimePoint t,
+                                              const bgp::Location& loc) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].start_time <= t && jobs[i].end_time > t && jobs[i].partition.covers(loc)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+TEST(IntervalIndex, RunningAtMatchesReferenceOnScenario) {
+  const joblog::JobLog& jobs = scenario().jobs;
+  const ras::FatalColumns& cols = scenario().ras.fatal_columns();
+  ASSERT_FALSE(cols.empty());
+  // Query at real event (time, location) pairs — including rack-level
+  // locations, whose two-bucket merge path is easy to get wrong.
+  const std::size_t step = std::max<std::size_t>(1, cols.size() / 200);
+  for (std::size_t i = 0; i < cols.size(); i += step) {
+    const bgp::Location loc = bgp::Location::from_packed(cols.loc_key[i]);
+    EXPECT_EQ(jobs.running_at(cols.event_time[i], loc),
+              running_at_reference(jobs, cols.event_time[i], loc))
+        << "event row " << i << " at " << loc.to_string();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// match_interruptions against the std::set-collecting reference matcher.
+
+core::MatchResult match_reference(const filter::FilterPipelineResult& filtered,
+                                  const joblog::JobLog& jobs, Usec window) {
+  core::MatchResult result;
+  result.jobs_by_group.resize(filtered.groups.size());
+  result.group_by_job.assign(jobs.size(), std::nullopt);
+  for (std::size_t g = 0; g < filtered.groups.size(); ++g) {
+    const filter::EventGroup& group = filtered.groups[g];
+    const TimePoint rep_time = filtered.fatal_events[group.rep].event_time;
+    const TimePoint lo = rep_time - window;
+    const TimePoint hi = rep_time + window;
+    std::set<std::size_t> matched;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (jobs[j].end_time < lo || jobs[j].end_time > hi) continue;
+      if (jobs[j].start_time > hi) continue;
+      for (const std::size_t member : group.members) {
+        if (jobs[j].partition.covers(filtered.fatal_events[member].location)) {
+          matched.insert(j);
+          break;
+        }
+      }
+    }
+    result.jobs_by_group[g].assign(matched.begin(), matched.end());
+  }
+  for (std::size_t g = 0; g < filtered.groups.size(); ++g) {
+    for (std::size_t job_idx : result.jobs_by_group[g]) {
+      if (!result.group_by_job[job_idx]) {
+        result.group_by_job[job_idx] = g;
+        result.interruptions.push_back({g, job_idx, jobs[job_idx].end_time});
+      }
+    }
+  }
+  std::sort(result.interruptions.begin(), result.interruptions.end(),
+            [](const core::Interruption& a, const core::Interruption& b) {
+              return a.time < b.time;
+            });
+  return result;
+}
+
+TEST(MatchInterruptions, EqualsSetBasedReferenceOnScenario) {
+  const filter::FilterPipelineResult filtered =
+      filter::run_filter_pipeline(scenario().ras, {});
+  ASSERT_FALSE(filtered.groups.empty());
+  const core::MatchConfig config;
+  const core::MatchResult fast =
+      core::match_interruptions(filtered, scenario().jobs, config);
+  const core::MatchResult ref = match_reference(filtered, scenario().jobs, config.window);
+
+  ASSERT_EQ(fast.jobs_by_group.size(), ref.jobs_by_group.size());
+  for (std::size_t g = 0; g < fast.jobs_by_group.size(); ++g) {
+    EXPECT_EQ(fast.jobs_by_group[g], ref.jobs_by_group[g]) << "group " << g;
+  }
+  EXPECT_EQ(fast.group_by_job, ref.group_by_job);
+  ASSERT_EQ(fast.interruptions.size(), ref.interruptions.size());
+  for (std::size_t i = 0; i < fast.interruptions.size(); ++i) {
+    EXPECT_EQ(fast.interruptions[i].group, ref.interruptions[i].group);
+    EXPECT_EQ(fast.interruptions[i].job, ref.interruptions[i].job);
+    EXPECT_EQ(fast.interruptions[i].time, ref.interruptions[i].time);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32: slicing-by-8 against known vectors and a bytewise reference.
+
+std::uint32_t crc32_bytewise(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c ^= p[i];
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(bin::crc32("", 0), 0x00000000u);
+  EXPECT_EQ(bin::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(bin::crc32("a", 1), 0xE8B7BE43u);
+  const std::string quick = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(bin::crc32(quick.data(), quick.size()), 0x414FA339u);
+}
+
+TEST(Crc32, MatchesBytewiseReferenceAcrossLengthsAndAlignments) {
+  Rng rng(11);
+  std::string data(4096, '\0');
+  for (char& c : data) c = static_cast<char>(rng.uniform_index(256));
+  // Lengths around the 8-byte slicing boundary and odd start offsets
+  // exercise both the sliced body and the bytewise tail.
+  for (std::size_t offset : {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+    for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+                            std::size_t{9}, std::size_t{63}, std::size_t{64},
+                            std::size_t{1000}, std::size_t{4000}}) {
+      ASSERT_LE(offset + len, data.size());
+      EXPECT_EQ(bin::crc32(data.data() + offset, len),
+                crc32_bytewise(data.data() + offset, len))
+          << "offset " << offset << " len " << len;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel binary read: identical events, accounting and errors.
+
+void expect_logs_equal(const ras::RasLog& a, const ras::RasLog& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].event_time, b[i].event_time) << "record " << i;
+    EXPECT_EQ(a[i].errcode, b[i].errcode) << "record " << i;
+    EXPECT_EQ(a[i].location, b[i].location) << "record " << i;
+    EXPECT_EQ(a[i].serial, b[i].serial) << "record " << i;
+    EXPECT_EQ(a[i].severity, b[i].severity) << "record " << i;
+  }
+}
+
+void expect_reports_equal(const IngestReport& a, const IngestReport& b) {
+  EXPECT_EQ(a.records_ok(), b.records_ok());
+  EXPECT_EQ(a.total_malformed(), b.total_malformed());
+  for (std::size_t r = 0; r < kIngestReasonCount; ++r) {
+    EXPECT_EQ(a.malformed(static_cast<IngestReason>(r)),
+              b.malformed(static_cast<IngestReason>(r)))
+        << to_string(static_cast<IngestReason>(r));
+  }
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_EQ(a.samples()[i].reason, b.samples()[i].reason);
+    EXPECT_EQ(a.samples()[i].byte_offset, b.samples()[i].byte_offset);
+    EXPECT_EQ(a.samples()[i].detail, b.samples()[i].detail);
+  }
+}
+
+std::string scenario_ras_bytes() {
+  std::stringstream buf;
+  ras::write_binary(buf, scenario().ras);
+  return buf.str();
+}
+
+TEST(ParallelBinaryRead, CleanFileMatchesSequential) {
+  const std::string bytes = scenario_ras_bytes();
+  par::ThreadPool pool(4);
+
+  std::istringstream seq_in(bytes);
+  IngestReport seq_rep;
+  const ras::RasLog seq = ras::read_binary(seq_in, ras::default_catalog(),
+                                           ParseMode::Strict, &seq_rep);
+  std::istringstream par_in(bytes);
+  IngestReport par_rep;
+  const ras::RasLog par = ras::read_binary(par_in, ras::default_catalog(),
+                                           ParseMode::Strict, &par_rep, nullptr, &pool);
+  expect_logs_equal(seq, par);
+  expect_reports_equal(seq_rep, par_rep);
+  EXPECT_EQ(par.size(), scenario().ras.size());
+}
+
+TEST(ParallelBinaryRead, DamagedFileMatchesSequentialInLenientMode) {
+  par::ThreadPool pool(4);
+  Rng rng(23);
+  for (int round = 0; round < 8; ++round) {
+    std::string bytes = scenario_ras_bytes();
+    // Flip a few bits anywhere — headers, payloads, the dictionary.
+    for (int f = 0; f < 3; ++f) {
+      const std::size_t at = rng.uniform_index(bytes.size());
+      bytes[at] = static_cast<char>(bytes[at] ^ (1 << rng.uniform_index(8)));
+    }
+    std::istringstream seq_in(bytes);
+    IngestReport seq_rep;
+    const ras::RasLog seq = ras::read_binary(seq_in, ras::default_catalog(),
+                                             ParseMode::Lenient, &seq_rep);
+    std::istringstream par_in(bytes);
+    IngestReport par_rep;
+    const ras::RasLog par = ras::read_binary(par_in, ras::default_catalog(),
+                                             ParseMode::Lenient, &par_rep, nullptr, &pool);
+    expect_logs_equal(seq, par);
+    expect_reports_equal(seq_rep, par_rep);
+  }
+}
+
+TEST(ParallelBinaryRead, StrictErrorsMatchSequentialByteForByte) {
+  par::ThreadPool pool(4);
+  std::string bytes = scenario_ras_bytes();
+  // Corrupt one payload byte deep in the record stream: the strict error
+  // must be the same CRC message, same offset, from both readers.
+  std::size_t p = bytes.find("CBLK");
+  for (int skip = 0; skip < 10; ++skip) p = bytes.find("CBLK", p + 1);
+  ASSERT_NE(p, std::string::npos);
+  bytes[p + 16] = static_cast<char>(bytes[p + 16] ^ 0x55);
+
+  std::string seq_what;
+  std::string par_what;
+  try {
+    std::istringstream in(bytes);
+    ras::read_binary(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    seq_what = e.what();
+  }
+  try {
+    std::istringstream in(bytes);
+    ras::read_binary(in, ras::default_catalog(), ParseMode::Strict, nullptr, nullptr,
+                     &pool);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    par_what = e.what();
+  }
+  EXPECT_EQ(seq_what, par_what);
+  EXPECT_NE(seq_what.find("CRC mismatch"), std::string::npos) << seq_what;
+}
+
+TEST(ParallelBinaryRead, TruncatedFileMatchesSequential) {
+  par::ThreadPool pool(4);
+  std::string bytes = scenario_ras_bytes();
+  bytes.resize(bytes.size() * 2 / 3);  // cut mid-block
+
+  std::istringstream seq_in(bytes);
+  IngestReport seq_rep;
+  const ras::RasLog seq = ras::read_binary(seq_in, ras::default_catalog(),
+                                           ParseMode::Lenient, &seq_rep);
+  std::istringstream par_in(bytes);
+  IngestReport par_rep;
+  const ras::RasLog par = ras::read_binary(par_in, ras::default_catalog(),
+                                           ParseMode::Lenient, &par_rep, nullptr, &pool);
+  expect_logs_equal(seq, par);
+  expect_reports_equal(seq_rep, par_rep);
+  EXPECT_GT(seq_rep.malformed(IngestReason::BinaryFrame), 0u);
+}
+
+}  // namespace
+}  // namespace coral
