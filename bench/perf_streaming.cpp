@@ -24,6 +24,7 @@
 #include "coral/common/instrument.hpp"
 #include "coral/common/parallel.hpp"
 #include "coral/context.hpp"
+#include "coral/obs/obs.hpp"
 #include "coral/core/matching.hpp"
 #include "coral/core/pipeline.hpp"
 #include "coral/filter/pipeline.hpp"
@@ -41,7 +42,8 @@ struct ModeResult {
   std::size_t shards = 1;
   std::size_t peak_stage_state = 0;
   std::size_t interruptions = 0;
-  std::string stages_json = "[]";  ///< per-stage timings from the last rep
+  std::string obs_json = "{}";  ///< obs snapshot (spans/counters/histograms)
+                                ///< from the last RSS rep
 };
 
 template <typename Fn>
@@ -99,34 +101,47 @@ int main(int argc, char** argv) {
   {
     ModeResult m;
     m.name = "batch";
-    const auto run = [&data, &m] {
-      const auto filtered = filter::run_filter_pipeline(data.ras, {});
-      const auto matches = core::match_interruptions(filtered, data.jobs, {});
+    // The timed reps run with a null collector (the zero-overhead
+    // configuration being measured); a separate instrumented rep feeds the
+    // obs snapshot into BENCH_streaming.json.
+    const auto run = [&data, &m](obs::Collector* obs) {
+      filter::FilterPipelineConfig fc;
+      fc.obs = obs;
+      const auto filtered = filter::run_filter_pipeline(data.ras, fc);
+      core::MatchConfig mc;
+      mc.obs = obs;
+      const auto matches = core::match_interruptions(filtered, data.jobs, mc);
       m.interruptions = matches.interruptions.size();
     };
-    m.seconds = best_seconds(run, reps);
-    m.peak_rss_kb = forked_peak_rss_kb(run);
+    m.seconds = best_seconds([&run] { run(nullptr); }, reps);
+    m.peak_rss_kb = forked_peak_rss_kb([&run] { run(nullptr); });
+    obs::Collector collector;
+    run(&collector);
+    m.obs_json = obs::snapshot_json(collector.snapshot());
     modes.push_back(m);
   }
 
   for (const int shards : {1, target_shards}) {
     ModeResult m;
     m.name = shards == 1 ? "stream-1shard" : "stream-nshard";
-    const auto run = [&data, shards, &m] {
+    const auto run = [&data, shards, &m](obs::Collector* obs) {
       std::optional<par::ThreadPool> pool;
       if (shards > 1) pool.emplace(par::configured_thread_count());
+      if (pool && obs != nullptr) pool->set_obs(obs);
       stream::FrontEndConfig config;
       config.shards = shards;
-      RecordingSink sink;
-      const Context ctx = Context().with_pool(pool ? &*pool : nullptr).with_sink(&sink);
+      Context ctx = Context().with_pool(pool ? &*pool : nullptr);
+      if (obs != nullptr) ctx.with_obs(obs);
       const auto front = stream::run_streaming_frontend(data.ras, data.jobs, config, ctx);
       m.interruptions = front.matches.interruptions.size();
       m.shards = front.shards_used;
       m.peak_stage_state = front.peak_stage_state;
-      m.stages_json = sink.to_json();
     };
-    m.seconds = best_seconds(run, reps);
-    m.peak_rss_kb = forked_peak_rss_kb(run);
+    m.seconds = best_seconds([&run] { run(nullptr); }, reps);
+    m.peak_rss_kb = forked_peak_rss_kb([&run] { run(nullptr); });
+    obs::Collector collector;
+    run(&collector);
+    m.obs_json = obs::snapshot_json(collector.snapshot());
     modes.push_back(m);
   }
 
@@ -153,8 +168,8 @@ int main(int argc, char** argv) {
   std::printf("  \"nshard_vs_batch_speedup\": %.2f\n", nshard_rps / batch_rps);
   std::printf("}\n");
 
-  // Machine-readable per-stage timings (Context instrumentation) for CI
-  // trend tracking; one object per mode, stages from the last timed rep.
+  // Machine-readable obs snapshots (spans + counters + histograms) for CI
+  // trend tracking; one object per mode, from a dedicated instrumented rep.
   {
     std::ofstream out("BENCH_streaming.json");
     out << "{\n  \"bench\": \"perf_streaming\",\n  \"records\": " << records
@@ -162,11 +177,11 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < modes.size(); ++i) {
       const ModeResult& m = modes[i];
       out << "    {\"name\": \"" << m.name << "\", \"seconds\": " << m.seconds
-          << ", \"shards\": " << m.shards << ", \"stages\": " << m.stages_json << "}"
+          << ", \"shards\": " << m.shards << ", \"obs\": " << m.obs_json << "}"
           << (i + 1 < modes.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
-    std::fprintf(stderr, "stage timings written to BENCH_streaming.json\n");
+    std::fprintf(stderr, "obs snapshots written to BENCH_streaming.json\n");
   }
 
   // The interruption lists must agree across every mode (byte-identity).

@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
 # CI entry point: build every preset (release, asan-ubsan, tsan) and run the
 # test suite under each, then run the perf benches and gate regressions.
-# Usage: scripts/ci.sh [stage...] (default: all presets + bench). Stages are
-# preset names plus "bench", which runs the perf_* suites on the release
-# build and merges the results into BENCH_coanalysis.json at the repo root,
-# failing on a >25% regression versus the committed numbers.
+# Usage: scripts/ci.sh [stage...] (default: all presets + bench + coverage).
+# Stages are preset names plus:
+#   bench    — runs the perf_* suites on the release build and merges the
+#              results into BENCH_coanalysis.json at the repo root, failing
+#              on a >25% regression versus the committed numbers.
+#   coverage — rebuilds with gcc --coverage, runs the full suite, and gates
+#              line coverage on src/coral at 80% via scripts/coverage.py
+#              (plain gcov + python3; no gcovr dependency).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
+RUN_COVERAGE=0
 PRESETS=()
 for stage in "$@"; do
   if [ "$stage" = bench ]; then
     RUN_BENCH=1
+  elif [ "$stage" = coverage ]; then
+    RUN_COVERAGE=1
   else
     PRESETS+=("$stage")
   fi
@@ -21,6 +28,7 @@ done
 if [ $# -eq 0 ]; then
   PRESETS=(release asan-ubsan tsan)
   RUN_BENCH=1
+  RUN_COVERAGE=1
 fi
 
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
@@ -45,7 +53,7 @@ case " ${PRESETS[*]} " in
     echo "==== [asan-ubsan] fuzz-smoke corpus ===="
     cmake --preset asan-ubsan
     cmake --build --preset asan-ubsan -j "$JOBS" --target test_ingest
-    ctest --preset asan-ubsan -R 'FuzzSmoke' -j "$JOBS"
+    ctest --preset asan-ubsan -L fuzz -j "$JOBS"
     ;;
 esac
 
@@ -85,7 +93,24 @@ if [ "$RUN_BENCH" -eq 1 ]; then
     --gbench "$BENCH_OUT"/perf_filtering.json "$BENCH_OUT"/perf_matching.json \
              "$BENCH_OUT"/perf_pipeline.json \
     --streaming "$BENCH_OUT"/perf_streaming.json \
+    --obs "$BENCH_DIR"/BENCH_streaming.json \
     --max-regression 0.25
+fi
+
+if [ "$RUN_COVERAGE" -eq 1 ]; then
+  echo "==== [coverage] build (gcc --coverage) ===="
+  cmake -B build/coverage -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS=--coverage \
+    -DCMAKE_EXE_LINKER_FLAGS=--coverage
+  cmake --build build/coverage -j "$JOBS"
+  echo "==== [coverage] test ===="
+  # Stale counters from a previous run would double-count; start clean.
+  find build/coverage -name '*.gcda' -delete
+  (cd build/coverage && ctest -j "$JOBS" --output-on-failure)
+  echo "==== [coverage] aggregate + gate (>=80% on src/coral) ===="
+  python3 scripts/coverage.py --build-dir build/coverage \
+    --source-prefix src/coral --min-percent 80
 fi
 
 echo "==== all stages green ===="

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage for the coral library and gate on a minimum.
+
+gcovr is deliberately not a dependency: this walks a --coverage build tree,
+invokes plain `gcov --json-format --stdout` on every .gcda, unions the
+per-translation-unit line data (a line counts as covered if any TU executed
+it), and reports line coverage restricted to files under --source-prefix.
+
+Usage:
+  python3 scripts/coverage.py --build-dir build/coverage \
+      --source-prefix src/coral --min-percent 80
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir: str) -> list[str]:
+    out = []
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                out.append(os.path.join(root, name))
+    return sorted(out)
+
+
+def run_gcov(gcda: str) -> list[dict]:
+    """Run gcov on one .gcda and return the parsed JSON documents."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        print(f"warning: gcov failed on {gcda}: {proc.stderr.strip()}", file=sys.stderr)
+        return []
+    docs = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            print(f"warning: unparseable gcov output for {gcda}", file=sys.stderr)
+    return docs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument(
+        "--source-prefix",
+        default="src/coral",
+        help="only count source files whose path contains this prefix",
+    )
+    parser.add_argument("--min-percent", type=float, default=80.0)
+    args = parser.parse_args()
+
+    gcda_files = find_gcda(args.build_dir)
+    if not gcda_files:
+        print(f"error: no .gcda files under {args.build_dir}; "
+              "build with --coverage and run the tests first", file=sys.stderr)
+        return 2
+
+    # file path -> {line number -> hit anywhere?}
+    lines_by_file: dict[str, dict[int, bool]] = {}
+    for gcda in gcda_files:
+        for doc in run_gcov(gcda):
+            for f in doc.get("files", []):
+                path = os.path.normpath(f.get("file", ""))
+                if args.source_prefix not in path:
+                    continue
+                table = lines_by_file.setdefault(path, {})
+                for ln in f.get("lines", []):
+                    number = ln.get("line_number")
+                    if number is None:
+                        continue
+                    hit = ln.get("count", 0) > 0
+                    table[number] = table.get(number, False) or hit
+
+    if not lines_by_file:
+        print(f"error: no coverage data matched prefix {args.source_prefix!r}",
+              file=sys.stderr)
+        return 2
+
+    total_lines = 0
+    total_hit = 0
+    rows = []
+    for path in sorted(lines_by_file):
+        table = lines_by_file[path]
+        n = len(table)
+        hit = sum(1 for covered in table.values() if covered)
+        total_lines += n
+        total_hit += hit
+        rows.append((path, hit, n))
+
+    for path, hit, n in rows:
+        pct = 100.0 * hit / n if n else 100.0
+        print(f"{pct:6.1f}%  {hit:5d}/{n:<5d}  {path}")
+
+    overall = 100.0 * total_hit / total_lines if total_lines else 0.0
+    print(f"\nTOTAL {overall:.2f}% line coverage "
+          f"({total_hit}/{total_lines} lines, {len(rows)} files, "
+          f"{len(gcda_files)} object files)")
+
+    if overall < args.min_percent:
+        print(f"FAIL: line coverage {overall:.2f}% is below the "
+              f"{args.min_percent:.0f}% floor", file=sys.stderr)
+        return 1
+    print(f"OK: above the {args.min_percent:.0f}% floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,11 +47,34 @@ def load_streaming(path):
     }
 
 
+def obs_stage_totals(path):
+    """Per-stage wall-ms totals from each mode's obs snapshot.
+
+    Informational only (never gated): stage splits from a single
+    instrumented rep are too noisy to gate on, but their trajectory is
+    worth recording next to the gated end-to-end numbers.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for mode in doc.get("modes", []):
+        snap = mode.get("obs") or {}
+        totals = {}
+        for span in snap.get("spans", []):
+            totals[span["name"]] = totals.get(span["name"], 0.0) + span["dur_us"] / 1e3
+        for stage, ms in totals.items():
+            out[f"{mode['name']}/{stage}"] = round(ms, 4)
+    return out
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--out", required=True, help="trajectory JSON to merge into")
     ap.add_argument("--gbench", nargs="*", default=[], help="google-benchmark JSON files")
     ap.add_argument("--streaming", help="perf_streaming self-main JSON file")
+    ap.add_argument("--obs", help="obs snapshot JSON (the BENCH_streaming.json "
+                    "artifact) for the informational per-stage totals; defaults "
+                    "to the --streaming file")
     ap.add_argument("--max-regression", type=float, default=0.25,
                     help="fail when current/committed - 1 exceeds this (default 0.25)")
     ap.add_argument("--gate-floor-ms", type=float, default=0.5,
@@ -59,12 +82,17 @@ def main():
     args = ap.parse_args()
 
     fresh = {}
+    stage_totals = {}
     for path in args.gbench:
         fresh.update(load_gbench(path))
     if args.streaming:
         fresh.update(load_streaming(args.streaming))
+        stage_totals = obs_stage_totals(args.obs or args.streaming)
     if not fresh:
         sys.exit("merge_bench.py: no benchmark results given")
+
+    for name in sorted(stage_totals):
+        print(f"  obs   {name}: {stage_totals[name]:.3f} ms (informational)")
 
     try:
         with open(args.out) as f:
@@ -100,6 +128,10 @@ def main():
         "baseline": doc.get("baseline", {}),
         "current": {k: round(v, 4) for k, v in sorted(merged.items())},
     }
+    if stage_totals:
+        out_doc["obs_stages"] = dict(sorted(stage_totals.items()))
+    elif "obs_stages" in doc:
+        out_doc["obs_stages"] = doc["obs_stages"]
     with open(args.out, "w") as f:
         json.dump(out_doc, f, indent=2)
         f.write("\n")

@@ -5,6 +5,7 @@
 #include "coral/common/instrument.hpp"
 #include "coral/common/parallel.hpp"
 #include "coral/common/rng.hpp"
+#include "coral/obs/obs.hpp"
 #include "coral/ras/catalog.hpp"
 
 namespace coral {
@@ -33,6 +34,7 @@ class Context {
   const ras::Catalog& catalog() const { return *catalog_; }
   par::ThreadPool* pool() const { return pool_; }
   InstrumentationSink* sink() const { return sink_; }
+  obs::Collector* obs() const { return obs_; }
   std::uint64_t seed() const { return seed_; }
 
   Context& with_catalog(const ras::Catalog& catalog) {
@@ -50,6 +52,15 @@ class Context {
   /// "ingest.*.malformed.*" counters here, alongside the engine stages.
   Context& with_sink(InstrumentationSink* sink) {
     sink_ = sink;
+    return *this;
+  }
+  /// Full observability: trace spans, typed counters and histograms land in
+  /// `collector`, and — because a Collector is an InstrumentationSink — so
+  /// do all legacy StageTimer stage samples and ingest-health counters. One
+  /// object, one snapshot, every layer.
+  Context& with_obs(obs::Collector* collector) {
+    obs_ = collector;
+    sink_ = collector;
     return *this;
   }
   /// Seed policy: this offset is folded into every generator seed derived
@@ -73,6 +84,7 @@ class Context {
   const ras::Catalog* catalog_;
   par::ThreadPool* pool_ = nullptr;
   InstrumentationSink* sink_ = nullptr;
+  obs::Collector* obs_ = nullptr;
   std::uint64_t seed_ = 0;
 };
 

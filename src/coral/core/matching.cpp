@@ -12,7 +12,8 @@ namespace {
 /// other group, hence trivially parallel).
 std::vector<std::size_t> match_one_group(const filter::FilterPipelineResult& filtered,
                                          const joblog::IntervalIndex& index,
-                                         const filter::EventGroup& group, Usec window) {
+                                         const filter::EventGroup& group, Usec window,
+                                         std::size_t& scanned) {
   // The independent event happens at the representative record's time;
   // later member records are redundant re-reports. Jobs are therefore
   // matched against a window around the representative time, but the
@@ -54,6 +55,7 @@ std::vector<std::size_t> match_one_group(const filter::FilterPipelineResult& fil
     auto it = std::lower_bound(begin, slice.end_time.end(), lo);
     for (; it != slice.end_time.end() && *it <= hi; ++it) {
       const auto k = static_cast<std::size_t>(it - begin);
+      ++scanned;
       if (slice.start_time[k] > hi) continue;  // not yet running
       matched.push_back(slice.job[k]);
     }
@@ -74,19 +76,30 @@ MatchResult match_interruptions(const filter::FilterPipelineResult& filtered,
   const joblog::IntervalIndex& index = jobs.interval_index();
 
   // Phase 1 (parallel): per-group candidate lists. Writes go to disjoint
-  // slots of jobs_by_group, so no synchronization is needed.
+  // slots of jobs_by_group, so no synchronization is needed. Interval-index
+  // scan work is tallied per chunk and published once per chunk, so the
+  // hot loop stays lock-free even with a collector attached.
+  obs::Span phase1(config.obs, "match.phase1");
   par::parallel_for_chunks(
       filtered.groups.size(), 64,
       [&](std::size_t begin, std::size_t end) {
+        std::size_t scanned = 0;
+        std::size_t matched = 0;
         for (std::size_t g = begin; g < end; ++g) {
           result.jobs_by_group[g] =
-              match_one_group(filtered, index, filtered.groups[g], config.window);
+              match_one_group(filtered, index, filtered.groups[g], config.window, scanned);
+          matched += result.jobs_by_group[g].size();
         }
+        CORAL_OBS_COUNT(config.obs, "match.candidates_scanned", scanned);
+        CORAL_OBS_COUNT(config.obs, "match.jobs_matched", matched);
       },
       config.pool);
+  phase1.counts(filtered.groups.size(), filtered.groups.size());
+  phase1.end();
 
   // Phase 2 (sequential, deterministic): a job belongs to its *first*
   // matching group (groups are ordered by representative time).
+  obs::Span phase2(config.obs, "match.phase2");
   for (std::size_t g = 0; g < filtered.groups.size(); ++g) {
     for (std::size_t job_idx : result.jobs_by_group[g]) {
       if (!result.group_by_job[job_idx]) {
@@ -95,6 +108,7 @@ MatchResult match_interruptions(const filter::FilterPipelineResult& filtered,
       }
     }
   }
+  phase2.counts(filtered.groups.size(), result.interruptions.size());
 
   std::sort(result.interruptions.begin(), result.interruptions.end(),
             [](const Interruption& a, const Interruption& b) { return a.time < b.time; });

@@ -16,6 +16,9 @@ struct MatchConfig {
   /// Optional worker pool: groups are matched in parallel chunks and merged
   /// deterministically (results are identical with or without the pool).
   par::ThreadPool* pool = nullptr;
+  /// Optional observability: phase spans plus interval-index scan counters
+  /// (match.candidates_scanned / match.jobs_matched). Never changes results.
+  obs::Collector* obs = nullptr;
 };
 
 /// One matched (event group, job) pair.

@@ -153,6 +153,7 @@ CoAnalysisResult run_coanalysis(const ras::RasLog& ras, const joblog::JobLog& jo
     StageTimer filter_timer(ctx.sink(), "filter.batch");
     filter::FilterPipelineConfig filter_config = config.filters;
     if (filter_config.causality.pool == nullptr) filter_config.causality.pool = pool;
+    if (filter_config.obs == nullptr) filter_config.obs = ctx.obs();
     filtered = filter::run_filter_pipeline(ras, filter_config);
     filter_timer.counts(ras.size(), filtered.groups.size());
     filter_timer.report();
@@ -161,6 +162,7 @@ CoAnalysisResult run_coanalysis(const ras::RasLog& ras, const joblog::JobLog& jo
     StageTimer match_timer(ctx.sink(), "matching");
     MatchConfig match_config = config.matching;
     if (match_config.pool == nullptr) match_config.pool = pool;
+    if (match_config.obs == nullptr) match_config.obs = ctx.obs();
     matches = match_interruptions(filtered, jobs, match_config);
     match_timer.counts(filtered.groups.size(), matches.interruptions.size());
   }

@@ -16,21 +16,33 @@ FilterPipelineResult run_filter_pipeline(const ras::RasLog& log,
   GroupSet groups = GroupSet::singletons(events.size());
   result.stages.push_back({"raw FATAL records", events.size(), groups.size()});
 
-  const std::size_t before_temporal = groups.size();
-  groups = temporal_filter(events, std::move(groups), config.temporal);
-  result.stages.push_back({"temporal", before_temporal, groups.size()});
+  {
+    obs::Span span(config.obs, "filter.temporal");
+    const std::size_t before = groups.size();
+    groups = temporal_filter(events, std::move(groups), config.temporal);
+    result.stages.push_back({"temporal", before, groups.size()});
+    span.counts(before, groups.size());
+  }
 
-  const std::size_t before_spatial = groups.size();
-  groups = spatial_filter(events, std::move(groups), config.spatial);
-  result.stages.push_back({"spatial", before_spatial, groups.size()});
+  {
+    obs::Span span(config.obs, "filter.spatial");
+    const std::size_t before = groups.size();
+    groups = spatial_filter(events, std::move(groups), config.spatial);
+    result.stages.push_back({"spatial", before, groups.size()});
+    span.counts(before, groups.size());
+  }
 
   if (config.enable_causality) {
-    const std::size_t before_causality = groups.size();
+    obs::Span span(config.obs, "filter.causality");
+    const std::size_t before = groups.size();
     result.causal_pairs = mine_causal_pairs(events, groups, config.causality);
     groups = causality_filter(events, std::move(groups), result.causal_pairs,
                               config.causality);
-    result.stages.push_back({"causality", before_causality, groups.size()});
+    result.stages.push_back({"causality", before, groups.size()});
+    span.counts(before, groups.size());
+    CORAL_OBS_COUNT(config.obs, "filter.causal_pairs", result.causal_pairs.size());
   }
+  CORAL_OBS_COUNT(config.obs, "filter.groups_out", groups.size());
 
   result.groups = groups.to_groups();
   return result;

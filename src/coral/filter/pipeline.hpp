@@ -5,6 +5,7 @@
 #include "coral/filter/causality.hpp"
 #include "coral/filter/spatial.hpp"
 #include "coral/filter/temporal.hpp"
+#include "coral/obs/obs.hpp"
 #include "coral/ras/log.hpp"
 
 namespace coral::filter {
@@ -38,6 +39,9 @@ struct FilterPipelineConfig {
   SpatialFilterConfig spatial;
   CausalityFilterConfig causality;
   bool enable_causality = true;
+  /// Optional observability: one trace span per filter stage plus
+  /// group-compression counters. Never changes results.
+  obs::Collector* obs = nullptr;
 };
 
 /// Run temporal-spatial + causality filtering on the FATAL records of

@@ -1,0 +1,240 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "coral/common/instrument.hpp"
+
+namespace coral::obs {
+
+/// Steady clock shared by every obs time measurement; span timestamps are
+/// microseconds relative to the owning Collector's construction.
+using Clock = std::chrono::steady_clock;
+
+/// One finished trace span. Spans form a forest per thread: `parent` is the
+/// index (into Collector::snapshot().spans) of the span that was open on the
+/// same collector when this one started, or -1 for a root.
+struct SpanRecord {
+  std::string name;         ///< stable stage identifier ("filter.coalesce", ...)
+  std::int64_t start_us = 0;  ///< relative to the collector epoch
+  std::int64_t dur_us = 0;
+  std::uint32_t tid = 0;    ///< dense per-collector thread number (0 = first seen)
+  std::int32_t parent = -1;
+  std::uint64_t in = 0;     ///< optional flow counts, StageTimer-compatible
+  std::uint64_t out = 0;
+};
+
+/// A monotonically increasing named total.
+struct CounterRecord {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+/// Power-of-two histogram: bucket b counts values in (2^(b-1), 2^b] (bucket
+/// 0 is (-inf, 1]; the last bucket is unbounded). One shape serves both
+/// latencies (ms) and sizes (records, bytes): log-scale is the right
+/// resolution for either.
+struct HistogramRecord {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+/// Bucket index for a value (see HistogramRecord).
+std::size_t histogram_bucket(double value);
+/// Inclusive upper bound of bucket `b` (+inf for the last one).
+double histogram_bound(std::size_t b);
+
+/// Typed hot-path counter handle: resolve once with Collector::counter(),
+/// then add() without any lock or lookup. Pointers stay valid for the
+/// collector's lifetime.
+class Counter {
+ public:
+  void add(std::uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Collector;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Typed latency/size histogram handle; record() takes one short lock (adds
+/// happen per stage/task/block, never per record).
+class Histogram {
+ public:
+  void record(double value);
+  HistogramRecord snapshot() const;
+
+ private:
+  friend class Collector;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  mutable std::mutex mu_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets_{};
+};
+
+/// Everything a Collector has gathered, in one copy-out: the input to the
+/// exporters (chrome_trace_json, prometheus_text, snapshot_json) and to the
+/// BENCH_*.json emission.
+struct Snapshot {
+  std::vector<SpanRecord> spans;
+  std::vector<CounterRecord> counters;
+  std::vector<HistogramRecord> histograms;
+
+  /// Total wall-ms across every span with this name (a sharded stage records
+  /// one span per shard).
+  double total_ms(std::string_view name) const;
+  /// Sum of a counter by name (0 when absent).
+  std::uint64_t counter_value(std::string_view name) const;
+};
+
+/// The observability hub: hierarchical trace spans, typed counters and
+/// histograms, gathered thread-safely and exported as Chrome trace_event
+/// JSON or Prometheus text.
+///
+/// A Collector *is* an InstrumentationSink: every legacy StageTimer sample
+/// lands here as a real span (the timer reports from the thread that ran the
+/// stage, at the moment the interval ends, so start/end/tid are exact) plus
+/// a latency histogram entry — Context::with_obs() routes both the old and
+/// the new instrumentation through one object.
+///
+/// The null collector (a nullptr everywhere one is accepted) is the
+/// zero-overhead default: the Span constructor and the CORAL_OBS_* macros
+/// never read a clock, take a lock or evaluate their value arguments when
+/// the collector pointer is null.
+class Collector final : public InstrumentationSink {
+ public:
+  Collector() : epoch_(Clock::now()) {}
+  ~Collector() override = default;
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Legacy StageTimer/IngestReport entry point. Samples with a duration
+  /// become spans (start = now - wall_ms) plus a duration histogram; the
+  /// duration-free counter samples (ingest malformed ledgers) become plain
+  /// counters valued at `sample.in`.
+  void record(const StageSample& sample) override;
+
+  /// Named counter handle; stable address, created on first use.
+  Counter& counter(std::string_view name);
+  /// Named histogram handle; stable address, created on first use.
+  Histogram& histogram(std::string_view name);
+
+  /// Convenience single-shot forms (one lookup per call — fine off the hot
+  /// path; hot paths hold a Counter&/Histogram& or batch locally).
+  void add_counter(std::string_view name, std::uint64_t delta) { counter(name).add(delta); }
+  void record_value(std::string_view name, double value) { histogram(name).record(value); }
+
+  Snapshot snapshot() const;
+  Clock::time_point epoch() const { return epoch_; }
+
+ private:
+  friend class Span;
+
+  /// Span bookkeeping: a slot is allocated when the span opens (so children
+  /// that close first can reference their parent) and filled when it closes.
+  std::int32_t open_span(const char* name, std::int64_t start_us, std::uint32_t tid,
+                         std::int32_t parent);
+  void close_span(std::int32_t index, std::int64_t end_us, std::uint64_t in,
+                  std::uint64_t out);
+
+  std::uint32_t thread_number();
+
+  const Clock::time_point epoch_;
+
+  mutable std::mutex span_mu_;
+  std::vector<SpanRecord> spans_;
+
+  mutable std::mutex reg_mu_;
+  // Deques-of-nodes via unique_ptr keep handle addresses stable across
+  // rehashes; names are owned by the handles themselves.
+  std::unordered_map<std::string_view, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string_view, std::unique_ptr<Histogram>> histograms_;
+
+  mutable std::mutex tid_mu_;
+  std::unordered_map<std::thread::id, std::uint32_t> tids_;
+};
+
+/// RAII trace span. With a null collector the constructor is two pointer
+/// stores; with a live one it captures the thread id, links to the innermost
+/// open span of the same collector on this thread, and records on
+/// destruction (or an explicit end()).
+class Span {
+ public:
+  Span(Collector* collector, const char* name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  /// Attach StageTimer-style flow counts, reported with the span.
+  void counts(std::uint64_t in, std::uint64_t out) {
+    in_ = in;
+    out_ = out;
+  }
+
+  /// Close the span now instead of at scope exit (idempotent).
+  void end();
+
+ private:
+  Collector* collector_;
+  std::int32_t index_ = -1;
+  std::uint64_t in_ = 0;
+  std::uint64_t out_ = 0;
+};
+
+/// Downcast helper for layers that only hold the legacy sink pointer: the
+/// collector behind it, if that is what the caller attached.
+inline Collector* as_collector(InstrumentationSink* sink) {
+  return dynamic_cast<Collector*>(sink);
+}
+
+// --- Exporters -------------------------------------------------------------
+
+/// Chrome trace_event JSON (the "JSON Object Format": {"traceEvents": [...]})
+/// loadable in chrome://tracing or https://ui.perfetto.dev. Spans become
+/// complete ("ph":"X") events with microsecond timestamps; counters become
+/// one final "C" sample so totals show up in the viewer.
+std::string chrome_trace_json(const Snapshot& snap);
+
+/// Prometheus text exposition (version 0.0.4): counters as `counter`,
+/// histograms as cumulative-bucket `histogram` families. Names are prefixed
+/// with `coral_` and sanitized to the Prometheus charset.
+std::string prometheus_text(const Snapshot& snap);
+
+/// Machine-readable snapshot JSON for the BENCH_*.json artifacts:
+/// {"spans": [...], "counters": {...}, "histograms": [...]}.
+std::string snapshot_json(const Snapshot& snap);
+
+}  // namespace coral::obs
+
+/// Hot-path guards: no argument evaluation, clocks or locks when the
+/// collector is null.
+#define CORAL_OBS_COUNT(collector, name, delta)                                      \
+  do {                                                                               \
+    if (auto* coral_obs_c_ = (collector)) coral_obs_c_->add_counter((name), (delta)); \
+  } while (0)
+
+#define CORAL_OBS_VALUE(collector, name, value)                                        \
+  do {                                                                                 \
+    if (auto* coral_obs_c_ = (collector)) coral_obs_c_->record_value((name), (value)); \
+  } while (0)

@@ -13,6 +13,7 @@
 #include "coral/common/error.hpp"
 #include "coral/common/instrument.hpp"
 #include "coral/common/parallel.hpp"
+#include "coral/obs/obs.hpp"
 
 namespace coral::ras {
 
@@ -446,6 +447,7 @@ RasLog read_binary(std::istream& in, const Catalog& catalog, ParseMode mode,
   // Buffer the whole input once; frames are then indexed and decoded in
   // place, with no per-block payload copies.
   const std::string buffer = slurp(in);
+  CORAL_OBS_COUNT(obs::as_collector(sink), "ingest.ras_binary.bytes", buffer.size());
 
   if (mode == ParseMode::Strict) {
     if (buffer.size() < sizeof kMagic + sizeof kVersion ||

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "coral/common/parallel.hpp"
+#include "coral/obs/obs.hpp"
 #include "coral/stream/filter_stages.hpp"
 #include "coral/stream/matcher.hpp"
 
@@ -99,9 +100,14 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
 
   // ---- Phase 1: temporal -> spatial coalescing, pair mining tapped off the
   // spatial output, groups buffered for phase 2 (one pass over the log). ----
+  obs::Collector* obs = ctx.obs();
+
   StageTimer phase1_timer(sink, "filter.coalesce");
   run_sharded([&](std::size_t begin, std::size_t end) {
     for (std::size_t s = begin; s < end; ++s) {
+      // One span per shard, reported from the worker that ran it, so a
+      // Chrome trace shows the shard schedule across pool threads.
+      obs::Span span(obs, "stream.shard.phase1");
       GroupBuffer buffer;
       StreamingFilter::Options opt;
       opt.temporal = config.filters.temporal;
@@ -119,6 +125,9 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
       out.temporal_out = filter.temporal().out_count();
       out.spatial_out = filter.spatial().out_count();
       out.peak_phase1 = filter.peak_buffered();
+      span.counts(fatal_begin[s + 1] - fatal_begin[s], out.spatial_out);
+      CORAL_OBS_VALUE(obs, "stream.shard.peak_state",
+                      static_cast<double>(out.peak_phase1));
     }
   });
 
@@ -147,6 +156,7 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
   StageTimer phase2_timer(sink, "filter.match");
   run_sharded([&](std::size_t begin, std::size_t end) {
     for (std::size_t s = begin; s < end; ++s) {
+      obs::Span span(obs, "stream.shard.phase2");
       ShardOutput& out = shard[s];
       StreamingMatcher matcher(config.match_window,
                                [&out](StreamingMatcher::GroupMatch&& m) {
@@ -175,6 +185,9 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
       for (; gi < groups.size(); ++gi) stage_sink->on_group(std::move(groups[gi]));
       stage_sink->flush();  // cascades into the matcher
       out.peak_phase2 = matcher.peak_buffered() + (caus ? caus->peak_chains() : 0);
+      span.counts(out.spatial_groups.size(), out.final_groups.size());
+      CORAL_OBS_VALUE(obs, "stream.shard.peak_state",
+                      static_cast<double>(out.peak_phase2));
       out.spatial_groups.clear();
       out.spatial_groups.shrink_to_fit();
     }

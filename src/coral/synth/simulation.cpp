@@ -5,6 +5,7 @@
 
 #include "coral/common/error.hpp"
 #include "coral/common/strings.hpp"
+#include "coral/obs/obs.hpp"
 #include "coral/sched/pool.hpp"
 #include "coral/synth/scenario.hpp"
 
@@ -97,6 +98,7 @@ class Simulation {
  public:
   Simulation(const ScenarioConfig& config, const Context& ctx)
       : config_(config),
+        obs_(ctx.obs()),
         catalog_(&ctx.catalog()),
         master_rng_(ctx.derive_seed(config.seed)),
         sim_rng_(master_rng_.split()),
@@ -108,14 +110,19 @@ class Simulation {
   }
 
   SynthResult run() {
-    Rng workload_rng = master_rng_.split();
-    workload_ = generate_workload(config_.workload, config_.start, config_.days,
-                                  workload_rng, *catalog_);
+    {
+      obs::Span span(obs_, "synth.workload");
+      Rng workload_rng = master_rng_.split();
+      workload_ = generate_workload(config_.workload, config_.start, config_.days,
+                                    workload_rng, *catalog_);
+      span.counts(workload_.apps.size(), workload_.schedule.size());
+    }
     bug_alive_.assign(workload_.apps.size(), true);
 
     // Prime the fault process.
     push_next_fault(config_.start);
 
+    obs::Span sim_span(obs_, "synth.simulate");
     std::size_t next_arrival = 0;
     while (true) {
       const bool have_arrival = next_arrival < workload_.schedule.size();
@@ -136,7 +143,13 @@ class Simulation {
 
     finalize_running_jobs();
     if (config_.noise.enabled) emit_noise();
-    return assemble();
+    sim_span.counts(workload_.schedule.size(), records_.size());
+    sim_span.end();
+
+    obs::Span span(obs_, "synth.assemble");
+    SynthResult result = assemble();
+    span.counts(records_.size(), result.ras.size());
+    return result;
   }
 
  private:
@@ -217,6 +230,13 @@ class Simulation {
   }
 
   void start_job(const QueuedJob& q, const Partition& part, TimePoint now) {
+    CORAL_OBS_COUNT(obs_, "sched.jobs_started", 1);
+    if (q.prev_partition) {
+      // Mirrors the paper's Obs. 10 statistic: where do resubmissions land?
+      CORAL_OBS_COUNT(obs_, part == *q.prev_partition ? "sched.resubmit_same_partition"
+                                                      : "sched.resubmit_other_partition",
+                      1);
+    }
     pool_.acquire(part);
     const std::size_t slot = alloc_slot();
     ActiveJob& j = slots_[slot];
@@ -476,6 +496,7 @@ class Simulation {
     write_job_record(j, std::max(t, j.start + 1), interrupted);
 
     if (interrupted) {
+      CORAL_OBS_COUNT(obs_, "synth.interruptions", 1);
       truth_.interruptions.push_back({j.job_id, truth_id, code, t});
       const ErrcodeInfo& info = catalog_->info(code);
       const bool app_error = info.nature == FaultNature::ApplicationError;
@@ -486,6 +507,7 @@ class Simulation {
                                         : config_.resubmit.delay_mean_hours_system;
         const TimePoint when =
             t + static_cast<Usec>(sim_rng_.exponential(mean_h) * kUsecPerHour);
+        CORAL_OBS_COUNT(obs_, "synth.resubmits", 1);
         push(SimEvent{.t = when, .kind = EventKind::Resubmit, .app = j.app,
                       .consec_fails = j.consec_fails + 1, .prev_partition = j.part});
       }
@@ -543,7 +565,9 @@ class Simulation {
     m.location = loc;
     m.job_partition = part;
     m.truth_tag = truth_id;
+    const std::size_t before = records_.size();
     storm_.expand(m, storm_rng_, records_);
+    CORAL_OBS_COUNT(obs_, "synth.storm_records", records_.size() - before);
 
     // The fault-aware scheduler (if enabled) observes this FATAL location.
     if (config_.sched.avoid_failed_window > 0) {
@@ -648,6 +672,7 @@ class Simulation {
   // ---- members -----------------------------------------------------------
 
   ScenarioConfig config_;
+  obs::Collector* obs_;
   const Catalog* catalog_;
   Rng master_rng_;
   Rng sim_rng_;

@@ -181,6 +181,124 @@ TEST(IntervalIndex, RunningAtMatchesReferenceOnScenario) {
 }
 
 // ---------------------------------------------------------------------------
+// Boundary semantics, pinned with hand-placed jobs. Jobs occupy the
+// half-open interval [start, end): a job *is* running at its start instant
+// and is *not* running at its end instant, and the overlap predicate is
+// start < window_end && end > window_begin. Every indexed query must agree
+// with the brute-force references above at exactly these edges.
+
+joblog::JobLog boundary_log() {
+  joblog::JobLog jobs;
+  const auto exec = jobs.intern_exec("/bin/toy");
+  const auto user = jobs.intern_user("user000");
+  const auto project = jobs.intern_project("project00");
+  const auto add = [&](std::int64_t id, Usec start, Usec end, bgp::MidplaneId m,
+                       int count) {
+    joblog::JobRecord rec;
+    rec.job_id = id;
+    rec.exec_id = exec;
+    rec.user_id = user;
+    rec.project_id = project;
+    rec.queue_time = TimePoint(start);
+    rec.start_time = TimePoint(start);
+    rec.end_time = TimePoint(end);
+    rec.partition = bgp::Partition(m, count);
+    jobs.append(rec);
+  };
+  add(1, 1000, 2000, 0, 1);  // the job whose edges the queries probe
+  add(2, 2000, 3000, 0, 1);  // back-to-back successor on the same midplane
+  add(3, 1500, 1500, 0, 1);  // zero-duration: never running anywhere
+  add(4, 1000, 2000, 1, 1);  // same times, the rack's other midplane
+  add(5, 500, 5000, 2, 2);   // wide partition spanning midplanes 2-3
+  jobs.finalize();
+  return jobs;
+}
+
+TEST(IntervalIndexBoundary, RunningAtJobEdges) {
+  const joblog::JobLog jobs = boundary_log();
+  const bgp::Location m0 = bgp::Location::midplane(0);
+
+  // At the exact start instant the job is running; one tick before, not.
+  EXPECT_EQ(jobs.running_at(TimePoint(1000), m0),
+            running_at_reference(jobs, TimePoint(1000), m0));
+  EXPECT_EQ(jobs.running_at(TimePoint(1000), m0), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(jobs.running_at(TimePoint(999), m0).empty());
+
+  // At the exact end instant the job has stopped — and its back-to-back
+  // successor on the same midplane has started: a handoff, never an overlap.
+  EXPECT_EQ(jobs.running_at(TimePoint(2000), m0),
+            running_at_reference(jobs, TimePoint(2000), m0));
+  EXPECT_EQ(jobs.running_at(TimePoint(2000), m0), (std::vector<std::size_t>{4}));
+
+  // A zero-duration job is running at no instant, not even its own start.
+  const auto at_1500 = jobs.running_at(TimePoint(1500), m0);
+  EXPECT_EQ(at_1500, running_at_reference(jobs, TimePoint(1500), m0));
+  EXPECT_EQ(at_1500, (std::vector<std::size_t>{1}));
+}
+
+TEST(IntervalIndexBoundary, RunningAtRackMergesBothMidplanes) {
+  const joblog::JobLog jobs = boundary_log();
+  const bgp::Location rack0 = bgp::Location::rack(0);
+  // Jobs 1 (midplane 0) and 4 (midplane 1) both run at t=1500 under rack 0;
+  // the two-bucket merge must return them once each, index-sorted.
+  EXPECT_EQ(jobs.running_at(TimePoint(1500), rack0),
+            running_at_reference(jobs, TimePoint(1500), rack0));
+  EXPECT_EQ(jobs.running_at(TimePoint(1500), rack0), (std::vector<std::size_t>{1, 2}));
+  // A wide partition's job appears once even though it fills two buckets.
+  const bgp::Location rack1 = bgp::Location::rack(1);
+  EXPECT_EQ(jobs.running_at(TimePoint(1500), rack1), (std::vector<std::size_t>{0}));
+}
+
+TEST(OverlappingBoundary, WindowEdgesAreHalfOpen) {
+  const joblog::JobLog jobs = boundary_log();
+
+  // Job 1 ends exactly at the window's begin: excluded (end > begin fails).
+  EXPECT_EQ(jobs.overlapping(TimePoint(2000), TimePoint(2500)),
+            overlapping_reference(jobs, TimePoint(2000), TimePoint(2500)));
+  for (const std::size_t i : jobs.overlapping(TimePoint(2000), TimePoint(2500))) {
+    EXPECT_NE(jobs[i].job_id, 1);
+  }
+
+  // Job 2 starts exactly at the window's end: excluded (start < end fails).
+  EXPECT_EQ(jobs.overlapping(TimePoint(500), TimePoint(2000)),
+            overlapping_reference(jobs, TimePoint(500), TimePoint(2000)));
+  for (const std::size_t i : jobs.overlapping(TimePoint(500), TimePoint(2000))) {
+    EXPECT_NE(jobs[i].job_id, 2);
+  }
+
+  // A zero-duration job strictly inside the window *does* overlap it (its
+  // [1500, 1500) interval intersects [1000, 2000) under the strict
+  // inequalities) even though it is never running — the one place the two
+  // predicates deliberately disagree.
+  const auto wide = jobs.overlapping(TimePoint(1000), TimePoint(2000));
+  EXPECT_EQ(wide, overlapping_reference(jobs, TimePoint(1000), TimePoint(2000)));
+  bool saw_zero_duration = false;
+  for (const std::size_t i : wide) saw_zero_duration |= jobs[i].job_id == 3;
+  EXPECT_TRUE(saw_zero_duration);
+}
+
+TEST(OverlappingBoundary, RandomizedEdgeAlignedWindows) {
+  const joblog::JobLog& jobs = scenario().jobs;
+  Rng rng(13);
+  // Windows whose edges are *exactly* job start/end times — the alignment a
+  // uniform sampler almost never produces and binary searches get wrong.
+  for (int i = 0; i < 100; ++i) {
+    const joblog::JobRecord& a = jobs[rng.uniform_index(jobs.size())];
+    const joblog::JobRecord& b = jobs[rng.uniform_index(jobs.size())];
+    const TimePoint edges[2] = {rng.bernoulli(0.5) ? a.start_time : a.end_time,
+                                rng.bernoulli(0.5) ? b.start_time : b.end_time};
+    const TimePoint begin = std::min(edges[0], edges[1]);
+    const TimePoint end = std::max(edges[0], edges[1]);
+    EXPECT_EQ(jobs.overlapping(begin, end), overlapping_reference(jobs, begin, end))
+        << "window [" << begin.usec() << ", " << end.usec() << ")";
+    const bgp::Location loc = bgp::Location::midplane(
+        static_cast<bgp::MidplaneId>(rng.uniform_index(bgp::Topology::kMidplanes)));
+    EXPECT_EQ(jobs.running_at(begin, loc), running_at_reference(jobs, begin, loc));
+    EXPECT_EQ(jobs.running_at(end, loc), running_at_reference(jobs, end, loc));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // match_interruptions against the std::set-collecting reference matcher.
 
 core::MatchResult match_reference(const filter::FilterPipelineResult& filtered,

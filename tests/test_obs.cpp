@@ -1,0 +1,453 @@
+// coral::obs — trace spans, counters, histograms and the three exporters.
+//
+// The Chrome trace export is validated with a real (minimal) JSON parser:
+// the acceptance bar is "loads in chrome://tracing", and the first gate for
+// that is being well-formed JSON with the trace_event structure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <thread>
+
+#include "coral/common/parallel.hpp"
+#include "coral/context.hpp"
+#include "coral/core/pipeline.hpp"
+#include "coral/obs/obs.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace coral {
+namespace {
+
+// ---- a minimal JSON well-formedness checker --------------------------------
+// Recursive descent over the full grammar (objects, arrays, strings with
+// escapes, numbers, literals). Returns false on any syntax error or trailing
+// garbage.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) == std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digit()) return false;
+    while (digit()) {}
+    if (peek() == '.') {
+      ++pos_;
+      if (!digit()) return false;
+      while (digit()) {}
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digit()) return false;
+      while (digit()) {}
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool digit() {
+    if (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool valid_json(std::string_view text) { return JsonChecker(text).valid(); }
+
+TEST(JsonChecker, AcceptsAndRejectsTheBasics) {
+  EXPECT_TRUE(valid_json(R"({"a": [1, 2.5, -3e2], "b": "x\ny", "c": null})"));
+  EXPECT_FALSE(valid_json(R"({"a": })"));
+  EXPECT_FALSE(valid_json(R"([1, 2)"));
+  EXPECT_FALSE(valid_json(R"({"a": 1} trailing)"));
+  EXPECT_FALSE(valid_json(R"({"unterminated)"));
+}
+
+// ---- counters / histograms -------------------------------------------------
+
+TEST(ObsCounter, AccumulatesAcrossThreads) {
+  obs::Collector c;
+  obs::Counter& n = c.counter("n");
+  std::thread a([&n] { for (int i = 0; i < 1000; ++i) n.add(1); });
+  std::thread b([&n] { for (int i = 0; i < 1000; ++i) n.add(2); });
+  a.join();
+  b.join();
+  EXPECT_EQ(c.snapshot().counter_value("n"), 3000u);
+  // The handle is stable: a second lookup is the same object.
+  EXPECT_EQ(&c.counter("n"), &n);
+}
+
+TEST(ObsHistogram, PowerOfTwoBuckets) {
+  EXPECT_EQ(obs::histogram_bucket(0.0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1.0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1.5), 1u);
+  EXPECT_EQ(obs::histogram_bucket(2.0), 1u);
+  EXPECT_EQ(obs::histogram_bucket(2.1), 2u);
+  EXPECT_EQ(obs::histogram_bucket(1024.0), 10u);
+  EXPECT_EQ(obs::histogram_bucket(1e30), obs::kHistogramBuckets - 1);
+  EXPECT_EQ(obs::histogram_bound(0), 1.0);
+  EXPECT_EQ(obs::histogram_bound(10), 1024.0);
+  EXPECT_TRUE(std::isinf(obs::histogram_bound(obs::kHistogramBuckets - 1)));
+}
+
+TEST(ObsHistogram, TracksCountSumMinMax) {
+  obs::Collector c;
+  c.record_value("h", 3.0);
+  c.record_value("h", 100.0);
+  c.record_value("h", 0.5);
+  const obs::Snapshot snap = c.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const obs::HistogramRecord& h = snap.histograms[0];
+  EXPECT_EQ(h.name, "h");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 103.5);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 100.0);
+  EXPECT_EQ(h.buckets[obs::histogram_bucket(3.0)], 1u);
+}
+
+// ---- spans -----------------------------------------------------------------
+
+TEST(ObsSpan, NestsParentChildOnOneThread) {
+  obs::Collector c;
+  {
+    obs::Span outer(&c, "outer");
+    {
+      obs::Span inner(&c, "inner");
+      inner.counts(10, 5);
+    }
+  }
+  const obs::Snapshot snap = c.snapshot();
+  ASSERT_EQ(snap.spans.size(), 2u);
+  // The child closed first, so it appears in open order; find by name.
+  const auto& outer = snap.spans[0].name == "outer" ? snap.spans[0] : snap.spans[1];
+  const auto& inner = snap.spans[0].name == "inner" ? snap.spans[0] : snap.spans[1];
+  EXPECT_EQ(outer.parent, -1);
+  ASSERT_GE(inner.parent, 0);
+  EXPECT_EQ(snap.spans[static_cast<std::size_t>(inner.parent)].name, "outer");
+  EXPECT_EQ(inner.in, 10u);
+  EXPECT_EQ(inner.out, 5u);
+  EXPECT_EQ(outer.tid, inner.tid);
+  EXPECT_GE(inner.start_us, outer.start_us);
+}
+
+TEST(ObsSpan, NullCollectorIsInertAndMacrosSkipArguments) {
+  obs::Span span(nullptr, "noop");
+  span.counts(1, 2);
+  span.end();
+
+  int evaluations = 0;
+  const auto count_side_effect = [&evaluations] {
+    ++evaluations;
+    return std::uint64_t{1};
+  };
+  obs::Collector* null_obs = nullptr;
+  CORAL_OBS_COUNT(null_obs, "x", count_side_effect());
+  CORAL_OBS_VALUE(null_obs, "x", static_cast<double>(count_side_effect()));
+  EXPECT_EQ(evaluations, 0);
+
+  obs::Collector c;
+  CORAL_OBS_COUNT(&c, "x", count_side_effect());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(c.snapshot().counter_value("x"), 1u);
+}
+
+TEST(ObsSpan, OpenSpansAreExcludedFromSnapshots) {
+  obs::Collector c;
+  obs::Span open(&c, "still-open");
+  {
+    obs::Span done(&c, "done");
+  }
+  const obs::Snapshot snap = c.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].name, "done");
+  // The finished child's parent slot (the open span) is not exported, so the
+  // remap must drop the dangling reference rather than leave a bad index.
+  EXPECT_EQ(snap.spans[0].parent, -1);
+  open.end();
+  EXPECT_EQ(c.snapshot().spans.size(), 2u);
+}
+
+TEST(ObsSpan, DistinctThreadsGetDistinctTids) {
+  obs::Collector c;
+  { obs::Span main_span(&c, "main"); }
+  std::thread t([&c] { obs::Span worker_span(&c, "worker"); });
+  t.join();
+  const obs::Snapshot snap = c.snapshot();
+  ASSERT_EQ(snap.spans.size(), 2u);
+  EXPECT_NE(snap.spans[0].tid, snap.spans[1].tid);
+}
+
+// ---- the legacy InstrumentationSink bridge ---------------------------------
+
+TEST(ObsBridge, StageTimerSamplesBecomeSpansAndHistograms) {
+  obs::Collector c;
+  InstrumentationSink* sink = &c;  // what Context::with_obs hands to layers
+  {
+    StageTimer timer(sink, "bridged.stage");
+    timer.counts(100, 42);
+  }
+  const obs::Snapshot snap = c.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].name, "bridged.stage");
+  EXPECT_EQ(snap.spans[0].in, 100u);
+  EXPECT_EQ(snap.spans[0].out, 42u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+}
+
+TEST(ObsBridge, DurationFreeSamplesBecomeCounters) {
+  obs::Collector c;
+  // The shape IngestReport::report_malformed emits: zero wall time, the
+  // tally in `in`, nothing in `out`.
+  c.record({"ingest.malformed", 0.0, 7, 0});
+  c.record({"ingest.malformed", 0.0, 3, 0});
+  const obs::Snapshot snap = c.snapshot();
+  EXPECT_TRUE(snap.spans.empty());
+  EXPECT_EQ(snap.counter_value("ingest.malformed"), 10u);
+}
+
+TEST(ObsBridge, ContextWithObsSetsBothRoutes) {
+  obs::Collector c;
+  Context ctx;
+  ctx.with_obs(&c);
+  EXPECT_EQ(ctx.obs(), &c);
+  EXPECT_EQ(ctx.sink(), static_cast<InstrumentationSink*>(&c));
+  EXPECT_EQ(obs::as_collector(ctx.sink()), &c);
+}
+
+// ---- thread-pool telemetry -------------------------------------------------
+
+TEST(ObsPool, CountsTasksAndLatencies) {
+  obs::Collector c;
+  par::ThreadPool pool(2);
+  pool.set_obs(&c);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait_idle();
+  pool.set_obs(nullptr);  // detach before the snapshot: no races, no new samples
+  EXPECT_EQ(ran.load(), 16);
+  const obs::Snapshot snap = c.snapshot();
+  EXPECT_EQ(snap.counter_value("pool.tasks"), 16u);
+  bool saw_depth = false, saw_wait = false, saw_run = false;
+  for (const obs::HistogramRecord& h : snap.histograms) {
+    if (h.name == "pool.queue_depth") saw_depth = h.count == 16;
+    if (h.name == "pool.task_wait_ms") saw_wait = h.count == 16;
+    if (h.name == "pool.task_run_ms") saw_run = h.count == 16;
+  }
+  EXPECT_TRUE(saw_depth);
+  EXPECT_TRUE(saw_wait);
+  EXPECT_TRUE(saw_run);
+}
+
+// ---- exporters -------------------------------------------------------------
+
+obs::Collector& populated_collector() {
+  static obs::Collector col;  // Collector is pinned (non-movable): fill in place
+  static const bool init = [] {
+    {
+      obs::Span outer(&col, "stage.outer");
+      obs::Span inner(&col, "stage.inner");
+      inner.counts(8, 4);
+    }
+    col.add_counter("records.read", 1234);
+    col.record_value("block.ms", 1.5);
+    col.record_value("block.ms", 700.0);
+    return true;
+  }();
+  (void)init;
+  return col;
+}
+
+TEST(ObsExport, ChromeTraceIsValidTraceEventJson) {
+  const std::string trace = obs::chrome_trace_json(populated_collector().snapshot());
+  EXPECT_TRUE(valid_json(trace)) << trace;
+  // The two structural markers chrome://tracing requires: the traceEvents
+  // array and complete ("X") events with ts/dur/pid/tid.
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\": "), std::string::npos);
+  // Counters ride along as "C" samples.
+  EXPECT_NE(trace.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(trace.find("records.read"), std::string::npos);
+}
+
+TEST(ObsExport, ChromeTraceEscapesHostileNames) {
+  obs::Collector c;
+  { obs::Span span(&c, "quote\"back\\slash\nnewline"); }
+  const std::string trace = obs::chrome_trace_json(c.snapshot());
+  EXPECT_TRUE(valid_json(trace)) << trace;
+}
+
+TEST(ObsExport, PrometheusTextHasRequiredShape) {
+  const std::string text = obs::prometheus_text(populated_collector().snapshot());
+  EXPECT_NE(text.find("# TYPE coral_records_read_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("coral_records_read_total 1234\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE coral_block_ms histogram\n"), std::string::npos);
+  // Cumulative buckets must end in a +Inf sample equal to _count.
+  EXPECT_NE(text.find("coral_block_ms_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("coral_block_ms_count 2\n"), std::string::npos);
+  // 1.5 lands in bucket (1,2]: the le="2" cumulative count includes it.
+  EXPECT_NE(text.find("coral_block_ms_bucket{le=\"2\"} 1\n"), std::string::npos);
+}
+
+TEST(ObsExport, SnapshotJsonIsValid) {
+  const std::string json = obs::snapshot_json(populated_collector().snapshot());
+  EXPECT_TRUE(valid_json(json)) << json;
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// ---- end to end through the real pipeline ----------------------------------
+
+TEST(ObsEndToEnd, CoanalysisProducesATraceAcrossLayers) {
+  const synth::SynthResult data = synth::generate(synth::small_scenario(11, 10));
+  obs::Collector c;
+  par::ThreadPool pool(2);
+  pool.set_obs(&c);
+  Context ctx;
+  ctx.with_pool(&pool).with_obs(&c);
+
+  core::CoAnalysisConfig config;
+  config.execution.engine = core::Engine::Streaming;
+  config.execution.shards = 4;
+  const core::CoAnalysisResult r = core::run_coanalysis(data.ras, data.jobs, config, ctx);
+  pool.set_obs(nullptr);
+  EXPECT_GT(r.filtered.groups.size(), 0u);
+
+  const obs::Snapshot snap = c.snapshot();
+  // Legacy StageTimer stages arrive via the bridge...
+  EXPECT_GT(snap.total_ms("filter.coalesce"), 0.0);
+  EXPECT_GT(snap.total_ms("filter.match"), 0.0);
+  // ...and the new per-shard spans via obs proper.
+  std::size_t phase1_spans = 0;
+  for (const obs::SpanRecord& s : snap.spans) {
+    if (s.name == "stream.shard.phase1") ++phase1_spans;
+  }
+  EXPECT_EQ(phase1_spans, r.shards_used);
+
+  const std::string trace = obs::chrome_trace_json(snap);
+  EXPECT_TRUE(valid_json(trace));
+
+  // Batch engine: the filter/match layers report through their configs.
+  obs::Collector batch;
+  Context bctx;
+  bctx.with_obs(&batch);
+  config.execution.engine = core::Engine::Batch;
+  const auto rb = core::run_coanalysis(data.ras, data.jobs, config, bctx);
+  EXPECT_EQ(rb.matches.interruptions.size(), r.matches.interruptions.size());
+  const obs::Snapshot bs = batch.snapshot();
+  EXPECT_GT(bs.total_ms("filter.temporal"), 0.0);
+  EXPECT_GT(bs.total_ms("match.phase1"), 0.0);
+  EXPECT_GT(bs.counter_value("match.candidates_scanned"), 0u);
+  EXPECT_TRUE(valid_json(obs::chrome_trace_json(bs)));
+}
+
+}  // namespace
+}  // namespace coral

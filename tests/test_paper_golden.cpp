@@ -1,0 +1,131 @@
+// Paper-fidelity golden tests: the reduced-scale analogues of Table I
+// (log summary), Table IV (Weibull interarrival fits before/after
+// filtering) and Fig. 7 (resubmission placement), run end to end through
+// synth + co-analysis under plain ctest.
+//
+// Scale: small_scenario(seed 42, 60 days) — ~86k RAS records, ~13k jobs,
+// ~0.7 s wall. The generator is fully seeded, so every number below is
+// deterministic today; the tolerances exist to absorb *benign* future
+// drift (fit-iteration tweaks, reordered accumulation) while still
+// catching a broken filter stage or matching rule, which moves these
+// statistics far outside any tolerance here.
+//
+// Tolerance policy, documented per assertion:
+//   - committed-golden values (this exact seed/scale): ±2% relative, or
+//     the stated absolute window for small-count statistics;
+//   - paper-anchored ratios that are scale-invariant (filtering
+//     compression, same-partition share, Weibull shape < 1): asserted
+//     against the published value with a wider window, since the reduced
+//     scenario only approximates Intrepid's 237-day census.
+#include <gtest/gtest.h>
+
+#include "coral/core/pipeline.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace coral {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+constexpr int kDays = 60;
+
+struct GoldenRun {
+  synth::SynthResult data;
+  core::CoAnalysisResult result;
+};
+
+const GoldenRun& golden_run() {
+  static const GoldenRun run = [] {
+    GoldenRun r;
+    r.data = synth::generate(synth::small_scenario(kSeed, kDays));
+    r.result = core::run_coanalysis(r.data.ras, r.data.jobs);
+    return r;
+  }();
+  return run;
+}
+
+// ---- Table I analogue: log summary -----------------------------------------
+
+TEST(PaperGolden, Table1LogSummary) {
+  const GoldenRun& run = golden_run();
+  const auto& summary = run.data.ras.summary();
+
+  // Committed goldens for seed 42 / 60 days (±2% relative): the raw record
+  // census is the product of every generator stage, so a drift here means
+  // the workload, fault process, storm model or noise emitter changed.
+  EXPECT_NEAR(static_cast<double>(run.data.ras.size()), 86239.0, 86239.0 * 0.02);
+  EXPECT_NEAR(static_cast<double>(summary.fatal_records), 26964.0, 26964.0 * 0.02);
+  EXPECT_NEAR(static_cast<double>(run.data.jobs.size()), 12770.0, 12770.0 * 0.02);
+
+  // FATAL fraction, committed golden 31.27% (±1.5 pp absolute). The paper's
+  // raw log sits at 1.6% (33,370 / 2,084,392) only because Intrepid's
+  // non-fatal background noise dwarfs the fatal census; small_scenario
+  // deliberately thins that noise ~10x to keep tier-1 fast, which raises
+  // the fraction but leaves the fatal-side pipeline identical.
+  const double fatal_fraction = static_cast<double>(summary.fatal_records) /
+                                static_cast<double>(run.data.ras.size());
+  EXPECT_NEAR(fatal_fraction, 0.3127, 0.015);
+}
+
+// ---- Table IV analogue: filtering compression + Weibull fits ---------------
+
+TEST(PaperGolden, Table4FilteringCompression) {
+  const core::CoAnalysisResult& r = golden_run().result;
+
+  // Committed golden: 546 groups out of 26,964 fatal records (±2%).
+  EXPECT_NEAR(static_cast<double>(r.filtered.groups.size()), 546.0, 546.0 * 0.02);
+
+  // Scale-invariant paper anchor: temporal+spatial+causality filtering
+  // compresses 98.35% on Intrepid (33,370 -> 549). The reduced scenario
+  // must land within 1.5 pp of that, or a filter stage changed behaviour.
+  EXPECT_NEAR(r.filtered.total_compression(), 0.9835, 0.015);
+}
+
+TEST(PaperGolden, Table4WeibullInterarrivals) {
+  const core::CoAnalysisResult& r = golden_run().result;
+
+  // Enough samples for the fits to be meaningful at this scale.
+  EXPECT_GT(r.fatal_before_jobfilter.samples_sec.size(), 300u);
+  EXPECT_GT(r.fatal_after_jobfilter.samples_sec.size(), 300u);
+
+  // Paper anchor (Table IV / Obs. 4): fatal interarrivals are Weibull with
+  // decreasing hazard — shape well below 1 — and the LRT prefers Weibull
+  // over exponential, before *and* after job-related filtering.
+  EXPECT_TRUE(r.fatal_before_jobfilter.lrt.weibull_preferred);
+  EXPECT_TRUE(r.fatal_after_jobfilter.lrt.weibull_preferred);
+  EXPECT_LT(r.fatal_before_jobfilter.weibull.shape(), 0.8);
+  EXPECT_LT(r.fatal_after_jobfilter.weibull.shape(), 0.8);
+  EXPECT_GT(r.fatal_before_jobfilter.weibull.shape(), 0.2);
+  EXPECT_GT(r.fatal_after_jobfilter.weibull.shape(), 0.2);
+
+  // Committed goldens (±0.05 absolute on the shape): 0.5408 before, 0.5283
+  // after, with the Weibull KS distance beating the exponential's.
+  EXPECT_NEAR(r.fatal_before_jobfilter.weibull.shape(), 0.5408, 0.05);
+  EXPECT_NEAR(r.fatal_after_jobfilter.weibull.shape(), 0.5283, 0.05);
+  EXPECT_LT(r.fatal_before_jobfilter.ks_weibull, r.fatal_before_jobfilter.ks_exponential);
+  EXPECT_LT(r.fatal_after_jobfilter.ks_weibull, r.fatal_after_jobfilter.ks_exponential);
+}
+
+// ---- Fig. 7 analogue: resubmission placement -------------------------------
+
+TEST(PaperGolden, Fig7ResubmissionStats) {
+  const core::CoAnalysisResult& r = golden_run().result;
+
+  // Committed goldens (±2% relative): the interruption census this scale
+  // produces. 239 interruptions split 113 system / 126 application.
+  EXPECT_NEAR(static_cast<double>(r.matches.interruptions.size()), 239.0, 239.0 * 0.02);
+  EXPECT_NEAR(static_cast<double>(r.system_interruptions), 113.0, 113.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(r.application_interruptions), 126.0, 126.0 * 0.05);
+
+  // Enough resubmissions for the share to be a statistic, not noise.
+  EXPECT_GT(r.propagation.resubmissions_after_interruption, 100u);
+
+  // Paper anchor (§VI-C, Fig. 7 discussion): 57.44% of post-interruption
+  // resubmissions land on the same partition. ±5 pp absolute: with ~230
+  // resubmissions, one-sigma binomial noise alone is ~3 pp, and the
+  // scheduler preset (resubmit_same_partition_prob = 0.80 minus blacklist
+  // and availability losses) targets the published share, not an exact hit.
+  EXPECT_NEAR(r.propagation.same_partition_fraction(), 0.5744, 0.05);
+}
+
+}  // namespace
+}  // namespace coral

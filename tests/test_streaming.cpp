@@ -150,6 +150,47 @@ TEST(StreamingFrontEnd, MatchesBatchFilterAndMatcherDirectly) {
   }
 }
 
+// Randomized differential: ~20 seeded scenario/workload/storm/sharding
+// combinations, each requiring the streaming engine to be byte-identical to
+// batch. The combinations sweep the axes that have historically produced
+// engine divergence: storm burst shape (group sizes near window edges),
+// causality on/off (three- vs four-stage pipeline), shard count (boundary
+// handling) and pool width (merge determinism under real concurrency).
+TEST(StreamingEngine, RandomizedDifferentialAgainstBatch) {
+  constexpr int kCombos = 20;
+  for (int i = 0; i < kCombos; ++i) {
+    SCOPED_TRACE("combo " + std::to_string(i));
+
+    synth::ScenarioConfig scenario =
+        synth::small_scenario(/*seed=*/1000 + static_cast<std::uint64_t>(i) * 7,
+                              /*days=*/6 + (i % 4) * 3);
+    // Storm shape: quiet logs, the calibrated default, and record blizzards.
+    scenario.storm.temporal_extra_mean = 1.0 + (i % 3) * 7.0;
+    scenario.storm.spatial_nodes_mean = 4.0 + (i % 5) * 12.0;
+    scenario.storm.cascade_prob = 0.1 * (i % 7);
+    scenario.storm.idle_extra_mean = 2.0 + (i % 4) * 6.0;
+    // Workload density: sparse through busy machines.
+    scenario.workload.target_submissions = 400 + (i % 6) * 300;
+
+    const synth::SynthResult run = synth::generate(scenario);
+    if (run.ras.summary().fatal_records == 0) continue;  // nothing to diverge on
+
+    core::CoAnalysisConfig config = engine_config(core::Engine::Batch);
+    config.filters.enable_causality = i % 3 != 2;
+    const auto batch = core::run_coanalysis(run.ras, run.jobs, config);
+
+    config.execution.engine = core::Engine::Streaming;
+    config.execution.shards = 1 + (i % 5);
+    par::ThreadPool pool(1 + static_cast<std::size_t>(i % 4));
+    const auto streaming =
+        core::run_coanalysis(run.ras, run.jobs, config, Context().with_pool(&pool));
+
+    EXPECT_EQ(streaming.engine_used, core::Engine::Streaming);
+    expect_identical(batch, streaming);
+    if (HasFatalFailure()) break;  // one combo's dump is enough
+  }
+}
+
 TEST(ShardPlan, CutsOnlyInsideQuiesceGaps) {
   // Events in three bursts with two large gaps; quiesce smaller than the
   // gaps, so both midpoints are candidates.
