@@ -16,7 +16,7 @@ endfunction()
 
 # Benches with their own main() (fork-based RSS measurement does not fit the
 # google-benchmark harness).
-set(CORAL_SELFMAIN_BENCHES perf_streaming)
+set(CORAL_SELFMAIN_BENCHES perf_streaming perf_scenarios)
 
 file(GLOB CORAL_BENCH_SOURCES ${CORAL_BENCH_DIR}/*.cpp)
 foreach(src ${CORAL_BENCH_SOURCES})

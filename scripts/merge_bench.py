@@ -7,7 +7,7 @@ real time, and merges the result into the committed trajectory file:
 
     {
       "schema": 1,
-      "units": "ms_real_time",
+      "units": "ms (gbench: cpu_time; perf_streaming: wall)",
       "baseline": { "<bench>": ms, ... },   # pre-columnar-hot-path numbers
       "current":  { "<bench>": ms, ... }    # latest run, updated here
     }
@@ -18,6 +18,12 @@ more than --max-regression slower than the committed "current" entry
 fails the run. Benches faster than --gate-floor-ms are reported but not
 gated — at microsecond scale, scheduler noise on a shared CI box easily
 exceeds any sane threshold.
+
+The perf_streaming per-mode wall numbers are recorded but never gated:
+they are fork-based wall measurements of a few-ms run, observed swinging
+2x best-of-7 on shared CI VMs. The streaming engine's gated regression
+coverage is the CPU-time BM_FullCoAnalysis / BM_EndToEndCoAnalysis
+series (run_coanalysis defaults to the streaming engine).
 """
 
 import argparse
@@ -28,13 +34,22 @@ GBENCH_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 
 
 def load_gbench(path):
+    """google-benchmark entries, in ms of *CPU* time.
+
+    CPU time, not real time: CI runs on small shared VMs where wall clock
+    measures the noisy neighbors (observed 2x swings on identical binaries
+    run minutes apart, while CPU time held a ~5% cv). Every gbench suite
+    here is CPU-bound single-threaded, so on a quiet box the two agree and
+    the committed trajectory stays comparable. perf_streaming keeps wall
+    time — its fork-based modes are measured as wall by design.
+    """
     with open(path) as f:
         doc = json.load(f)
     out = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
-        out[bench["name"]] = bench["real_time"] * GBENCH_TO_MS[bench["time_unit"]]
+        out[bench["name"]] = bench["cpu_time"] * GBENCH_TO_MS[bench["time_unit"]]
     return out
 
 
@@ -83,10 +98,13 @@ def main():
 
     fresh = {}
     stage_totals = {}
+    ungated = set()
     for path in args.gbench:
         fresh.update(load_gbench(path))
     if args.streaming:
-        fresh.update(load_streaming(args.streaming))
+        streaming = load_streaming(args.streaming)
+        fresh.update(streaming)
+        ungated.update(streaming)  # wall time on shared VMs: trajectory only
         stage_totals = obs_stage_totals(args.obs or args.streaming)
     if not fresh:
         sys.exit("merge_bench.py: no benchmark results given")
@@ -109,8 +127,9 @@ def main():
             print(f"  new   {name}: {now:.3f} ms")
             continue
         delta = (now - ref) / ref if ref > 0 else 0.0
-        gated = ref >= args.gate_floor_ms
-        tag = "" if gated else " (below gate floor)"
+        gated = ref >= args.gate_floor_ms and name not in ungated
+        tag = "" if gated else (
+            " (wall, informational)" if name in ungated else " (below gate floor)")
         print(f"  {'ok ' if delta <= args.max_regression or not gated else 'REG'}   "
               f"{name}: {now:.3f} ms vs {ref:.3f} ms ({delta:+.1%}){tag}")
         if gated and delta > args.max_regression:
@@ -124,10 +143,14 @@ def main():
     merged.update(fresh)
     out_doc = {
         "schema": 1,
-        "units": "ms_real_time",
+        "units": "ms (gbench: cpu_time; perf_streaming: wall)",
         "baseline": doc.get("baseline", {}),
         "current": {k: round(v, 4) for k, v in sorted(merged.items())},
     }
+    # "resets" documents deliberate reference changes (bench rewrites,
+    # renamed series) so a jump in "current" is auditable; carry it through.
+    if "resets" in doc:
+        out_doc["resets"] = doc["resets"]
     if stage_totals:
         out_doc["obs_stages"] = dict(sorted(stage_totals.items()))
     elif "obs_stages" in doc:

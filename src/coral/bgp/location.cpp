@@ -76,6 +76,35 @@ Location Location::io_node(MidplaneId mid, int card, int slot) {
   return loc;
 }
 
+Location Location::make(LocationKind kind, int rack, int midplane_in_rack, int card, int sub) {
+  // Encoding bounds only (see packed()): rack has 8 bits, the midplane
+  // nibble and the two 6-bit slots reserve their all-ones value as the
+  // "absent" sentinel.
+  if (rack < 0 || rack > 0xFF) throw InvalidArgument("location rack does not fit encoding");
+  if (midplane_in_rack < -1 || midplane_in_rack >= 0xF) {
+    throw InvalidArgument("location midplane does not fit encoding");
+  }
+  if (card < -1 || card >= 0x3F) throw InvalidArgument("location card does not fit encoding");
+  if (sub < -1 || sub >= 0x3F) throw InvalidArgument("location sub-slot does not fit encoding");
+
+  const bool needs_mid = kind != LocationKind::Rack;
+  const bool needs_card = kind == LocationKind::NodeCard || kind == LocationKind::ComputeCard ||
+                          kind == LocationKind::LinkCard || kind == LocationKind::IoNode;
+  const bool needs_sub = kind == LocationKind::ComputeCard || kind == LocationKind::IoNode;
+  if (needs_mid != (midplane_in_rack >= 0) || needs_card != (card >= 0) ||
+      needs_sub != (sub >= 0)) {
+    throw InvalidArgument(std::string("location fields do not match kind '") +
+                          bgp::to_string(kind) + "'");
+  }
+  Location loc;
+  loc.kind_ = kind;
+  loc.rack_ = static_cast<std::int16_t>(rack);
+  loc.midplane_ = static_cast<std::int8_t>(midplane_in_rack);
+  loc.card_ = static_cast<std::int8_t>(card);
+  loc.sub_ = static_cast<std::int8_t>(sub);
+  return loc;
+}
+
 namespace {
 
 int parse_num_after(std::string_view part, char prefix, std::string_view whole) {

@@ -53,6 +53,14 @@ class Location {
   /// materializing a temporary std::string per field.
   static Location parse(std::string_view text);
 
+  /// Assemble a location from raw fields (-1 = absent), validating only
+  /// what the packed() encoding can represent plus which fields the kind
+  /// requires — NOT the BG/P index ranges. This is the factory for
+  /// machine::MachineModel implementations whose racks/slots exceed BG/P's;
+  /// the named factories above stay the BG/P-validating path. Throws
+  /// InvalidArgument on a field the encoding cannot hold.
+  static Location make(LocationKind kind, int rack, int midplane_in_rack, int card, int sub);
+
   /// Rebuild a Location from its packed() key, validating every field (the
   /// key may come from an untrusted binary log). Throws ParseError on an
   /// impossible encoding.

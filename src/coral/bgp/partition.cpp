@@ -37,6 +37,21 @@ bool is_legal(MidplaneId first, int count) {
 
 }  // namespace
 
+bool Partition::is_legal(MidplaneId first, int midplane_count) {
+  return bgp::is_legal(first, midplane_count);
+}
+
+Partition Partition::unchecked(MidplaneId first, int midplane_count) {
+  if (first < 0 || midplane_count <= 0) {
+    throw InvalidArgument("partition bounds: first midplane " + std::to_string(first) +
+                          ", size " + std::to_string(midplane_count));
+  }
+  Partition p;
+  p.first_ = first;
+  p.count_ = midplane_count;
+  return p;
+}
+
 const std::vector<int>& Partition::legal_sizes() {
   static const std::vector<int> sizes = {1, 2, 4, 8, 16, 32, 48, 64, 80};
   return sizes;

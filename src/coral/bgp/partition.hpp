@@ -6,6 +6,7 @@
 
 #include "coral/bgp/location.hpp"
 #include "coral/bgp/topology.hpp"
+#include "coral/machine/codec.hpp"
 
 namespace coral::bgp {
 
@@ -25,6 +26,17 @@ class Partition {
   /// Construct from first midplane and size. Throws InvalidArgument if the
   /// (first, size) pair is not a legal aligned partition.
   Partition(MidplaneId first, int midplane_count);
+
+  /// True if (first, size) is a legal aligned BG/P partition — the
+  /// constructor's acceptance predicate, exposed so machine::BgpModel can
+  /// answer legality without the throw/catch round-trip.
+  static bool is_legal(MidplaneId first, int midplane_count);
+
+  /// Construct without the BG/P legality check (bounds only: first >= 0,
+  /// count > 0). machine::MachineModel implementations use this for
+  /// machines with their own partition ladders; everything else should go
+  /// through the validating constructor or a model's parse_partition.
+  static Partition unchecked(MidplaneId first, int midplane_count);
 
   /// Parse a job-log location string: "R04-M0" (one midplane), "R04" (one
   /// rack = 2 midplanes), "R08-R11" (rack range). Throws ParseError.
@@ -56,6 +68,17 @@ class Partition {
     return contains(packed_midplane(key));
   }
 
+  /// covers_key against a machine-provided codec, for machines whose
+  /// midplanes-per-rack differs from the Blue Gene family's 2. With the
+  /// default codec this computes exactly the overload above.
+  bool covers_key(std::uint32_t key, const machine::LocCodec& codec) const {
+    if (codec.is_rack(key)) {
+      const MidplaneId lo = codec.rack_first_midplane(key);
+      return lo < end_midplane() && first_ <= lo + codec.midplanes_per_rack - 1;
+    }
+    return contains(codec.midplane_of(key));
+  }
+
   /// Midplane ids of this partition, ascending.
   std::vector<MidplaneId> midplanes() const;
 
@@ -65,8 +88,10 @@ class Partition {
   friend bool operator==(const Partition& a, const Partition& b) = default;
 
  private:
-  MidplaneId first_;
-  int count_;
+  Partition() = default;  // for unchecked(); fields assigned there
+
+  MidplaneId first_ = 0;
+  int count_ = 1;
 };
 
 }  // namespace coral::bgp

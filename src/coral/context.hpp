@@ -5,6 +5,7 @@
 #include "coral/common/instrument.hpp"
 #include "coral/common/parallel.hpp"
 #include "coral/common/rng.hpp"
+#include "coral/machine/model.hpp"
 #include "coral/obs/obs.hpp"
 #include "coral/ras/catalog.hpp"
 
@@ -24,14 +25,15 @@ namespace coral {
 /// concurrently in one process.
 ///
 /// A default-constructed Context reproduces the old global behaviour
-/// exactly: the built-in Intrepid catalog, serial execution, seed offset 0
-/// and no instrumentation.
+/// exactly: the built-in Intrepid catalog on the reference BG/P machine,
+/// serial execution, seed offset 0 and no instrumentation.
 class Context {
  public:
   Context() : catalog_(&ras::default_catalog()) {}
   explicit Context(const ras::Catalog& catalog) : catalog_(&catalog) {}
 
   const ras::Catalog& catalog() const { return *catalog_; }
+  const machine::MachineModel& machine() const { return *machine_; }
   par::ThreadPool* pool() const { return pool_; }
   InstrumentationSink* sink() const { return sink_; }
   obs::Collector* obs() const { return obs_; }
@@ -39,6 +41,13 @@ class Context {
 
   Context& with_catalog(const ras::Catalog& catalog) {
     catalog_ = &catalog;
+    return *this;
+  }
+  /// Target machine: topology, location grammar, partition algebra and
+  /// placement policy all resolve through this model (default: the
+  /// reference 40-rack BG/P). Models are process-lifetime singletons.
+  Context& with_machine(const machine::MachineModel& machine) {
+    machine_ = &machine;
     return *this;
   }
   /// Worker pool for the data-parallel stages; nullptr (the default) runs
@@ -82,6 +91,7 @@ class Context {
 
  private:
   const ras::Catalog* catalog_;
+  const machine::MachineModel* machine_ = &machine::bgp_model();
   par::ThreadPool* pool_ = nullptr;
   InstrumentationSink* sink_ = nullptr;
   obs::Collector* obs_ = nullptr;

@@ -52,14 +52,14 @@ CheckpointOutcome simulate_checkpointing(const CoAnalysisResult& analysis,
     const auto runtime = job.runtime();
     const bool interrupted = analysis.matches.group_by_job[j].has_value();
 
-    // Per-job interval: a W-midplane job intercepts roughly W/80 of the
-    // machine's interruptions, so its MTTI is the machine MTTI scaled up by
-    // 80/W (wider jobs checkpoint more often; narrow short jobs often not
-    // at all).
+    // Per-job interval: a W-midplane job on an N-midplane machine intercepts
+    // roughly W/N of the machine's interruptions, so its MTTI is the machine
+    // MTTI scaled up by N/W (wider jobs checkpoint more often; narrow short
+    // jobs often not at all).
     Usec interval = plan.interval;
     if (young_mode) {
       const double job_mtti =
-          machine_mtti_sec * bgp::Topology::kMidplanes / width;
+          machine_mtti_sec * jobs.machine().midplane_count() / width;
       interval = young_interval(plan.overhead, job_mtti);
     }
 

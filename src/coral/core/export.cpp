@@ -26,9 +26,10 @@ void export_cdf_csv(std::ostream& out, const InterarrivalFit& fit,
 void export_midplane_csv(std::ostream& out, const CoAnalysisResult& r) {
   CsvWriter w(out);
   w.write_row({"midplane", "fatal_events", "workload_hours", "wide_workload_hours"});
-  for (int m = 0; m < bgp::Topology::kMidplanes; ++m) {
+  const machine::MachineModel& machine = r.machine();
+  for (int m = 0; m < machine.midplane_count(); ++m) {
     const auto i = static_cast<std::size_t>(m);
-    w.write_row({bgp::Location::midplane(m).to_string(),
+    w.write_row({machine.location_string(machine.midplane_location(m)),
                  strformat("%.1f", r.fatal_events_per_midplane[i]),
                  strformat("%.2f", r.workload_per_midplane[i] / 3600.0),
                  strformat("%.2f", r.wide_workload_per_midplane[i] / 3600.0)});

@@ -3,17 +3,30 @@
 #include <algorithm>
 
 #include "coral/bgp/topology.hpp"
+#include "coral/machine/codec.hpp"
 
 namespace coral::core {
 
 namespace {
+
+/// Reusable footprint buffers, allocated once per worker chunk so the
+/// per-group hot loop never touches the allocator regardless of machine
+/// size.
+struct FootprintScratch {
+  std::vector<unsigned char> touched;
+  std::vector<bgp::MidplaneId> footprint;
+  explicit FootprintScratch(int midplane_count)
+      : touched(static_cast<std::size_t>(midplane_count), 0),
+        footprint(static_cast<std::size_t>(midplane_count)) {}
+};
 
 /// Jobs matched by one group: the per-group work item (independent of every
 /// other group, hence trivially parallel).
 std::vector<std::size_t> match_one_group(const filter::FilterPipelineResult& filtered,
                                          const joblog::IntervalIndex& index,
                                          const filter::EventGroup& group, Usec window,
-                                         std::size_t& scanned) {
+                                         const machine::LocCodec& codec,
+                                         FootprintScratch& scratch, std::size_t& scanned) {
   // The independent event happens at the representative record's time;
   // later member records are redundant re-reports. Jobs are therefore
   // matched against a window around the representative time, but the
@@ -29,23 +42,24 @@ std::vector<std::size_t> match_one_group(const filter::FilterPipelineResult& fil
   const TimePoint lo = rep_time - window;
   const TimePoint hi = rep_time + window;
 
-  bool touched[bgp::Topology::kMidplanes] = {};
-  bgp::MidplaneId footprint[bgp::Topology::kMidplanes];
+  const std::size_t midplane_count = scratch.touched.size();
+  unsigned char* touched = scratch.touched.data();
+  bgp::MidplaneId* footprint = scratch.footprint.data();
   std::size_t footprint_size = 0;
   const auto touch = [&](bgp::MidplaneId m) {
     if (touched[m]) return;
-    touched[m] = true;
+    touched[m] = 1;
     footprint[footprint_size++] = m;
   };
   for (const std::size_t member : group.members) {
-    const bgp::Location& loc = filtered.fatal_events[member].location;
-    if (loc.kind() == bgp::LocationKind::Rack) {
-      touch(bgp::midplane_id(loc.rack_index(), 0));
-      touch(bgp::midplane_id(loc.rack_index(), 1));
+    const std::uint32_t key = filtered.fatal_events[member].location.packed();
+    if (codec.is_rack(key)) {
+      const bgp::MidplaneId first = codec.rack_first_midplane(key);
+      for (int i = 0; i < codec.midplanes_per_rack; ++i) touch(first + i);
     } else {
-      touch(*loc.midplane_id());
+      touch(codec.midplane_of(key));
     }
-    if (footprint_size == bgp::Topology::kMidplanes) break;  // whole machine reached
+    if (footprint_size == midplane_count) break;  // whole machine reached
   }
 
   std::vector<std::size_t> matched;
@@ -60,6 +74,8 @@ std::vector<std::size_t> match_one_group(const filter::FilterPipelineResult& fil
       matched.push_back(slice.job[k]);
     }
   }
+  // Reset only the touched entries so the scratch reset stays O(footprint).
+  for (std::size_t f = 0; f < footprint_size; ++f) touched[footprint[f]] = 0;
   std::sort(matched.begin(), matched.end());
   matched.erase(std::unique(matched.begin(), matched.end()), matched.end());
   return matched;
@@ -80,14 +96,17 @@ MatchResult match_interruptions(const filter::FilterPipelineResult& filtered,
   // scan work is tallied per chunk and published once per chunk, so the
   // hot loop stays lock-free even with a collector attached.
   obs::Span phase1(config.obs, "match.phase1");
+  const machine::LocCodec codec = jobs.machine().codec();
+  const int midplane_count = jobs.machine().midplane_count();
   par::parallel_for_chunks(
       filtered.groups.size(), 64,
       [&](std::size_t begin, std::size_t end) {
         std::size_t scanned = 0;
         std::size_t matched = 0;
+        FootprintScratch scratch(midplane_count);
         for (std::size_t g = begin; g < end; ++g) {
-          result.jobs_by_group[g] =
-              match_one_group(filtered, index, filtered.groups[g], config.window, scanned);
+          result.jobs_by_group[g] = match_one_group(filtered, index, filtered.groups[g],
+                                                    config.window, codec, scratch, scanned);
           matched += result.jobs_by_group[g].size();
         }
         CORAL_OBS_COUNT(config.obs, "match.candidates_scanned", scanned);

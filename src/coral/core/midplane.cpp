@@ -5,17 +5,21 @@
 namespace coral::core {
 
 MidplaneFits fit_midplane_interarrivals(const filter::FilterPipelineResult& filtered,
-                                        const MidplaneFitConfig& config) {
+                                        const MidplaneFitConfig& config,
+                                        const machine::MachineModel& machine) {
   MidplaneFits out;
-  std::array<std::vector<TimePoint>, bgp::Topology::kMidplanes> times;
+  const machine::LocCodec codec = machine.codec();
+  out.fits.resize(static_cast<std::size_t>(machine.midplane_count()));
+  std::vector<std::vector<TimePoint>> times(static_cast<std::size_t>(machine.midplane_count()));
   for (const filter::EventGroup& g : filtered.groups) {
     const ras::RasEvent& rep = filtered.fatal_events[g.rep];
     if (const auto mid = rep.location.midplane_id()) {
       times[static_cast<std::size_t>(*mid)].push_back(rep.event_time);
     } else {
-      const int rack = rep.location.rack_index();
-      times[static_cast<std::size_t>(bgp::midplane_id(rack, 0))].push_back(rep.event_time);
-      times[static_cast<std::size_t>(bgp::midplane_id(rack, 1))].push_back(rep.event_time);
+      const int first = rep.location.rack_index() * codec.midplanes_per_rack;
+      for (int i = 0; i < codec.midplanes_per_rack; ++i) {
+        times[static_cast<std::size_t>(first + i)].push_back(rep.event_time);
+      }
     }
   }
   for (std::size_t m = 0; m < times.size(); ++m) {

@@ -9,22 +9,13 @@
 
 namespace coral::core {
 
-// Reads the deprecated CoAnalysisConfig::pool field until it is removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-namespace {
-par::ThreadPool* resolve_pool(const CoAnalysisConfig& config, const Context& ctx) {
-  return config.pool != nullptr ? config.pool : ctx.pool();
-}
-}  // namespace
-#pragma GCC diagnostic pop
-
 IngestedLogs ingest_csv_logs(std::istream& ras_in, std::istream& jobs_in, ParseMode mode,
                              const Context& ctx) {
   IngestedLogs logs;
   logs.ras = ras::RasLog::read_csv(ras_in, ctx.catalog(), mode, &logs.ras_report,
-                                   ctx.sink());
-  logs.jobs = joblog::JobLog::read_csv(jobs_in, mode, &logs.jobs_report, ctx.sink());
+                                   ctx.sink(), ctx.machine());
+  logs.jobs = joblog::JobLog::read_csv(jobs_in, mode, &logs.jobs_report, ctx.sink(),
+                                       ctx.machine());
   return logs;
 }
 
@@ -32,6 +23,7 @@ CoAnalysisResult complete_coanalysis(filter::FilterPipelineResult filtered,
                                      MatchResult matches, const joblog::JobLog& jobs,
                                      const CoAnalysisConfig& config, const Context& ctx) {
   CoAnalysisResult r;
+  r.machine_ = &jobs.machine();
   r.filtered = std::move(filtered);
   r.matches = std::move(matches);
 
@@ -118,7 +110,7 @@ CoAnalysisResult complete_coanalysis(filter::FilterPipelineResult filtered,
   }
 
   // Fig. 4 series.
-  stream::MidplaneTallies tallies;
+  stream::MidplaneTallies tallies(jobs.machine());
   for (const filter::EventGroup& g : r.filtered.groups) {
     tallies.add_group_rep(r.filtered.fatal_events[g.rep].location);
   }
@@ -135,7 +127,7 @@ CoAnalysisResult run_coanalysis(const ras::RasLog& ras, const joblog::JobLog& jo
   MatchResult matches;
   std::size_t shards_used = 1;
   std::size_t peak_state = 0;
-  par::ThreadPool* pool = resolve_pool(config, ctx);
+  par::ThreadPool* pool = ctx.pool();
 
   if (config.execution.engine == Engine::Streaming) {
     stream::FrontEndConfig fe;

@@ -49,12 +49,9 @@ struct ExecutionConfig {
   int shards = 1;
 };
 
-/// Every knob of the co-analysis, in one place.
-// The implicitly-defined constructors of this aggregate touch the deprecated
-// `pool` member; their diagnostics are attributed to the struct, so suppress
-// here. Direct reads/writes of `pool` in user code still warn.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+/// Every knob of the co-analysis, in one place. The worker pool is not a
+/// config knob: select it via coral::Context::with_pool (the deprecated
+/// `pool` member was removed after its one-cycle grace period).
 struct CoAnalysisConfig {
   filter::FilterPipelineConfig filters;
   MatchConfig matching;
@@ -64,13 +61,7 @@ struct CoAnalysisConfig {
   PropagationConfig propagation;
   VulnerabilityConfig vulnerability;
   ExecutionConfig execution;
-  /// Legacy worker-pool injection point. Select the pool via
-  /// coral::Context::with_pool instead; this field survives one deprecation
-  /// cycle for existing callers and, when set, still wins over the context.
-  [[deprecated("select the worker pool via coral::Context::with_pool")]]
-  par::ThreadPool* pool = nullptr;
 };
-#pragma GCC diagnostic pop
 
 /// Complete output of the paper's methodology (Fig. 1) over one log pair.
 struct CoAnalysisResult {
@@ -92,11 +83,16 @@ struct CoAnalysisResult {
 
   // Fig. 5: interruptions per day (index = day since log start).
   std::vector<int> interruptions_per_day;
-  // Fig. 4 inputs, per midplane: fatal-event count, total workload
-  // (midplane-seconds of jobs), and wide-job (>= 32 midplanes) workload.
-  std::array<double, bgp::Topology::kMidplanes> fatal_events_per_midplane{};
-  std::array<double, bgp::Topology::kMidplanes> workload_per_midplane{};
-  std::array<double, bgp::Topology::kMidplanes> wide_workload_per_midplane{};
+  // Fig. 4 inputs, per midplane (vectors sized machine().midplane_count()):
+  // fatal-event count, total workload (midplane-seconds of jobs), and
+  // wide-job workload (>= the machine's wide threshold; 32 on BG/P).
+  std::vector<double> fatal_events_per_midplane;
+  std::vector<double> workload_per_midplane;
+  std::vector<double> wide_workload_per_midplane;
+
+  /// The machine the analyzed logs belong to (taken from the job log).
+  const machine::MachineModel& machine() const { return *machine_; }
+  const machine::MachineModel* machine_ = &machine::bgp_model();
 
   // Convenience census.
   std::size_t interruption_count() const { return matches.interruptions.size(); }

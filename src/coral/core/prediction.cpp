@@ -34,7 +34,8 @@ PredictionOutcome evaluate_predictor(const CoAnalysisResult& analysis,
   }
   out.alarms = alarms.size();
 
-  const bgp::Partition whole_machine(0, bgp::Topology::kMidplanes);
+  const bgp::Partition whole_machine =
+      bgp::Partition::unchecked(0, jobs.machine().midplane_count());
 
   // Score alarms: did a *future* interruption occur within the horizon at a
   // location the alarm covers? (The kill at the alarm instant itself is not

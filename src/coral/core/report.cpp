@@ -69,20 +69,24 @@ std::string render_observations(const CoAnalysisResult& r, const ras::RasLogSumm
                    r.fatal_after_jobfilter.weibull.mean()));
 
   // Observation 5: wide-job load vs failure location.
+  const machine::PlacementZones zones = r.machine().placement_zones();
+  const int n_midplanes = r.machine().midplane_count();
   double fatal_wide_region = 0, fatal_total = 0;
   double work_wide_region = 0, work_total = 0;
-  for (int m = 0; m < bgp::Topology::kMidplanes; ++m) {
+  for (int m = 0; m < n_midplanes; ++m) {
     const auto i = static_cast<std::size_t>(m);
     fatal_total += r.fatal_events_per_midplane[i];
     work_total += r.workload_per_midplane[i];
-    if (m >= 32 && m < 64) {
+    if (m >= zones.wide_first && m < zones.wide_first + zones.wide_count) {
       fatal_wide_region += r.fatal_events_per_midplane[i];
       work_wide_region += r.workload_per_midplane[i];
     }
   }
-  obs(5, strformat("midplanes 32-63 (wide-job region, 40%% of machine) carry %.1f%% of "
+  obs(5, strformat("midplanes %d-%d (wide-job region, %.0f%% of machine) carry %.1f%% of "
                    "located fatal events but only %.1f%% of aggregate workload  "
                    "[paper: failure rate follows wide jobs, not total workload]",
+                   zones.wide_first, zones.wide_first + zones.wide_count - 1,
+                   100.0 * zones.wide_count / n_midplanes,
                    fatal_total > 0 ? 100.0 * fatal_wide_region / fatal_total : 0.0,
                    work_total > 0 ? 100.0 * work_wide_region / work_total : 0.0));
 

@@ -16,8 +16,9 @@ using ras::FaultNature;
 using ras::JobImpact;
 
 SystemFaultProcess::SystemFaultProcess(const FaultConfig& config, Rng rng,
-                                       const Catalog& catalog)
-    : config_(config), rng_(rng), catalog_(&catalog) {
+                                       const Catalog& catalog,
+                                       const machine::MachineModel& machine)
+    : config_(config), rng_(rng), catalog_(&catalog), machine_(&machine) {
   std::vector<double> weights[4];
   for (ErrcodeId id : catalog.fatal_ids()) {
     const ErrcodeInfo& info = catalog.info(id);
@@ -70,20 +71,38 @@ double SystemFaultProcess::state_multiplier(TimePoint t) {
   return degraded_ ? config_.degraded_multiplier : 1.0;
 }
 
+double SystemFaultProcess::drift_factor(TimePoint t) const {
+  if (config_.rate_drift_per_year == 0.0) return 1.0;
+  const double years =
+      static_cast<double>(t - drift_origin_) / (365.25 * static_cast<double>(kUsecPerDay));
+  return std::max(0.0, 1.0 + config_.rate_drift_per_year * years);
+}
+
 std::optional<Trigger> SystemFaultProcess::next(TimePoint now, TimePoint end) {
+  if (!drift_origin_set_) {
+    drift_origin_ = now;
+    drift_origin_set_ = true;
+  }
   // Superposed thinning across the four classes at the max (degraded) rate.
   double total_rate = 0;
   for (std::size_t c = 0; c < 4; ++c) {
     total_rate += class_rate_per_usec(static_cast<TriggerClass>(c));
   }
   if (total_rate <= 0) return std::nullopt;  // fault-free configuration
-  const double max_rate = total_rate * config_.degraded_multiplier;
+  // The drift factor is monotone in t, so its peak over (now, end) is at one
+  // of the endpoints; thinning against the peak keeps the process exact.
+  // With drift 0 both factors are exactly 1.0 and every multiplication below
+  // is an IEEE identity, so the RNG stream matches the drift-free process
+  // bit for bit.
+  const double peak_drift = std::max(drift_factor(now), drift_factor(end));
+  const double max_rate = total_rate * config_.degraded_multiplier * peak_drift;
+  if (max_rate <= 0) return std::nullopt;  // drifted to extinction
   TimePoint t = now;
   while (true) {
     t = t + static_cast<Usec>(rng_.exponential(1.0 / max_rate));
     if (t >= end) return std::nullopt;
-    const double mult = state_multiplier(t);
-    if (!rng_.bernoulli(mult / config_.degraded_multiplier)) continue;
+    const double mult = state_multiplier(t) * drift_factor(t);
+    if (!rng_.bernoulli(mult / (config_.degraded_multiplier * peak_drift))) continue;
     // Accepted: pick the class proportionally to its base rate.
     const double classes[4] = {
         class_rate_per_usec(TriggerClass::Interrupting),
@@ -102,48 +121,31 @@ ErrcodeId SystemFaultProcess::pick_code(TriggerClass cls) {
 }
 
 bgp::Location location_on_midplane(LocationKind kind, MidplaneId mid, Rng& rng) {
-  switch (kind) {
-    case LocationKind::Rack:
-      return bgp::Location::rack(bgp::rack_of(mid));
-    case LocationKind::Midplane:
-      return bgp::Location::midplane(mid);
-    case LocationKind::NodeCard:
-      return bgp::Location::node_card(
-          mid, static_cast<int>(rng.uniform_index(Topology::kNodeCardsPerMidplane)));
-    case LocationKind::ComputeCard:
-      return bgp::Location::compute_card(
-          mid, static_cast<int>(rng.uniform_index(Topology::kNodeCardsPerMidplane)),
-          4 + static_cast<int>(rng.uniform_index(Topology::kComputeCardsPerNodeCard)));
-    case LocationKind::ServiceCard:
-      return bgp::Location::service_card(mid);
-    case LocationKind::LinkCard:
-      return bgp::Location::link_card(
-          mid, static_cast<int>(rng.uniform_index(Topology::kLinkCardsPerMidplane)));
-    case LocationKind::IoNode:
-      return bgp::Location::io_node(
-          mid, static_cast<int>(rng.uniform_index(Topology::kNodeCardsPerMidplane)),
-          static_cast<int>(rng.uniform_index(2)));
-  }
-  return bgp::Location::midplane(mid);
+  return machine::bgp_model().location_on_midplane(kind, mid, rng);
 }
 
 std::optional<bgp::Location> SystemFaultProcess::choose_location(const Trigger& trigger,
                                                                  const OccupancyView& view) {
   const ErrcodeInfo& info = catalog_->info(trigger.code);
-  std::vector<double> weights(Topology::kMidplanes, 0.0);
+  const MidplaneId midplane_count = machine_->midplane_count();
+  const machine::LocCodec codec = machine_->codec();
+  std::vector<double> weights(static_cast<std::size_t>(midplane_count), 0.0);
   double total = 0;
 
+  const int mpr = codec.midplanes_per_rack;
   const auto footprint_idle = [&](MidplaneId m) {
     if (view.busy(m)) return false;
     if (info.loc_kind == LocationKind::Rack) {
-      // Rack-level hardware touches the sibling midplane too.
-      const MidplaneId sibling = m ^ 1;
-      if (view.busy(sibling)) return false;
+      // Rack-level hardware touches every sibling midplane in the rack too.
+      const MidplaneId first = (m / mpr) * mpr;
+      for (MidplaneId s = first; s < first + mpr; ++s) {
+        if (s != m && view.busy(s)) return false;
+      }
     }
     return true;
   };
 
-  for (MidplaneId m = 0; m < Topology::kMidplanes; ++m) {
+  for (MidplaneId m = 0; m < midplane_count; ++m) {
     double w = 0;
     switch (trigger.cls) {
       case TriggerClass::IdleHardware:
@@ -167,7 +169,7 @@ std::optional<bgp::Location> SystemFaultProcess::choose_location(const Trigger& 
   }
   if (total <= 0) return std::nullopt;
   const auto mid = static_cast<MidplaneId>(rng_.categorical(weights));
-  return location_on_midplane(info.loc_kind, mid, rng_);
+  return machine_->location_on_midplane(info.loc_kind, mid, rng_);
 }
 
 Usec SystemFaultProcess::sample_repair_time() {

@@ -7,6 +7,7 @@
 #include "coral/bgp/partition.hpp"
 #include "coral/common/rng.hpp"
 #include "coral/common/time.hpp"
+#include "coral/machine/model.hpp"
 #include "coral/ras/catalog.hpp"
 
 namespace coral::fault {
@@ -48,6 +49,13 @@ struct FaultConfig {
   /// Delay after a job starts atop an unrepaired persistent fault before the
   /// fault re-manifests and kills it.
   double rehit_delay_mean_minutes = 8.0;
+
+  /// Linear drift of all trigger-class rates over simulated time: rates are
+  /// scaled by (1 + rate_drift_per_year * years) where years counts from the
+  /// first next() call (clamped at 0). Positive values model aging hardware,
+  /// negative values a burn-in period. 0 (the default) leaves the process —
+  /// including its RNG stream — bit-identical to the drift-free one.
+  double rate_drift_per_year = 0.0;
 };
 
 /// The class of a system fault trigger, used to pick the errcode family.
@@ -75,7 +83,11 @@ struct OccupancyView {
 class SystemFaultProcess {
  public:
   SystemFaultProcess(const FaultConfig& config, Rng rng,
-                     const ras::Catalog& catalog = ras::default_catalog());
+                     const ras::Catalog& catalog = ras::default_catalog(),
+                     const machine::MachineModel& machine = machine::bgp_model());
+
+  /// The machine whose midplanes locations are drawn over.
+  const machine::MachineModel& machine() const { return *machine_; }
 
   /// Next trigger strictly after `now`, or nullopt if it falls past `end`.
   std::optional<Trigger> next(TimePoint now, TimePoint end);
@@ -101,21 +113,28 @@ class SystemFaultProcess {
 
  private:
   double class_rate_per_usec(TriggerClass cls) const;
+  double drift_factor(TimePoint t) const;
   ras::ErrcodeId pick_code(TriggerClass cls);
 
   FaultConfig config_;
   Rng rng_;
   const ras::Catalog* catalog_;
+  const machine::MachineModel* machine_;
   // Degraded-state machine.
   bool degraded_ = false;
   TimePoint state_until_;
+  // Rate-drift origin: pinned to `now` of the first next() call.
+  TimePoint drift_origin_;
+  bool drift_origin_set_ = false;
   // Per-class code samplers.
   std::vector<ras::ErrcodeId> class_codes_[4];
   DiscreteSampler class_samplers_[4];
 };
 
 /// Build a concrete Location of the catalog's loc_kind on a given midplane
-/// (random card/slot positions). Shared with the application-error path.
+/// (random card/slot positions) on the reference BG/P machine. Shared with
+/// the application-error path; model-aware callers should use
+/// MachineModel::location_on_midplane instead.
 bgp::Location location_on_midplane(bgp::LocationKind kind, bgp::MidplaneId mid, Rng& rng);
 
 }  // namespace coral::fault

@@ -10,8 +10,9 @@ using ras::Catalog;
 using ras::ErrcodeId;
 using ras::ErrcodeInfo;
 
-StormModel::StormModel(const StormConfig& config, const Catalog& catalog)
-    : config_(config), catalog_(&catalog) {}
+StormModel::StormModel(const StormConfig& config, const Catalog& catalog,
+                       const machine::MachineModel& machine)
+    : config_(config), catalog_(&catalog), machine_(&machine) {}
 
 std::optional<ErrcodeId> StormModel::cascade_partner(ErrcodeId primary,
                                                      const Catalog& c) {
@@ -72,7 +73,7 @@ void StormModel::expand(const Manifestation& m, Rng& rng,
     for (std::uint64_t i = 0; i < n_nodes; ++i) {
       const bgp::MidplaneId mid =
           midplanes[rng.uniform_index(midplanes.size())];
-      const bgp::Location node = location_on_midplane(info.loc_kind, mid, rng);
+      const bgp::Location node = machine_->location_on_midplane(info.loc_kind, mid, rng);
       const auto reps = 1 + rng.uniform_index(
                                 static_cast<std::uint64_t>(config_.max_records_per_node));
       for (std::uint64_t r = 0; r < reps; ++r) {

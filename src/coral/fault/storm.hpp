@@ -5,6 +5,7 @@
 
 #include "coral/bgp/partition.hpp"
 #include "coral/common/rng.hpp"
+#include "coral/machine/model.hpp"
 #include "coral/ras/event.hpp"
 
 namespace coral::fault {
@@ -45,7 +46,8 @@ struct TaggedEvent {
 class StormModel {
  public:
   explicit StormModel(const StormConfig& config,
-                      const ras::Catalog& catalog = ras::default_catalog());
+                      const ras::Catalog& catalog = ras::default_catalog(),
+                      const machine::MachineModel& machine = machine::bgp_model());
 
   /// Append the records for `m` to `out`. All records carry `m.truth_tag`.
   void expand(const Manifestation& m, Rng& rng, std::vector<TaggedEvent>& out) const;
@@ -59,6 +61,7 @@ class StormModel {
  private:
   StormConfig config_;
   const ras::Catalog* catalog_;
+  const machine::MachineModel* machine_;
 };
 
 }  // namespace coral::fault

@@ -26,7 +26,7 @@ std::vector<EventGroup> neural_gas_filter(std::span<const ras::RasEvent> events,
             : static_cast<double>(bgp::midplane_id(ev.location.rack_index(), 0));
     points.push_back({
         config.time_weight * static_cast<double>(ev.event_time - t0) / span,
-        config.space_weight * midplane / bgp::Topology::kMidplanes,
+        config.space_weight * midplane / config.midplane_count,
         config.code_weight * static_cast<double>(ev.errcode) / n_codes,
     });
   }

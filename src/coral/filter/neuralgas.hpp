@@ -17,6 +17,9 @@ struct NeuralGasFilterConfig {
   double space_weight = 1.0;    ///< midplane axis
   double code_weight = 2.0;     ///< errcode identity axis
   Usec chain_gap = kUsecPerHour;  ///< split same-cluster chains at this gap
+  /// Midplanes on the machine the events came from; normalizes the spatial
+  /// feature axis to [0, 1). Default: the reference BG/P.
+  int midplane_count = bgp::Topology::kMidplanes;
 
   NeuralGasFilterConfig() { gas.units = 0; }
 };

@@ -98,7 +98,7 @@ void write_binary(std::ostream& out, const JobLog& log) {
 }
 
 JobLog read_binary(std::istream& in, ParseMode mode, IngestReport* report,
-                   InstrumentationSink* sink) {
+                   InstrumentationSink* sink, const machine::MachineModel& machine) {
   IngestReport local;
   IngestReport& rep = report != nullptr ? *report : local;
   StageTimer timer(sink, "ingest.job_binary");
@@ -121,7 +121,7 @@ JobLog read_binary(std::istream& in, ParseMode mode, IngestReport* report,
 
   std::optional<std::uint64_t> total;
   std::optional<std::vector<std::string>> execs, users, projects;
-  JobLog log;
+  JobLog log(machine);
   bool interned = false;
   std::uint64_t attempted = 0;  // records decoded or individually rejected
   std::string payload;
@@ -199,14 +199,18 @@ JobLog read_binary(std::istream& in, ParseMode mode, IngestReport* report,
         j.start_time = TimePoint(rec.start_usec);
         j.end_time = TimePoint(rec.end_usec);
         j.exit_code = rec.exit_code;
-        try {
-          j.partition = bgp::Partition(rec.first_midplane, rec.midplane_count);
-          log.append(j);
-        } catch (const Error& e) {
-          if (mode == ParseMode::Strict) throw;
-          rep.add_malformed(IngestReason::BadLocation, rec_offset, "", e.what());
+        if (!machine.is_legal_partition(rec.first_midplane, rec.midplane_count)) {
+          // Same diagnostic the validating bgp::Partition constructor threw
+          // before partition legality became a model question.
+          const std::string what = "illegal partition: first midplane " +
+                                   std::to_string(rec.first_midplane) + ", size " +
+                                   std::to_string(rec.midplane_count);
+          if (mode == ParseMode::Strict) throw InvalidArgument(what);
+          rep.add_malformed(IngestReason::BadLocation, rec_offset, "", what);
           continue;
         }
+        j.partition = bgp::Partition::unchecked(rec.first_midplane, rec.midplane_count);
+        log.append(j);
         rep.add_ok();
       }
     } catch (const Error&) {

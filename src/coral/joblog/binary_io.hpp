@@ -29,7 +29,10 @@ void write_binary(std::ostream& out, const JobLog& log);
 /// `report` — the BinaryFrame counter ends up holding exactly the number of
 /// records lost to frame damage. With a `sink`, an "ingest.job_binary"
 /// stage sample plus per-reason malformed counters are recorded.
+/// Partition extents are validated against `machine`'s partition algebra;
+/// the returned log is stamped with that model.
 JobLog read_binary(std::istream& in, ParseMode mode = ParseMode::Strict,
-                   IngestReport* report = nullptr, InstrumentationSink* sink = nullptr);
+                   IngestReport* report = nullptr, InstrumentationSink* sink = nullptr,
+                   const machine::MachineModel& machine = machine::bgp_model());
 
 }  // namespace coral::joblog

@@ -8,16 +8,17 @@
 namespace coral::joblog {
 
 IntervalIndex::IntervalIndex(std::span<const JobRecord> jobs,
-                             std::span<const std::size_t> by_end) {
+                             std::span<const std::size_t> by_end, int midplane_count) {
   CORAL_EXPECTS(jobs.size() <= std::numeric_limits<std::uint32_t>::max());
   CORAL_EXPECTS(jobs.size() == by_end.size());
-  offset_.assign(bgp::Topology::kMidplanes + 1, 0);
+  CORAL_EXPECTS(midplane_count >= 0);
+  offset_.assign(static_cast<std::size_t>(midplane_count) + 1, 0);
   for (const JobRecord& j : jobs) {
     for (auto m = j.partition.first_midplane(); m < j.partition.end_midplane(); ++m) {
       offset_[static_cast<std::size_t>(m) + 1] += 1;
     }
   }
-  for (std::size_t m = 0; m < static_cast<std::size_t>(bgp::Topology::kMidplanes); ++m) {
+  for (std::size_t m = 0; m + 1 < offset_.size(); ++m) {
     offset_[m + 1] += offset_[m];
   }
   const std::size_t total = offset_.back();

@@ -28,8 +28,10 @@ class IntervalIndex {
   /// Default: a valid index over zero jobs (every bucket empty).
   IntervalIndex() : IntervalIndex({}, {}) {}
   /// `jobs` must be sorted by start time; `by_end` is the (end_time, index)
-  /// ordering JobLog::finalize() already computes.
-  IntervalIndex(std::span<const JobRecord> jobs, std::span<const std::size_t> by_end);
+  /// ordering JobLog::finalize() already computes. `midplane_count` sizes
+  /// the bucket table (default: the reference BG/P's 80).
+  IntervalIndex(std::span<const JobRecord> jobs, std::span<const std::size_t> by_end,
+                int midplane_count = bgp::Topology::kMidplanes);
 
   /// A bucket in (end_time, job index) order.
   struct EndSlice {
@@ -64,7 +66,7 @@ class IntervalIndex {
   bool empty() const { return end_job_.empty(); }
 
  private:
-  std::vector<std::uint32_t> offset_;  ///< kMidplanes + 1 bucket offsets
+  std::vector<std::uint32_t> offset_;  ///< midplane_count + 1 bucket offsets
 
   std::vector<std::uint32_t> end_job_;
   std::vector<TimePoint> end_time_;

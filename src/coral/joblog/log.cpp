@@ -62,7 +62,7 @@ void JobLog::finalize() {
     }
     return a < b;
   });
-  interval_ = IntervalIndex(jobs_, by_end_);
+  interval_ = IntervalIndex(jobs_, by_end_, machine_->midplane_count());
   finalized_ = true;
 }
 
@@ -117,16 +117,19 @@ std::vector<std::size_t> JobLog::running_at(TimePoint t, const bgp::Location& lo
   CORAL_EXPECTS(finalized_);
   if (jobs_.empty()) return {};
   std::vector<std::size_t> out;
+  const machine::LocCodec& codec = machine_->codec();
   if (loc.kind() == bgp::LocationKind::Rack) {
-    // Rack-level locations touch both midplanes of the rack; a >=2-midplane
-    // partition can sit in both buckets, so merge and dedupe.
-    bucket_running_at(interval_.starts(bgp::midplane_id(loc.rack_index(), 0)), t, out);
-    bucket_running_at(interval_.starts(bgp::midplane_id(loc.rack_index(), 1)), t, out);
+    // Rack-level locations touch every midplane of the rack; a multi-midplane
+    // partition can sit in several buckets, so merge and dedupe.
+    const auto lo = static_cast<bgp::MidplaneId>(loc.rack_index() * codec.midplanes_per_rack);
+    for (int i = 0; i < codec.midplanes_per_rack; ++i) {
+      bucket_running_at(interval_.starts(lo + i), t, out);
+    }
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
     return out;
   }
-  bucket_running_at(interval_.starts(*loc.midplane_id()), t, out);
+  bucket_running_at(interval_.starts(codec.midplane_of(loc.packed())), t, out);
   std::reverse(out.begin(), out.end());
   return out;
 }
@@ -186,7 +189,7 @@ void JobLog::write_csv(std::ostream& out) const {
                  projects_[static_cast<std::size_t>(j.project_id)],
                  strformat("%.2f", j.queue_time.unix_seconds()),
                  strformat("%.2f", j.start_time.unix_seconds()),
-                 strformat("%.2f", j.end_time.unix_seconds()), j.partition.name(),
+                 strformat("%.2f", j.end_time.unix_seconds()), machine_->partition_name(j.partition),
                  std::to_string(j.exit_code)});
   }
 }
@@ -216,7 +219,7 @@ TimePoint parse_job_time(const std::string& field) {
 }  // namespace
 
 JobLog JobLog::read_csv(std::istream& in, ParseMode mode, IngestReport* report,
-                        InstrumentationSink* sink) {
+                        InstrumentationSink* sink, const machine::MachineModel& machine) {
   IngestReport local;
   IngestReport& rep = report != nullptr ? *report : local;
   StageTimer timer(sink, "ingest.job_csv");
@@ -225,7 +228,7 @@ JobLog JobLog::read_csv(std::istream& in, ParseMode mode, IngestReport* report,
   std::vector<std::string> row;
   if (!r.read_row(row)) throw ParseError("empty job CSV");
   if (row.size() != 9 || row[0] != "JOB_ID") throw ParseError("bad job CSV header");
-  JobLog log;
+  JobLog log(machine);
   while (r.read_row(row)) {
     if (row.size() == 1 && row[0].empty()) continue;
     const std::uint64_t offset = r.row_offset();
@@ -247,7 +250,7 @@ JobLog JobLog::read_csv(std::istream& in, ParseMode mode, IngestReport* report,
       j.start_time = parse_job_time(row[5]);
       j.end_time = parse_job_time(row[6]);
       reason = IngestReason::BadLocation;
-      j.partition = bgp::Partition::parse(row[7]);
+      j.partition = machine.parse_partition(row[7]);
       reason = IngestReason::BadNumber;
       j.exit_code = static_cast<int>(parse_int(row[8]));
     } catch (const Error& e) {

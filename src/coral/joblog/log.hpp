@@ -8,6 +8,7 @@
 #include "coral/common/ingest.hpp"
 #include "coral/joblog/interval_index.hpp"
 #include "coral/joblog/job.hpp"
+#include "coral/machine/model.hpp"
 
 namespace coral::joblog {
 
@@ -23,10 +24,15 @@ struct JobLogSummary {
 };
 
 /// An in-memory job log: records sorted by start time, plus the string
-/// tables for execution files, users and projects.
+/// tables for execution files, users and projects. A log remembers the
+/// machine its partitions were parsed against (default: reference BG/P).
 class JobLog {
  public:
   JobLog() = default;
+  explicit JobLog(const machine::MachineModel& machine) : machine_(&machine) {}
+
+  /// The machine this log's partitions belong to.
+  const machine::MachineModel& machine() const { return *machine_; }
 
   /// Intern an execution-file path, returning its ExecId.
   ExecId intern_exec(const std::string& path);
@@ -81,14 +87,18 @@ class JobLog {
   /// `report` and resynchronizes at the next row boundary. With a `sink`,
   /// an "ingest.job_csv" stage sample plus per-reason malformed counters are
   /// recorded.
+  /// Partition names are validated against `machine`'s partition algebra;
+  /// the returned log is stamped with that model.
   static JobLog read_csv(std::istream& in, ParseMode mode = ParseMode::Strict,
                          IngestReport* report = nullptr,
-                         InstrumentationSink* sink = nullptr);
+                         InstrumentationSink* sink = nullptr,
+                         const machine::MachineModel& machine = machine::bgp_model());
 
  private:
   template <typename Pred>
   std::vector<std::size_t> running_matching(TimePoint t, Pred pred) const;
 
+  const machine::MachineModel* machine_ = &machine::bgp_model();
   std::vector<JobRecord> jobs_;
   std::vector<std::string> exec_files_;
   std::vector<std::string> users_;

@@ -2,33 +2,28 @@
 
 #include <algorithm>
 
-#include "coral/bgp/partition.hpp"
 #include "coral/common/error.hpp"
 
 namespace coral::joblog {
 
 namespace {
 
-std::size_t size_class(int midplanes) {
-  switch (midplanes) {
-    case 1: return 0;
-    case 2: return 1;
-    case 4: return 2;
-    case 8: return 3;
-    case 16: return 4;
-    case 32: return 5;
-    case 48: return 6;
-    case 64: return 7;
-    case 80: return 8;
-    default:
-      throw InvalidArgument("unexpected job size: " + std::to_string(midplanes));
+std::size_t size_class(const std::vector<int>& sizes, int midplanes) {
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (sizes[i] == midplanes) return i;
   }
+  throw InvalidArgument("unexpected job size: " + std::to_string(midplanes));
 }
 
 }  // namespace
 
 WorkloadStats workload_stats(const JobLog& jobs, int wide_threshold) {
+  const machine::MachineModel& machine = jobs.machine();
+  const std::vector<int>& sizes = machine.legal_partition_sizes();
   WorkloadStats s;
+  s.midplane_busy_sec.assign(static_cast<std::size_t>(machine.midplane_count()), 0.0);
+  s.midplane_wide_sec.assign(static_cast<std::size_t>(machine.midplane_count()), 0.0);
+  s.jobs_per_size.assign(sizes.size(), 0);
   s.wide_threshold = wide_threshold;
   if (jobs.empty()) return s;
 
@@ -44,7 +39,7 @@ WorkloadStats workload_stats(const JobLog& jobs, int wide_threshold) {
         s.midplane_wide_sec[static_cast<std::size_t>(m)] += sec;
       }
     }
-    s.jobs_per_size[size_class(job.size_midplanes())] += 1;
+    s.jobs_per_size[size_class(sizes, job.size_midplanes())] += 1;
     wait_sum += static_cast<double>(job.start_time - job.queue_time) /
                 static_cast<double>(kUsecPerSec);
     first = std::min(first, job.start_time);
@@ -54,7 +49,7 @@ WorkloadStats workload_stats(const JobLog& jobs, int wide_threshold) {
   for (double b : s.midplane_busy_sec) busy += b;
   const double wall = static_cast<double>(last - first) / static_cast<double>(kUsecPerSec);
   if (wall > 0) {
-    s.utilization = busy / (wall * bgp::Topology::kMidplanes);
+    s.utilization = busy / (wall * machine.midplane_count());
   }
   s.mean_wait_sec = wait_sum / static_cast<double>(jobs.size());
   return s;
@@ -103,7 +98,7 @@ std::vector<double> utilization_timeline(const JobLog& jobs, TimePoint begin,
                  static_cast<double>(overlap) / static_cast<double>(bucket_end - bucket_begin);
     }
   }
-  for (double& b : busy) b /= bgp::Topology::kMidplanes;
+  for (double& b : busy) b /= jobs.machine().midplane_count();
   return busy;
 }
 

@@ -1,10 +1,8 @@
 #pragma once
 
-#include <array>
 #include <map>
 #include <vector>
 
-#include "coral/bgp/topology.hpp"
 #include "coral/joblog/log.hpp"
 
 namespace coral::joblog {
@@ -13,14 +11,16 @@ namespace coral::joblog {
 /// inputs (Fig. 4b/4c) plus the per-user/per-project aggregates that the
 /// suspicious-user analysis (§VI-D) builds on.
 struct WorkloadStats {
-  /// Busy midplane-seconds per midplane (Fig. 4b).
-  std::array<double, bgp::Topology::kMidplanes> midplane_busy_sec{};
+  /// Busy midplane-seconds per midplane (Fig. 4b), indexed by MidplaneId,
+  /// sized to the log's machine.
+  std::vector<double> midplane_busy_sec;
   /// Busy midplane-seconds from jobs >= `wide_threshold` midplanes (Fig. 4c).
-  std::array<double, bgp::Topology::kMidplanes> midplane_wide_sec{};
-  /// Jobs per Table VI size class {1,2,4,8,16,32,48,64,80}.
-  std::array<std::size_t, 9> jobs_per_size{};
+  std::vector<double> midplane_wide_sec;
+  /// Jobs per size class, aligned with the machine's
+  /// legal_partition_sizes() (Table VI's {1,2,4,8,16,32,48,64,80} on BG/P).
+  std::vector<std::size_t> jobs_per_size;
   /// Machine-wide utilization in [0, 1] (busy midplane-seconds over
-  /// 80 * wall-clock).
+  /// midplane-count * wall-clock).
   double utilization = 0;
   /// Average queue wait in seconds.
   double mean_wait_sec = 0;

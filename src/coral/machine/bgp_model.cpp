@@ -1,0 +1,60 @@
+#include "coral/bgp/location.hpp"
+#include "coral/bgp/partition.hpp"
+#include "coral/bgp/topology.hpp"
+#include "coral/machine/model.hpp"
+
+namespace coral::machine {
+
+namespace {
+
+/// The paper's machine. Every virtual that has a pre-MachineModel
+/// implementation in bgp/ delegates to it, so analyses through this model
+/// are byte-identical to the original hard-wired code — diagnostics
+/// included. The generic defaults (location_on_midplane, placement_zones)
+/// already reproduce the BG/P behaviour exactly at these dimensions, as the
+/// differential golden test pins.
+class BgpModel final : public MachineModel {
+ public:
+  BgpModel()
+      : MachineModel(Topology{
+            .name = "bgp",
+            .description = "40-rack Blue Gene/P (Intrepid)",
+            .interconnect = "3-D torus",
+            .racks = bgp::Topology::kRacks,
+            .midplanes_per_rack = bgp::Topology::kMidplanesPerRack,
+            .racks_per_row = bgp::Topology::kRacksPerRow,
+            .node_cards_per_midplane = bgp::Topology::kNodeCardsPerMidplane,
+            .compute_cards_per_node_card = bgp::Topology::kComputeCardsPerNodeCard,
+            .jslot_base = 4,
+            .link_cards_per_midplane = bgp::Topology::kLinkCardsPerMidplane,
+            .io_nodes_per_node_card = 2,
+            .nodes_per_midplane = bgp::Topology::kNodesPerMidplane,
+            .cores_per_node = bgp::Topology::kCoresPerNode,
+        }) {}
+
+  Location parse_location(std::string_view text) const override {
+    return bgp::Location::parse(text);
+  }
+  Location location_from_packed(std::uint32_t key) const override {
+    return bgp::Location::from_packed(key);
+  }
+  const std::vector<int>& legal_partition_sizes() const override {
+    return bgp::Partition::legal_sizes();
+  }
+  bool is_legal_partition(MidplaneId first, int count) const override {
+    return bgp::Partition::is_legal(first, count);
+  }
+  Partition parse_partition(std::string_view text) const override {
+    return bgp::Partition::parse(text);
+  }
+  std::string partition_name(const Partition& part) const override { return part.name(); }
+};
+
+}  // namespace
+
+const MachineModel& bgp_model() {
+  static const BgpModel model;
+  return model;
+}
+
+}  // namespace coral::machine

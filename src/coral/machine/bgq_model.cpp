@@ -1,0 +1,87 @@
+#include "coral/machine/model.hpp"
+
+namespace coral::machine {
+
+namespace {
+
+// Rack alignment ladder for the 48-rack machine: powers of two align to
+// themselves, 32 racks align to 16, 48 racks (the full machine) to 48.
+int bgq_rack_alignment(int racks) {
+  switch (racks) {
+    case 1: return 1;
+    case 2: return 2;
+    case 4: return 4;
+    case 8: return 8;
+    case 16: return 16;
+    case 32: return 16;
+    case 48: return 48;
+    default: return 0;  // illegal
+  }
+}
+
+/// A Mira-scale Blue Gene/Q: 48 racks / 96 midplanes on a 5-D torus, with
+/// BG/Q's J00..J31 compute-card numbering (BG/P starts at J04). The string
+/// grammar shapes are shared with BG/P; the ranges, the legal-partition
+/// ladder and the placement zones are this machine's own. 96 midplanes is
+/// deliberately more than BG/P's 80: any surviving compile-time
+/// kMidplanes-sized buffer overflows loudly instead of silently truncating.
+class BgqModel final : public MachineModel {
+ public:
+  BgqModel()
+      : MachineModel(Topology{
+            .name = "bgq",
+            .description = "48-rack Blue Gene/Q (Mira)",
+            .interconnect = "5-D torus",
+            .racks = 48,
+            .midplanes_per_rack = 2,
+            .racks_per_row = 16,
+            .node_cards_per_midplane = 16,
+            .compute_cards_per_node_card = 32,
+            .jslot_base = 0,
+            .link_cards_per_midplane = 4,
+            .io_nodes_per_node_card = 2,
+            .nodes_per_midplane = 512,
+            .cores_per_node = 16,
+        }) {}
+
+  const std::vector<int>& legal_partition_sizes() const override {
+    static const std::vector<int> sizes = {1, 2, 4, 8, 16, 32, 64, 96};
+    return sizes;
+  }
+
+  bool is_legal_partition(MidplaneId first, int count) const override {
+    if (first < 0 || count <= 0 || first + count > midplane_count()) return false;
+    if (count == 1) return true;
+    if (count % 2 != 0 || first % 2 != 0) return false;  // >= 2 means whole racks
+    const int racks = count / 2;
+    const int first_rack = first / 2;
+    const int align = bgq_rack_alignment(racks);
+    return align > 0 && first_rack % align == 0;
+  }
+
+  PlacementZones placement_zones() const override {
+    // Mira keeps Intrepid's zone structure but gives the wide band the extra
+    // 16 midplanes: debug head 0-1, long narrow jobs 80-95, small jobs 2-31,
+    // wide (>= 32 midplane) reservation 32-79.
+    PlacementZones z;
+    z.head_first = 0;
+    z.head_count = 2;
+    z.tail_first = 80;
+    z.tail_count = 16;
+    z.small_first = 2;
+    z.small_count = 30;
+    z.wide_first = 32;
+    z.wide_count = 48;
+    z.wide_threshold = 32;
+    return z;
+  }
+};
+
+}  // namespace
+
+const MachineModel& bgq_model() {
+  static const BgqModel model;
+  return model;
+}
+
+}  // namespace coral::machine

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+namespace coral::machine {
+
+using MidplaneId = std::int32_t;
+
+/// The packed loc_key codec contract.
+///
+/// Every MachineModel encodes locations into the same 32-bit layout that
+/// `bgp::Location::packed()` established for the columnar hot paths:
+///
+///     [31..24] kind   (LocationKind; Rack == 0)
+///     [23..16] rack   index, [0, 256)
+///     [15..12] midplane within rack, [0, 15); 0xF = absent (rack-level)
+///     [11..6]  card slot, [0, 63); 0x3F = absent
+///     [5..0]   sub slot (J-slot / I/O slot), [0, 63); 0x3F = absent
+///
+/// The only machine-dependent step in decoding a key is mapping
+/// (rack, midplane-within-rack) to a flat machine midplane id, which needs
+/// the machine's midplanes-per-rack. LocCodec carries exactly that one
+/// number, so hot loops grab the codec once per run and decode keys with
+/// two shifts and a multiply — no virtual call per event, no Location
+/// materialization. A default-constructed LocCodec is the Blue Gene
+/// family codec (2 midplanes per rack) and decodes identically to the
+/// constexpr `bgp::packed_*` helpers.
+struct LocCodec {
+  int midplanes_per_rack = 2;
+
+  int rack_of(std::uint32_t key) const { return static_cast<int>((key >> 16) & 0xFF); }
+
+  /// True when the key encodes a whole rack (LocationKind::Rack == 0).
+  bool is_rack(std::uint32_t key) const { return (key >> 24) == 0; }
+
+  /// Flat midplane id of a sub-rack key; meaningless for rack-level keys.
+  MidplaneId midplane_of(std::uint32_t key) const {
+    return static_cast<MidplaneId>(static_cast<int>((key >> 16) & 0xFF) * midplanes_per_rack +
+                                   static_cast<int>((key >> 12) & 0xF));
+  }
+
+  /// First midplane of the rack a (rack-level) key denotes.
+  MidplaneId rack_first_midplane(std::uint32_t key) const {
+    return static_cast<MidplaneId>(static_cast<int>((key >> 16) & 0xFF) * midplanes_per_rack);
+  }
+};
+
+}  // namespace coral::machine

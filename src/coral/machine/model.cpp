@@ -1,0 +1,284 @@
+#include "coral/machine/model.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "coral/common/error.hpp"
+#include "coral/common/strings.hpp"
+
+namespace coral::machine {
+
+// ---------------------------------------------------------------------------
+// Generic location grammar, parameterized by Topology. The string shapes are
+// the Blue Gene family's ("R04-M0-N08-J12"); the machine decides the index
+// ranges. BgpModel overrides these with the original bgp/ routines so the
+// reference machine keeps its exact diagnostics.
+
+namespace {
+
+int parse_num_after(std::string_view part, char prefix, std::string_view whole) {
+  if (part.size() < 2 || part[0] != prefix) {
+    throw ParseError("bad location segment '" + std::string(part) + "' in '" +
+                     std::string(whole) + "'");
+  }
+  for (std::size_t i = 1; i < part.size(); ++i) {
+    if (part[i] < '0' || part[i] > '9') {
+      throw ParseError("bad location segment '" + std::string(part) + "' in '" +
+                       std::string(whole) + "'");
+    }
+  }
+  return static_cast<int>(parse_int(part.substr(1)));
+}
+
+}  // namespace
+
+Location MachineModel::parse_location(std::string_view text) const {
+  std::array<std::string_view, 6> parts;
+  std::size_t nparts = 0;
+  std::size_t seg_begin = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '-') {
+      if (nparts == parts.size()) throw ParseError("too many segments: '" + std::string(text) + "'");
+      parts[nparts++] = text.substr(seg_begin, i - seg_begin);
+      seg_begin = i + 1;
+    }
+  }
+  if (parts[0].empty()) throw ParseError("empty location");
+
+  const int rk = parse_num_after(parts[0], 'R', text);
+  if (rk < 0 || rk >= topo_.racks) {
+    throw ParseError("rack out of range: '" + std::string(text) + "'");
+  }
+  if (nparts == 1) return Location::make(LocationKind::Rack, rk, -1, -1, -1);
+
+  const std::string_view p1 = parts[1];
+  if (p1 == "S") {
+    throw ParseError("service card requires a midplane: '" + std::string(text) + "'");
+  }
+  const int mp = parse_num_after(p1, 'M', text);
+  if (mp < 0 || mp >= topo_.midplanes_per_rack) {
+    throw ParseError("midplane out of range: '" + std::string(text) + "'");
+  }
+  if (nparts == 2) return Location::make(LocationKind::Midplane, rk, mp, -1, -1);
+
+  const std::string_view p2 = parts[2];
+  if (p2 == "S") {
+    if (nparts != 3) {
+      throw ParseError("trailing segments after service card: '" + std::string(text) + "'");
+    }
+    return Location::make(LocationKind::ServiceCard, rk, mp, -1, -1);
+  }
+  if (!p2.empty() && p2[0] == 'L') {
+    if (nparts != 3) {
+      throw ParseError("trailing segments after link card: '" + std::string(text) + "'");
+    }
+    const int slot = parse_num_after(p2, 'L', text);
+    if (slot < 0 || slot >= topo_.link_cards_per_midplane) {
+      throw ParseError("link card out of range: '" + std::string(text) + "'");
+    }
+    return Location::make(LocationKind::LinkCard, rk, mp, slot, -1);
+  }
+  const int card = parse_num_after(p2, 'N', text);
+  if (card < 0 || card >= topo_.node_cards_per_midplane) {
+    throw ParseError("node card out of range: '" + std::string(text) + "'");
+  }
+  if (nparts == 3) return Location::make(LocationKind::NodeCard, rk, mp, card, -1);
+
+  const std::string_view p3 = parts[3];
+  if (nparts != 4) throw ParseError("too many segments: '" + std::string(text) + "'");
+  if (!p3.empty() && p3[0] == 'I') {
+    const int slot = parse_num_after(p3, 'I', text);
+    if (slot < 0 || slot >= topo_.io_nodes_per_node_card) {
+      throw ParseError("I/O node out of range: '" + std::string(text) + "'");
+    }
+    return Location::make(LocationKind::IoNode, rk, mp, card, slot);
+  }
+  const int jslot = parse_num_after(p3, 'J', text);
+  if (jslot < topo_.jslot_base || jslot >= topo_.jslot_base + topo_.compute_cards_per_node_card) {
+    throw ParseError("compute card out of range: '" + std::string(text) + "'");
+  }
+  return Location::make(LocationKind::ComputeCard, rk, mp, card, jslot);
+}
+
+Location MachineModel::location_from_packed(std::uint32_t key) const {
+  const auto kind_raw = (key >> 24) & 0xFF;
+  if (kind_raw > static_cast<std::uint32_t>(LocationKind::IoNode)) {
+    throw ParseError("bad location kind in packed key");
+  }
+  const auto kind = static_cast<LocationKind>(kind_raw);
+  const int rack = static_cast<int>((key >> 16) & 0xFF);
+  const int mp = static_cast<int>((key >> 12) & 0xF) == 0xF ? -1 : static_cast<int>((key >> 12) & 0xF);
+  const int card = static_cast<int>((key >> 6) & 0x3F) == 0x3F ? -1 : static_cast<int>((key >> 6) & 0x3F);
+  const int sub = static_cast<int>(key & 0x3F) == 0x3F ? -1 : static_cast<int>(key & 0x3F);
+
+  const auto check = [&](bool ok, const char* what) {
+    if (!ok) throw ParseError(std::string(what) + " out of range in packed key");
+  };
+  check(rack >= 0 && rack < topo_.racks, "rack");
+  if (kind != LocationKind::Rack) {
+    check(mp >= 0 && mp < topo_.midplanes_per_rack, "midplane");
+  }
+  switch (kind) {
+    case LocationKind::NodeCard:
+      check(card >= 0 && card < topo_.node_cards_per_midplane, "node card");
+      break;
+    case LocationKind::ComputeCard:
+      check(card >= 0 && card < topo_.node_cards_per_midplane, "node card");
+      check(sub >= topo_.jslot_base && sub < topo_.jslot_base + topo_.compute_cards_per_node_card,
+            "compute card");
+      break;
+    case LocationKind::LinkCard:
+      check(card >= 0 && card < topo_.link_cards_per_midplane, "link card");
+      break;
+    case LocationKind::IoNode:
+      check(card >= 0 && card < topo_.node_cards_per_midplane, "node card");
+      check(sub >= 0 && sub < topo_.io_nodes_per_node_card, "I/O node");
+      break;
+    default:
+      break;
+  }
+  return Location::make(kind, rack, kind == LocationKind::Rack ? -1 : mp, card, sub);
+}
+
+std::string MachineModel::location_string(const Location& loc) const { return loc.to_string(); }
+
+Location MachineModel::location_on_midplane(LocationKind kind, MidplaneId mid, Rng& rng) const {
+  const int rack = mid / topo_.midplanes_per_rack;
+  const int mp = mid % topo_.midplanes_per_rack;
+  switch (kind) {
+    case LocationKind::Rack:
+      return Location::make(LocationKind::Rack, rack, -1, -1, -1);
+    case LocationKind::Midplane:
+      return Location::make(LocationKind::Midplane, rack, mp, -1, -1);
+    case LocationKind::NodeCard:
+      return Location::make(
+          LocationKind::NodeCard, rack, mp,
+          static_cast<int>(rng.uniform_index(static_cast<std::size_t>(topo_.node_cards_per_midplane))), -1);
+    case LocationKind::ComputeCard:
+      return Location::make(
+          LocationKind::ComputeCard, rack, mp,
+          static_cast<int>(rng.uniform_index(static_cast<std::size_t>(topo_.node_cards_per_midplane))),
+          topo_.jslot_base +
+              static_cast<int>(rng.uniform_index(static_cast<std::size_t>(topo_.compute_cards_per_node_card))));
+    case LocationKind::ServiceCard:
+      return Location::make(LocationKind::ServiceCard, rack, mp, -1, -1);
+    case LocationKind::LinkCard:
+      return Location::make(
+          LocationKind::LinkCard, rack, mp,
+          static_cast<int>(rng.uniform_index(static_cast<std::size_t>(topo_.link_cards_per_midplane))), -1);
+    case LocationKind::IoNode:
+      return Location::make(
+          LocationKind::IoNode, rack, mp,
+          static_cast<int>(rng.uniform_index(static_cast<std::size_t>(topo_.node_cards_per_midplane))),
+          static_cast<int>(rng.uniform_index(static_cast<std::size_t>(topo_.io_nodes_per_node_card))));
+  }
+  return Location::make(LocationKind::Midplane, rack, mp, -1, -1);
+}
+
+Location MachineModel::midplane_location(MidplaneId mid) const {
+  return Location::make(LocationKind::Midplane, mid / topo_.midplanes_per_rack,
+                        mid % topo_.midplanes_per_rack, -1, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Generic partition algebra.
+
+Partition MachineModel::parse_partition(std::string_view text) const {
+  const int mpr = topo_.midplanes_per_rack;
+  const std::size_t dash = text.find('-');
+  const std::string_view head = text.substr(0, dash);
+  const std::string_view tail =
+      dash == std::string_view::npos ? std::string_view{} : text.substr(dash + 1);
+  const auto checked = [&](MidplaneId first, int count) {
+    if (!is_legal_partition(first, count)) {
+      throw ParseError("illegal partition '" + std::string(text) + "': illegal partition: first midplane " +
+                       std::to_string(first) + ", size " + std::to_string(count));
+    }
+    return Partition::unchecked(first, count);
+  };
+  if (dash == std::string_view::npos) {
+    const Location loc = parse_location(text);
+    if (loc.kind() != LocationKind::Rack) {
+      throw ParseError("not a partition: '" + std::string(text) + "'");
+    }
+    return checked(static_cast<MidplaneId>(loc.rack_index() * mpr), mpr);
+  }
+  if (!tail.empty() && tail[0] == 'M' && tail.find('-') == std::string_view::npos) {
+    const Location loc = parse_location(text);
+    return checked(codec_.midplane_of(loc.packed()), 1);
+  }
+  if (!tail.empty() && tail[0] == 'R' && tail.find('-') == std::string_view::npos) {
+    const Location a = parse_location(head);
+    const Location b = parse_location(tail);
+    if (a.kind() != LocationKind::Rack || b.kind() != LocationKind::Rack ||
+        b.rack_index() < a.rack_index()) {
+      throw ParseError("bad rack range: '" + std::string(text) + "'");
+    }
+    const int racks = b.rack_index() - a.rack_index() + 1;
+    return checked(static_cast<MidplaneId>(a.rack_index() * mpr), racks * mpr);
+  }
+  throw ParseError("unrecognized partition: '" + std::string(text) + "'");
+}
+
+std::string MachineModel::partition_name(const Partition& part) const {
+  const int mpr = topo_.midplanes_per_rack;
+  char buf[32];
+  if (part.midplane_count() == 1) {
+    std::snprintf(buf, sizeof buf, "R%02d-M%d", part.first_midplane() / mpr,
+                  part.first_midplane() % mpr);
+  } else if (part.midplane_count() == mpr) {
+    std::snprintf(buf, sizeof buf, "R%02d", part.first_midplane() / mpr);
+  } else {
+    std::snprintf(buf, sizeof buf, "R%02d-R%02d", part.first_midplane() / mpr,
+                  (part.end_midplane() - 1) / mpr);
+  }
+  return buf;
+}
+
+std::vector<Partition> MachineModel::partitions_of_size(int midplane_count) const {
+  std::vector<Partition> out;
+  for (MidplaneId first = 0; first + midplane_count <= this->midplane_count(); ++first) {
+    if (is_legal_partition(first, midplane_count)) {
+      out.push_back(Partition::unchecked(first, midplane_count));
+    }
+  }
+  return out;
+}
+
+PlacementZones MachineModel::placement_zones() const {
+  // The BG/P proportions (§VI-B) scaled to this machine: a 2-midplane debug
+  // head, the top fifth for long narrow jobs, a two-fifths reservation band
+  // for wide jobs, and the remainder for small multi-midplane jobs. At
+  // N = 80 this reproduces Intrepid's zones exactly (0-1 / 64-79 / 2-31 /
+  // 32-63, wide >= 32).
+  const int n = midplane_count();
+  const int fifth = n / 5;
+  PlacementZones z;
+  z.head_first = 0;
+  z.head_count = 2;
+  z.tail_first = n - fifth;
+  z.tail_count = fifth;
+  z.wide_first = 2 * fifth;
+  z.wide_count = z.tail_first - z.wide_first;
+  z.small_first = 2;
+  z.small_count = z.wide_first - 2;
+  z.wide_threshold = z.wide_first;
+  return z;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+const MachineModel* find_model(std::string_view name) {
+  for (const MachineModel* m : all_models()) {
+    if (m->name() == name) return m;
+  }
+  return nullptr;
+}
+
+const std::vector<const MachineModel*>& all_models() {
+  static const std::vector<const MachineModel*> models = {&bgp_model(), &bgq_model()};
+  return models;
+}
+
+}  // namespace coral::machine

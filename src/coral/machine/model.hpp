@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "coral/bgp/location.hpp"
+#include "coral/bgp/partition.hpp"
+#include "coral/common/rng.hpp"
+#include "coral/machine/codec.hpp"
+
+namespace coral::machine {
+
+// The shared hardware-address value types. They started life in bgp/ and
+// keep their layout and packed() encoding there; the machine layer owns the
+// *grammar* (which strings are valid, which partitions are legal) while the
+// value types stay machine-neutral containers for (kind, rack, midplane,
+// card, sub) tuples.
+using Location = bgp::Location;
+using LocationKind = bgp::LocationKind;
+using Partition = bgp::Partition;
+
+/// Runtime machine dimensions. Where `bgp::Topology` is the compile-time
+/// description of the one 40-rack Intrepid, this is the same vocabulary as
+/// data, so every layer that used to read a kFoo constant can size itself
+/// off whichever machine the analysis targets.
+struct Topology {
+  const char* name = "bgp";
+  const char* description = "40-rack Blue Gene/P (Intrepid)";
+  const char* interconnect = "3-D torus";
+  int racks = 40;
+  int midplanes_per_rack = 2;
+  int racks_per_row = 8;
+  int node_cards_per_midplane = 16;
+  int compute_cards_per_node_card = 32;
+  /// First J-slot index on a node card (BG/P numbers J04..J35; BG/Q J00..).
+  int jslot_base = 4;
+  int link_cards_per_midplane = 4;
+  int io_nodes_per_node_card = 2;
+  int nodes_per_midplane = 512;
+  int cores_per_node = 4;
+
+  int midplanes() const { return racks * midplanes_per_rack; }
+};
+
+/// Scheduler placement zones: where `sched::placement_rank` steers each job
+/// class. The BG/P values reproduce Intrepid's observed layout (§VI-B);
+/// other machines scale the same structure to their midplane count.
+struct PlacementZones {
+  /// Short single-midplane jobs (debug runs): lowest-address midplanes.
+  MidplaneId head_first = 0;
+  int head_count = 2;
+  /// Long single-midplane jobs: the high end of the machine.
+  MidplaneId tail_first = 64;
+  int tail_count = 16;
+  /// Small multi-midplane jobs (< wide_threshold).
+  MidplaneId small_first = 2;
+  int small_count = 30;
+  /// Reservation band for wide jobs (>= wide_threshold midplanes).
+  MidplaneId wide_first = 32;
+  int wide_count = 32;
+  /// Jobs at least this many midplanes wide count as "wide" — for placement,
+  /// for the wear model, and for the Fig. 4 wide-workload series.
+  int wide_threshold = 32;
+};
+
+/// A machine model: everything the co-analysis knows about one machine
+/// family — dimensions, the location-string grammar and its packed-key
+/// codec, the partition algebra, and the scheduler's placement policy.
+///
+/// Models are stateless and immutable; the process-lifetime singletons
+/// returned by bgp_model()/bgq_model() are shared freely. Analyses resolve
+/// the model through coral::Context (default: BG/P), and logs remember the
+/// model they were parsed against, the same way they remember their
+/// errcode catalog.
+class MachineModel {
+ public:
+  virtual ~MachineModel() = default;
+
+  const Topology& topology() const { return topo_; }
+  const LocCodec& codec() const { return codec_; }
+  std::string_view name() const { return topo_.name; }
+  int midplane_count() const { return topo_.midplanes(); }
+
+  // --- location grammar ------------------------------------------------
+  /// Parse a RAS LOCATION string ("R04-M0-N08-J12"). Throws ParseError.
+  virtual Location parse_location(std::string_view text) const;
+  /// Rebuild a Location from a packed key, validating every field against
+  /// this machine (the key may come from an untrusted binary log).
+  virtual Location location_from_packed(std::uint32_t key) const;
+  /// Canonical string form of a location on this machine.
+  virtual std::string location_string(const Location& loc) const;
+  /// Uniformly sample a concrete location of `kind` on midplane `mid`
+  /// (used by fault injection). Draws the same RNG sequence on every
+  /// machine: one uniform per free slot, card before sub-slot.
+  virtual Location location_on_midplane(LocationKind kind, MidplaneId mid, Rng& rng) const;
+  /// The midplane-kind Location for a flat midplane id on this machine.
+  Location midplane_location(MidplaneId mid) const;
+
+  // --- partition algebra ------------------------------------------------
+  /// Legal partition sizes in midplanes, ascending.
+  virtual const std::vector<int>& legal_partition_sizes() const = 0;
+  /// True if [first, first+count) is a legal aligned partition here.
+  virtual bool is_legal_partition(MidplaneId first, int count) const = 0;
+  /// Parse a job-log partition name ("R04-M0", "R04", "R08-R11").
+  virtual Partition parse_partition(std::string_view text) const;
+  /// Canonical job-log name of a partition on this machine.
+  virtual std::string partition_name(const Partition& part) const;
+  /// All legal partitions of a given size, in address order.
+  std::vector<Partition> partitions_of_size(int midplane_count) const;
+
+  // --- scheduler placement ---------------------------------------------
+  virtual PlacementZones placement_zones() const;
+
+ protected:
+  explicit MachineModel(const Topology& topo)
+      : topo_(topo), codec_{topo.midplanes_per_rack} {}
+
+  Topology topo_;
+  LocCodec codec_;
+};
+
+/// The reference machine: the paper's 40-rack Blue Gene/P. Grammar,
+/// partition algebra and placement delegate to the original bgp/ routines,
+/// so every analysis through this model is byte-identical to the
+/// pre-MachineModel code.
+const MachineModel& bgp_model();
+
+/// A 48-rack Blue Gene/Q (Mira-scale, per Sîrbu & Babaoglu's BG/Q study):
+/// 96 midplanes, J00..J31 compute cards, a 5-D torus, and its own legal
+/// partition ladder. Deliberately bigger than BG/P's 80 midplanes so any
+/// leftover compile-time sizing assumption trips immediately.
+const MachineModel& bgq_model();
+
+/// Look up a built-in model by name ("bgp", "bgq"); nullptr when unknown.
+const MachineModel* find_model(std::string_view name);
+
+/// All built-in models, bgp first.
+const std::vector<const MachineModel*>& all_models();
+
+}  // namespace coral::machine

@@ -69,7 +69,8 @@ Dictionary parse_dictionary(bin::PayloadCursor& cur, const Catalog& catalog,
 // Validate and append one fixed-size record. Shared by the contiguous fast
 // path and the bounds-checked slow path so their accounting cannot drift.
 void decode_one(const PackedRecord& rec, std::uint64_t rec_offset, const Dictionary& dict,
-                ParseMode mode, IngestReport& rep, std::vector<RasEvent>& events) {
+                ParseMode mode, const machine::MachineModel& machine, IngestReport& rep,
+                std::vector<RasEvent>& events) {
   if (rec.dict_index >= dict.remap.size()) {
     if (mode == ParseMode::Strict) throw ParseError("bad dictionary index");
     rep.add_malformed(IngestReason::BadRecord, rec_offset, "",
@@ -93,7 +94,7 @@ void decode_one(const PackedRecord& rec, std::uint64_t rec_offset, const Diction
   RasEvent ev;
   ev.event_time = TimePoint(rec.time_usec);
   try {
-    ev.location = bgp::Location::from_packed(rec.packed_location);
+    ev.location = machine.location_from_packed(rec.packed_location);
   } catch (const Error& e) {
     if (mode == ParseMode::Strict) throw;
     rep.add_malformed(IngestReason::BadLocation, rec_offset, "", e.what());
@@ -111,8 +112,8 @@ void decode_one(const PackedRecord& rec, std::uint64_t rec_offset, const Diction
 // Shared by the sequential and parallel readers so their per-record
 // accounting cannot drift apart.
 void decode_records(bin::PayloadCursor& cur, const Dictionary* dict, ParseMode mode,
-                    IngestReport& rep, std::vector<RasEvent>& events,
-                    std::uint64_t& attempted) {
+                    const machine::MachineModel& machine, IngestReport& rep,
+                    std::vector<RasEvent>& events, std::uint64_t& attempted) {
   const auto n = cur.get<std::uint32_t>();
   // Writer-canonical blocks hold exactly n contiguous records; decode them
   // straight from the payload view, skipping per-record cursor bookkeeping.
@@ -126,7 +127,7 @@ void decode_records(bin::PayloadCursor& cur, const Dictionary* dict, ParseMode m
       PackedRecord rec;
       std::memcpy(&rec, raw.data() + std::size_t{i} * sizeof rec, sizeof rec);
       ++attempted;
-      decode_one(rec, base + std::uint64_t{i} * sizeof rec, *dict, mode, rep, events);
+      decode_one(rec, base + std::uint64_t{i} * sizeof rec, *dict, mode, machine, rep, events);
     }
     return;
   }
@@ -144,7 +145,7 @@ void decode_records(bin::PayloadCursor& cur, const Dictionary* dict, ParseMode m
                         "record with no surviving dictionary");
       continue;
     }
-    decode_one(rec, rec_offset, *dict, mode, rep, events);
+    decode_one(rec, rec_offset, *dict, mode, machine, rep, events);
   }
 }
 
@@ -161,7 +162,8 @@ struct ViewBuf : std::streambuf {
 // Handles every damage shape, and defines the exact error messages and
 // lenient accounting the parallel fast path must reproduce.
 RasLog read_region_sequential(std::string_view region, const Catalog& catalog,
-                              ParseMode mode, IngestReport& rep) {
+                              ParseMode mode, const machine::MachineModel& machine,
+                              IngestReport& rep) {
   ViewBuf viewbuf(region);
   std::istream in(&viewbuf);
 
@@ -197,7 +199,7 @@ RasLog read_region_sequential(std::string_view region, const Catalog& catalog,
         }
         continue;  // records inside are covered by the lost-record top-up
       }
-      decode_records(cur, dict ? &*dict : nullptr, mode, rep, events, attempted);
+      decode_records(cur, dict ? &*dict : nullptr, mode, machine, rep, events, attempted);
     } catch (const Error&) {
       if (mode == ParseMode::Strict) throw;
       // A CRC-valid block whose payload still does not parse (writer bug or
@@ -222,7 +224,7 @@ RasLog read_region_sequential(std::string_view region, const Catalog& catalog,
     rep.adopt_samples(frames);
   }
 
-  return RasLog(std::move(events), catalog);
+  return RasLog(std::move(events), catalog, machine);
 }
 
 // The fast path: index frames in place, decode the dictionary (the writer
@@ -231,8 +233,9 @@ RasLog read_region_sequential(std::string_view region, const Catalog& catalog,
 // reader, which is the authority on recovery; the caller's report is only
 // touched on a committed parallel result, so the fallback starts clean.
 RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
-                            ParseMode mode, IngestReport& rep, par::ThreadPool& pool) {
-  const auto fall_back = [&] { return read_region_sequential(region, catalog, mode, rep); };
+                            ParseMode mode, const machine::MachineModel& machine,
+                            IngestReport& rep, par::ThreadPool& pool) {
+  const auto fall_back = [&] { return read_region_sequential(region, catalog, mode, machine, rep); };
 
   std::vector<bin::FrameRef> frames;
   if (!bin::index_frames(region, frames) || frames.empty()) return fall_back();
@@ -318,7 +321,7 @@ RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
                 }
                 continue;
               }
-              decode_records(cur, &dict, mode, out.rep, out.events, out.attempted);
+              decode_records(cur, &dict, mode, machine, out.rep, out.events, out.attempted);
             } catch (const Error& e) {
               if (mode == ParseMode::Strict) {
                 out.has_error = true;
@@ -374,7 +377,7 @@ RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
     rep.add_malformed_bulk(IngestReason::BinaryFrame, dict.total_records - attempted);
   }
 
-  return RasLog(std::move(events), catalog);
+  return RasLog(std::move(events), catalog, machine);
 }
 
 std::string slurp(std::istream& in) {
@@ -438,8 +441,8 @@ void write_binary(std::ostream& out, const RasLog& log) {
 }
 
 RasLog read_binary(std::istream& in, const Catalog& catalog, ParseMode mode,
-                   IngestReport* report, InstrumentationSink* sink,
-                   par::ThreadPool* pool) {
+                   IngestReport* report, InstrumentationSink* sink, par::ThreadPool* pool,
+                   const machine::MachineModel& machine) {
   IngestReport local;
   IngestReport& rep = report != nullptr ? *report : local;
   StageTimer timer(sink, "ingest.ras_binary");
@@ -470,8 +473,8 @@ RasLog read_binary(std::istream& in, const Catalog& catalog, ParseMode mode,
   // The indexed in-place path wins even on a single-thread pool (no per-block
   // payload copies), so any pool at all selects it.
   RasLog log = pool != nullptr
-                   ? read_region_parallel(region, catalog, mode, rep, *pool)
-                   : read_region_sequential(region, catalog, mode, rep);
+                   ? read_region_parallel(region, catalog, mode, machine, rep, *pool)
+                   : read_region_sequential(region, catalog, mode, machine, rep);
 
   timer.counts(rep.records_seen(), rep.records_ok());
   rep.report_malformed(sink, "ingest.ras_binary");

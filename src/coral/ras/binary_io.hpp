@@ -50,8 +50,11 @@ void write_binary(std::ostream& out, const RasLog& log);
 /// block ranges — results (events, error messages, lenient accounting) are
 /// identical to the sequential read; a file with any frame damage falls back
 /// to the sequential recovering reader.
+/// Packed locations are validated against `machine`; the returned log is
+/// stamped with that model.
 RasLog read_binary(std::istream& in, const Catalog& catalog = default_catalog(),
                    ParseMode mode = ParseMode::Strict, IngestReport* report = nullptr,
-                   InstrumentationSink* sink = nullptr, par::ThreadPool* pool = nullptr);
+                   InstrumentationSink* sink = nullptr, par::ThreadPool* pool = nullptr,
+                   const machine::MachineModel& machine = machine::bgp_model());
 
 }  // namespace coral::ras

@@ -12,8 +12,9 @@
 
 namespace coral::ras {
 
-RasLog::RasLog(std::vector<RasEvent> events, const Catalog& catalog)
-    : catalog_(&catalog), events_(std::move(events)) {
+RasLog::RasLog(std::vector<RasEvent> events, const Catalog& catalog,
+               const machine::MachineModel& machine)
+    : catalog_(&catalog), machine_(&machine), events_(std::move(events)) {
   finalize();
 }
 
@@ -141,7 +142,8 @@ std::string row_snippet(const std::vector<std::string>& row) {
 }  // namespace
 
 RasLog RasLog::read_csv(std::istream& in, const Catalog& catalog, ParseMode mode,
-                        IngestReport* report, InstrumentationSink* sink) {
+                        IngestReport* report, InstrumentationSink* sink,
+                        const machine::MachineModel& machine) {
   IngestReport local;
   IngestReport& rep = report != nullptr ? *report : local;
   StageTimer timer(sink, "ingest.ras_csv");
@@ -172,7 +174,7 @@ RasLog RasLog::read_csv(std::istream& in, const Catalog& catalog, ParseMode mode
       ev.errcode = *code;
       ev.severity = parse_severity(row[5]);
       ev.event_time = TimePoint::parse_ras(row[6]);
-      ev.location = bgp::Location::parse(row[7]);
+      ev.location = machine.parse_location(row[7]);
       ev.serial = static_cast<std::uint32_t>(parse_int(row[8]));
       events.push_back(ev);
       rep.add_ok();
@@ -193,7 +195,7 @@ RasLog RasLog::read_csv(std::istream& in, const Catalog& catalog, ParseMode mode
       reason = IngestReason::BadTimestamp;
       ev.event_time = TimePoint::parse_ras(row[6]);
       reason = IngestReason::BadLocation;
-      ev.location = bgp::Location::parse(row[7]);
+      ev.location = machine.parse_location(row[7]);
       reason = IngestReason::BadNumber;
       ev.serial = static_cast<std::uint32_t>(parse_int(row[8]));
     } catch (const Error& e) {
@@ -205,7 +207,7 @@ RasLog RasLog::read_csv(std::istream& in, const Catalog& catalog, ParseMode mode
   }
   timer.counts(rep.records_seen(), rep.records_ok());
   rep.report_malformed(sink, "ingest.ras_csv");
-  return RasLog(std::move(events), catalog);
+  return RasLog(std::move(events), catalog, machine);
 }
 
 }  // namespace coral::ras

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "coral/common/ingest.hpp"
+#include "coral/machine/model.hpp"
 #include "coral/ras/event.hpp"
 
 namespace coral::ras {
@@ -43,12 +44,14 @@ struct FatalColumns {
 
 /// An in-memory RAS log: records sorted by EVENT_TIME, RECIDs assigned in
 /// time order (as the CMCS backend does). A log remembers which catalog its
-/// ErrcodeIds index into, so downstream consumers never have to guess.
+/// ErrcodeIds index into — and which machine its locations were parsed
+/// against — so downstream consumers never have to guess.
 class RasLog {
  public:
   RasLog() : catalog_(&default_catalog()) {}
   explicit RasLog(std::vector<RasEvent> events,
-                  const Catalog& catalog = default_catalog());
+                  const Catalog& catalog = default_catalog(),
+                  const machine::MachineModel& machine = machine::bgp_model());
 
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
@@ -57,6 +60,9 @@ class RasLog {
 
   /// The catalog this log's ErrcodeIds index into.
   const Catalog& catalog() const { return *catalog_; }
+
+  /// The machine this log's locations belong to (default: reference BG/P).
+  const machine::MachineModel& machine() const { return *machine_; }
 
   auto begin() const { return events_.begin(); }
   auto end() const { return events_.end(); }
@@ -103,13 +109,17 @@ class RasLog {
   /// an "ingest.ras_csv" stage sample (wall time, rows seen -> rows kept)
   /// plus per-reason malformed counters are recorded, alongside whatever
   /// stage timings the analysis engines emit into the same sink.
+  /// Location strings are validated against `machine`'s grammar; the
+  /// returned log is stamped with that model.
   static RasLog read_csv(std::istream& in, const Catalog& catalog = default_catalog(),
                          ParseMode mode = ParseMode::Strict,
                          IngestReport* report = nullptr,
-                         InstrumentationSink* sink = nullptr);
+                         InstrumentationSink* sink = nullptr,
+                         const machine::MachineModel& machine = machine::bgp_model());
 
  private:
   const Catalog* catalog_;
+  const machine::MachineModel* machine_ = &machine::bgp_model();
   std::vector<RasEvent> events_;
   FatalColumns fatal_;
   bool finalized_ = false;

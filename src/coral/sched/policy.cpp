@@ -6,42 +6,47 @@ namespace coral::sched {
 
 namespace {
 
-bool within(const bgp::Partition& part, bgp::MidplaneId lo, bgp::MidplaneId hi) {
-  return part.first_midplane() >= lo && part.end_midplane() <= hi + 1;
+bool in_zone(const bgp::Partition& part, int first, int count) {
+  return part.first_midplane() >= first && part.end_midplane() <= first + count;
 }
 
 }  // namespace
 
-int placement_rank(const SchedulerConfig& config, const bgp::Partition& part,
-                   Usec runtime_hint) {
+int placement_rank(const SchedulerConfig& config, const machine::PlacementZones& zones,
+                   const bgp::Partition& part, Usec runtime_hint) {
   const int size = part.midplane_count();
   if (size == 1) {
     const bool is_short = runtime_hint < config.short_job_threshold;
     if (is_short) {
-      // Short narrow jobs: midplanes 0–1 first, then the high midplanes.
-      if (within(part, 0, 1)) return 0;
-      if (within(part, 64, 79)) return 1;
-      if (within(part, 2, 31)) return 2;
+      // Short narrow jobs: the head zone first, then the tail midplanes.
+      if (in_zone(part, zones.head_first, zones.head_count)) return 0;
+      if (in_zone(part, zones.tail_first, zones.tail_count)) return 1;
+      if (in_zone(part, zones.small_first, zones.small_count)) return 2;
       return 3;
     }
-    // Other narrow jobs: high midplanes first, keep the wide-job region last.
-    if (within(part, 64, 79)) return 0;
-    if (within(part, 0, 1)) return 1;
-    if (within(part, 2, 31)) return 2;
+    // Other narrow jobs: tail midplanes first, keep the wide-job region last.
+    if (in_zone(part, zones.tail_first, zones.tail_count)) return 0;
+    if (in_zone(part, zones.head_first, zones.head_count)) return 1;
+    if (in_zone(part, zones.small_first, zones.small_count)) return 2;
     return 3;
   }
-  if (size < 32) {
-    // Small multi-midplane jobs: the low-middle racks, then high midplanes,
-    // keeping the wide-job reservation (32–63) as a last resort.
-    if (within(part, 2, 31)) return 0;
-    if (within(part, 64, 79)) return 1;
-    if (within(part, 0, 1)) return 2;
+  if (size < zones.wide_threshold) {
+    // Small multi-midplane jobs: the small-job zone, then the tail,
+    // keeping the wide-job reservation as a last resort.
+    if (in_zone(part, zones.small_first, zones.small_count)) return 0;
+    if (in_zone(part, zones.tail_first, zones.tail_count)) return 1;
+    if (in_zone(part, zones.head_first, zones.head_count)) return 2;
     return 3;
   }
-  // Wide jobs: steer into the reserved block (midplanes 32–63).
-  if (within(part, 32, 63)) return 0;
-  if (part.first_midplane() >= 16) return 1;  // overlaps the reservation
+  // Wide jobs: steer into the reserved block.
+  if (in_zone(part, zones.wide_first, zones.wide_count)) return 0;
+  if (part.first_midplane() * 2 >= zones.wide_first) return 1;  // overlaps the reservation
   return 2;
+}
+
+int placement_rank(const SchedulerConfig& config, const bgp::Partition& part,
+                   Usec runtime_hint) {
+  return placement_rank(config, machine::bgp_model().placement_zones(), part, runtime_hint);
 }
 
 std::optional<bgp::Partition> choose_partition(const SchedulerConfig& config,
@@ -56,16 +61,17 @@ std::optional<bgp::Partition> choose_partition(const SchedulerConfig& config,
   }
   std::vector<bgp::Partition> candidates = pool.free_partitions(midplane_count);
   if (candidates.empty()) return std::nullopt;
+  const machine::PlacementZones zones = pool.machine().placement_zones();
   std::stable_sort(candidates.begin(), candidates.end(),
                    [&](const bgp::Partition& a, const bgp::Partition& b) {
-                     return placement_rank(config, a, runtime_hint) <
-                            placement_rank(config, b, runtime_hint);
+                     return placement_rank(config, zones, a, runtime_hint) <
+                            placement_rank(config, zones, b, runtime_hint);
                    });
   // Randomize among the equally best-ranked candidates so load spreads.
-  const int best = placement_rank(config, candidates.front(), runtime_hint);
+  const int best = placement_rank(config, zones, candidates.front(), runtime_hint);
   std::size_t n_best = 0;
   while (n_best < candidates.size() &&
-         placement_rank(config, candidates[n_best], runtime_hint) == best) {
+         placement_rank(config, zones, candidates[n_best], runtime_hint) == best) {
     ++n_best;
   }
   return candidates[rng.uniform_index(n_best)];

@@ -37,7 +37,8 @@ struct SchedulerConfig {
 ///
 /// `previous` is the partition of the job's previous run, if this is a
 /// resubmission; `runtime_hint` is the requested runtime. Returns nullopt
-/// when no partition of that size is free.
+/// when no partition of that size is free. Placement zones are resolved
+/// from the pool's machine model.
 std::optional<bgp::Partition> choose_partition(const SchedulerConfig& config,
                                                const PartitionPool& pool,
                                                int midplane_count, Usec runtime_hint,
@@ -46,6 +47,11 @@ std::optional<bgp::Partition> choose_partition(const SchedulerConfig& config,
 
 /// The placement preference score used by choose_partition: lower is more
 /// preferred. Exposed for tests and ablation benches.
+int placement_rank(const SchedulerConfig& config, const machine::PlacementZones& zones,
+                   const bgp::Partition& part, Usec runtime_hint);
+
+/// BG/P-zone shorthand: ranks against the reference machine's zones
+/// (midplanes 0–1 / 64–79 / 2–31 / 32–63).
 int placement_rank(const SchedulerConfig& config, const bgp::Partition& part,
                    Usec runtime_hint);
 

@@ -6,7 +6,7 @@ namespace coral::sched {
 
 bool PartitionPool::is_free(const bgp::Partition& part) const {
   for (bgp::MidplaneId m = part.first_midplane(); m < part.end_midplane(); ++m) {
-    if (busy_.test(static_cast<std::size_t>(m))) return false;
+    if (busy_[static_cast<std::size_t>(m)] != 0) return false;
   }
   return true;
 }
@@ -14,26 +14,31 @@ bool PartitionPool::is_free(const bgp::Partition& part) const {
 void PartitionPool::acquire(const bgp::Partition& part) {
   CORAL_EXPECTS(is_free(part));
   for (bgp::MidplaneId m = part.first_midplane(); m < part.end_midplane(); ++m) {
-    busy_.set(static_cast<std::size_t>(m));
+    busy_[static_cast<std::size_t>(m)] = 1;
   }
+  busy_count_ += static_cast<std::size_t>(part.midplane_count());
 }
 
 void PartitionPool::release(const bgp::Partition& part) {
   for (bgp::MidplaneId m = part.first_midplane(); m < part.end_midplane(); ++m) {
-    CORAL_EXPECTS(busy_.test(static_cast<std::size_t>(m)));
-    busy_.reset(static_cast<std::size_t>(m));
+    CORAL_EXPECTS(busy_[static_cast<std::size_t>(m)] != 0);
+    busy_[static_cast<std::size_t>(m)] = 0;
   }
+  busy_count_ -= static_cast<std::size_t>(part.midplane_count());
 }
 
 void PartitionPool::force_acquire(const bgp::Partition& part) {
   for (bgp::MidplaneId m = part.first_midplane(); m < part.end_midplane(); ++m) {
-    busy_.set(static_cast<std::size_t>(m));
+    if (busy_[static_cast<std::size_t>(m)] == 0) {
+      busy_[static_cast<std::size_t>(m)] = 1;
+      busy_count_ += 1;
+    }
   }
 }
 
 std::vector<bgp::Partition> PartitionPool::free_partitions(int midplane_count) const {
   std::vector<bgp::Partition> out;
-  for (const bgp::Partition& p : bgp::Partition::all_of_size(midplane_count)) {
+  for (const bgp::Partition& p : machine_->partitions_of_size(midplane_count)) {
     if (is_free(p)) out.push_back(p);
   }
   return out;

@@ -22,17 +22,31 @@ void MidplaneTallies::add_group_rep(const bgp::Location& rep_location) {
   if (mid) {
     fatal_events[static_cast<std::size_t>(*mid)] += 1;
   } else {
-    // Rack-level events touch both midplanes; split the count.
-    const int rack = rep_location.rack_index();
-    fatal_events[static_cast<std::size_t>(bgp::midplane_id(rack, 0))] += 0.5;
-    fatal_events[static_cast<std::size_t>(bgp::midplane_id(rack, 1))] += 0.5;
+    // Rack-level events touch every midplane in the rack; split the count.
+    const int first = rep_location.rack_index() * codec_.midplanes_per_rack;
+    const double share = 1.0 / codec_.midplanes_per_rack;
+    for (int i = 0; i < codec_.midplanes_per_rack; ++i) {
+      fatal_events[static_cast<std::size_t>(first + i)] += share;
+    }
+  }
+}
+
+void MidplaneTallies::add_group_rep(std::uint32_t loc_key) {
+  if (!codec_.is_rack(loc_key)) {
+    fatal_events[static_cast<std::size_t>(codec_.midplane_of(loc_key))] += 1;
+  } else {
+    const auto first = codec_.rack_first_midplane(loc_key);
+    const double share = 1.0 / codec_.midplanes_per_rack;
+    for (int i = 0; i < codec_.midplanes_per_rack; ++i) {
+      fatal_events[static_cast<std::size_t>(first + i)] += share;
+    }
   }
 }
 
 void MidplaneTallies::add_job(const joblog::JobRecord& job) {
   const double seconds =
       static_cast<double>(job.runtime()) / static_cast<double>(kUsecPerSec);
-  const bool wide = job.size_midplanes() >= 32;
+  const bool wide = job.size_midplanes() >= wide_threshold_;
   for (bgp::MidplaneId m : job.partition.midplanes()) {
     workload_sec[static_cast<std::size_t>(m)] += seconds;
     if (wide) wide_workload_sec[static_cast<std::size_t>(m)] += seconds;

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <array>
 #include <cstddef>
 #include <optional>
 #include <vector>
@@ -9,6 +8,7 @@
 #include "coral/bgp/topology.hpp"
 #include "coral/core/interarrival.hpp"
 #include "coral/joblog/job.hpp"
+#include "coral/machine/model.hpp"
 
 namespace coral::stream {
 
@@ -56,8 +56,9 @@ class DailyCounter {
 };
 
 /// Per-midplane tallies for the Fig. 4 series: fatal-event counts (rack-
-/// level events split 0.5/0.5 over the rack's midplanes) and workload in
-/// midplane-seconds (all jobs, and wide jobs >= 32 midplanes).
+/// level events split evenly over the rack's midplanes) and workload in
+/// midplane-seconds (all jobs, and wide jobs at or above the machine's
+/// wide threshold — 32 midplanes on the reference BG/P).
 ///
 /// Additions replicate the batch loops operation-for-operation, so feeding
 /// groups/jobs in log order reproduces the batch sums bit-for-bit. The
@@ -65,13 +66,28 @@ class DailyCounter {
 /// workload sums are merged in shard order for determinism.
 class MidplaneTallies {
  public:
+  MidplaneTallies() : MidplaneTallies(machine::bgp_model()) {}
+  explicit MidplaneTallies(const machine::MachineModel& machine)
+      : fatal_events(static_cast<std::size_t>(machine.midplane_count()), 0.0),
+        workload_sec(static_cast<std::size_t>(machine.midplane_count()), 0.0),
+        wide_workload_sec(static_cast<std::size_t>(machine.midplane_count()), 0.0),
+        codec_(machine.codec()),
+        wide_threshold_(machine.placement_zones().wide_threshold) {}
+
   void add_group_rep(const bgp::Location& rep_location);
+  /// Packed-key variant for columnar/streaming paths: decodes through the
+  /// machine codec, no Location materialization.
+  void add_group_rep(std::uint32_t loc_key);
   void add_job(const joblog::JobRecord& job);
   void merge(const MidplaneTallies& other);
 
-  std::array<double, bgp::Topology::kMidplanes> fatal_events{};
-  std::array<double, bgp::Topology::kMidplanes> workload_sec{};
-  std::array<double, bgp::Topology::kMidplanes> wide_workload_sec{};
+  std::vector<double> fatal_events;
+  std::vector<double> workload_sec;
+  std::vector<double> wide_workload_sec;
+
+ private:
+  machine::LocCodec codec_;
+  int wide_threshold_ = 32;
 };
 
 }  // namespace coral::stream

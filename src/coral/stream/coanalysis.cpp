@@ -162,7 +162,8 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
                                [&out](StreamingMatcher::GroupMatch&& m) {
                                  out.final_groups.push_back(std::move(m.group));
                                  out.matched_jobs.push_back(std::move(m.jobs));
-                               });
+                               },
+                               jobs.machine().codec());
       std::optional<CausalityCoalescer> caus;
       GroupSink* stage_sink = &matcher;
       if (causality) {

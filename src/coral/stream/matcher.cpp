@@ -66,10 +66,10 @@ void StreamingMatcher::emit_front() {
                              [](const JobEnd& e, TimePoint t) { return e.end < t; });
   for (; it != ends_.end() && it->end <= hi; ++it) {
     if (it->start > hi) continue;  // not yet running at the event
-    bool covered = it->partition.covers_key(match.group.rep_key);
+    bool covered = it->partition.covers_key(match.group.rep_key, codec_);
     if (!covered) {
       for (const GroupMember& m : match.group.extra) {
-        if (it->partition.covers_key(m.loc_key)) {
+        if (it->partition.covers_key(m.loc_key, codec_)) {
           covered = true;
           break;
         }

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "coral/machine/codec.hpp"
 #include "coral/stream/stage.hpp"
 
 namespace coral::stream {
@@ -31,8 +32,11 @@ class StreamingMatcher : public Stage, public GroupSink {
   };
   using Handler = std::function<void(GroupMatch&&)>;
 
-  StreamingMatcher(Usec window, Handler on_match)
-      : window_(window), on_match_(std::move(on_match)) {}
+  /// `codec` decodes the groups' packed loc_keys; the default is the Blue
+  /// Gene family codec. Pass `machine.codec()` when matching another model's
+  /// logs.
+  StreamingMatcher(Usec window, Handler on_match, machine::LocCodec codec = {})
+      : window_(window), on_match_(std::move(on_match)), codec_(codec) {}
 
   // Stage side: the merged event stream.
   void on_job_start(TimePoint t, const joblog::JobRecord& job, std::size_t job_index) override;
@@ -69,6 +73,7 @@ class StreamingMatcher : public Stage, public GroupSink {
 
   Usec window_;
   Handler on_match_;
+  machine::LocCodec codec_;
   std::deque<JobEnd> ends_;         ///< sorted by end time (arrival order)
   std::deque<StreamGroup> pending_; ///< groups awaiting resolution, in order
   TimePoint watermark_{std::numeric_limits<Usec>::min()};

@@ -1,0 +1,166 @@
+#include "coral/synth/packs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coral/common/error.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace coral::synth {
+
+namespace {
+
+double clamp_prob(double p) { return std::clamp(p, 0.0, 0.99); }
+
+}  // namespace
+
+const std::vector<ScenarioPack>& scenario_packs() {
+  static const std::vector<ScenarioPack> packs = {
+      {
+          .name = "failure_storm",
+          .description = "A bad fortnight: fault rates several times the "
+                         "calibrated baseline with bigger, cascade-prone storms "
+                         "(the paper's Fig. 5 peak days as a regime).",
+          .interrupting_rate_mult = 4.0,
+          .persistent_rate_mult = 1.5,
+          .idle_rate_mult = 2.0,
+          .spatial_nodes_mult = 2.0,
+          .cascade_prob = 0.55,
+      },
+      {
+          .name = "maintenance_window",
+          .description = "Weekly eight-hour drains: the scheduler stops "
+                         "starting jobs while hardware keeps faulting, "
+                         "reproducing the quiet stretches of Fig. 5.",
+          .maintenance = true,
+          .maintenance_first_day = 3,
+          .maintenance_period_days = 7,
+          .maintenance_duration_hours = 8,
+      },
+      {
+          .name = "correlated_cascade",
+          .description = "Persistent-fault heavy with aggressive degraded "
+                         "windows: one broken component keeps re-hitting jobs "
+                         "until repaired (job-related redundancy, §IV-C).",
+          .persistent_rate_mult = 3.0,
+          .cascade_prob = 0.7,
+          .degraded_multiplier = 60.0,
+          .mean_days_between_degraded = 4.0,
+      },
+      {
+          .name = "resubmission_burst",
+          .description = "Impatient users on a flaky machine: doubled "
+                         "interruption rate, near-certain immediate "
+                         "resubmission (stresses the Obs. 10 same-partition "
+                         "statistic).",
+          .interrupting_rate_mult = 2.0,
+          .resubmit_prob_mult = 1.15,
+          .resubmit_delay_mult = 0.25,
+      },
+      {
+          .name = "multi_year_drift",
+          .description = "A two-year run with fault rates growing 50% per "
+                         "year as the hardware ages (long-horizon MTBF "
+                         "drift); shrink `days` after applying for smoke "
+                         "runs.",
+          .rate_drift_per_year = 0.5,
+          .days = 730,
+      },
+  };
+  return packs;
+}
+
+const ScenarioPack* find_pack(std::string_view name) {
+  for (const ScenarioPack& p : scenario_packs()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+ScenarioConfig base_scenario(const machine::MachineModel& machine,
+                             std::uint64_t seed, int days) {
+  ScenarioConfig config = small_scenario(seed, days);
+  config.machine = &machine;
+
+  // Fault and noise volume scale with machine size (per-component rates are
+  // what the Intrepid calibration actually measured).
+  const double scale = static_cast<double>(machine.midplane_count()) /
+                       static_cast<double>(machine::bgp_model().midplane_count());
+  config.faults.interrupting_rate_per_day *= scale;
+  config.faults.persistent_rate_per_day *= scale;
+  config.faults.idle_rate_per_day *= scale;
+  config.faults.benign_rate_per_day *= scale;
+  config.noise.background_per_day *= scale;
+
+  // Remap the Intrepid size ladder onto the machine's legal partition
+  // sizes: each legal size inherits the calibration of the nearest Intrepid
+  // size, so the overall small/medium/wide mix survives the translation.
+  WorkloadConfig& w = config.workload;
+  std::vector<int> sizes;
+  std::vector<double> weights;
+  std::vector<std::array<double, 4>> runtimes;
+  for (const int s : machine.legal_partition_sizes()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < w.job_sizes.size(); ++i) {
+      if (std::abs(w.job_sizes[i] - s) < std::abs(w.job_sizes[best] - s)) best = i;
+    }
+    sizes.push_back(s);
+    weights.push_back(w.size_weights[best]);
+    runtimes.push_back(w.runtime_weights[best]);
+  }
+  w.job_sizes = std::move(sizes);
+  w.size_weights = std::move(weights);
+  w.runtime_weights = std::move(runtimes);
+  return config;
+}
+
+void apply_pack(ScenarioConfig& config, const ScenarioPack& pack) {
+  config.faults.interrupting_rate_per_day *= pack.interrupting_rate_mult;
+  config.faults.persistent_rate_per_day *= pack.persistent_rate_mult;
+  config.faults.idle_rate_per_day *= pack.idle_rate_mult;
+  config.faults.benign_rate_per_day *= pack.benign_rate_mult;
+
+  config.storm.spatial_nodes_mean *= pack.spatial_nodes_mult;
+  if (pack.cascade_prob >= 0) config.storm.cascade_prob = pack.cascade_prob;
+
+  if (pack.degraded_multiplier >= 0) {
+    config.faults.degraded_multiplier = pack.degraded_multiplier;
+  }
+  if (pack.mean_days_between_degraded >= 0) {
+    config.faults.mean_days_between_degraded = pack.mean_days_between_degraded;
+  }
+
+  config.resubmit.prob_after_system =
+      clamp_prob(config.resubmit.prob_after_system * pack.resubmit_prob_mult);
+  config.resubmit.prob_after_app =
+      clamp_prob(config.resubmit.prob_after_app * pack.resubmit_prob_mult);
+  config.resubmit.delay_mean_hours_system *= pack.resubmit_delay_mult;
+  config.resubmit.delay_mean_hours_app *= pack.resubmit_delay_mult;
+
+  if (pack.maintenance) {
+    config.maintenance.enabled = true;
+    config.maintenance.first =
+        config.start + static_cast<Usec>(pack.maintenance_first_day) * kUsecPerDay;
+    config.maintenance.period =
+        static_cast<Usec>(pack.maintenance_period_days) * kUsecPerDay;
+    config.maintenance.duration =
+        static_cast<Usec>(pack.maintenance_duration_hours) * kUsecPerHour;
+  }
+
+  config.faults.rate_drift_per_year = pack.rate_drift_per_year;
+  if (pack.days > 0) config.days = pack.days;
+}
+
+ScenarioConfig pack_scenario(const machine::MachineModel& machine,
+                             std::string_view pack_name, std::uint64_t seed,
+                             int days) {
+  const ScenarioPack* pack = find_pack(pack_name);
+  if (pack == nullptr) {
+    throw InvalidArgument("unknown scenario pack: " + std::string(pack_name));
+  }
+  ScenarioConfig config = base_scenario(machine, seed, days);
+  apply_pack(config, *pack);
+  return config;
+}
+
+}  // namespace coral::synth

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "coral/machine/model.hpp"
+#include "coral/synth/scenario.hpp"
+
+namespace coral::synth {
+
+/// A calibrated scenario pack: one named regime, declared as data, applied
+/// on top of a machine-sized base scenario. Packs are machine-agnostic —
+/// they express *ratios* against the base calibration (or absolute knobs
+/// where a ratio makes no sense), so the same pack runs on any
+/// machine::MachineModel.
+struct ScenarioPack {
+  std::string_view name;
+  std::string_view description;
+
+  // Fault-rate multipliers on the base per-day rates.
+  double interrupting_rate_mult = 1.0;
+  double persistent_rate_mult = 1.0;
+  double idle_rate_mult = 1.0;
+  double benign_rate_mult = 1.0;
+
+  // Storm shape. Negative = keep the base value.
+  double spatial_nodes_mult = 1.0;
+  double cascade_prob = -1.0;
+
+  // Degraded-mode cadence. Negative = keep the base value.
+  double degraded_multiplier = -1.0;
+  double mean_days_between_degraded = -1.0;
+
+  // Resubmission behaviour. Probabilities are clamped to [0, 0.99].
+  double resubmit_prob_mult = 1.0;
+  double resubmit_delay_mult = 1.0;
+
+  // Maintenance windows (drains; see MaintenanceConfig).
+  bool maintenance = false;
+  int maintenance_first_day = 3;
+  int maintenance_period_days = 7;
+  int maintenance_duration_hours = 8;
+
+  // Slow change of all fault rates over the run (fraction per year; see
+  // FaultConfig::rate_drift_per_year).
+  double rate_drift_per_year = 0.0;
+  /// Pack-specific horizon in days; negative keeps the base scenario's.
+  int days = -1;
+};
+
+/// The built-in calibrated packs: failure_storm, maintenance_window,
+/// correlated_cascade, resubmission_burst, multi_year_drift.
+const std::vector<ScenarioPack>& scenario_packs();
+
+/// Look up a built-in pack by name; nullptr when unknown.
+const ScenarioPack* find_pack(std::string_view name);
+
+/// The Intrepid calibration rescaled to `machine`: fault rates and noise
+/// volume proportional to midplane count, the workload's size ladder
+/// remapped onto the machine's legal partition sizes (each legal size
+/// inherits the weight of the nearest Intrepid size).
+ScenarioConfig base_scenario(const machine::MachineModel& machine,
+                             std::uint64_t seed = 42, int days = 21);
+
+/// Apply `pack` on top of `config` in place.
+void apply_pack(ScenarioConfig& config, const ScenarioPack& pack);
+
+/// base_scenario(machine) + the named pack. Throws InvalidArgument for an
+/// unknown pack name.
+ScenarioConfig pack_scenario(const machine::MachineModel& machine,
+                             std::string_view pack_name, std::uint64_t seed = 42,
+                             int days = 21);
+
+}  // namespace coral::synth

@@ -22,6 +22,19 @@ struct NoiseConfig {
   int boot_records_per_midplane = 5;
 };
 
+/// Periodic maintenance windows: while a window is open the scheduler stops
+/// starting jobs (a drain — running jobs finish, faults still fire on the
+/// increasingly idle machine). Models the maintenance-heavy stretches the
+/// paper's Fig. 5 shows as quiet days. Disabled (the default) leaves the
+/// simulation — including every RNG stream — untouched.
+struct MaintenanceConfig {
+  bool enabled = false;
+  /// Start of the first window (typically scenario start + a few days).
+  TimePoint first;
+  Usec period = 7 * kUsecPerDay;
+  Usec duration = 8 * kUsecPerHour;
+};
+
 /// User resubmission behaviour after an interruption.
 struct ResubmitConfig {
   double prob_after_system = 0.85;
@@ -43,12 +56,17 @@ struct ScenarioConfig {
   std::uint64_t seed = 42;
   TimePoint start = TimePoint::from_calendar(2009, 1, 5);
   int days = 237;
+  /// The machine the scenario runs on. Sizes the scheduler pool, the fault
+  /// process's location weights, and every partition/location drawn; the
+  /// workload's job_sizes must be legal partition sizes here.
+  const machine::MachineModel* machine = &machine::bgp_model();
   WorkloadConfig workload;
   fault::FaultConfig faults;
   fault::StormConfig storm;
   sched::SchedulerConfig sched;
   NoiseConfig noise;
   ResubmitConfig resubmit;
+  MaintenanceConfig maintenance;
 
   TimePoint end() const { return start + static_cast<Usec>(days) * kUsecPerDay; }
 };

@@ -15,7 +15,6 @@ namespace {
 
 using bgp::MidplaneId;
 using bgp::Partition;
-using bgp::Topology;
 using fault::Manifestation;
 using fault::OccupancyView;
 using fault::StormModel;
@@ -100,14 +99,22 @@ class Simulation {
       : config_(config),
         obs_(ctx.obs()),
         catalog_(&ctx.catalog()),
+        machine_(config.machine),
+        n_midplanes_(machine_->midplane_count()),
+        mpr_(machine_->codec().midplanes_per_rack),
+        zones_(machine_->placement_zones()),
         master_rng_(ctx.derive_seed(config.seed)),
         sim_rng_(master_rng_.split()),
         storm_rng_(master_rng_.split()),
         noise_rng_(master_rng_.split()),
-        process_(config.faults, master_rng_.split(), *catalog_),
-        storm_(config.storm, *catalog_) {
-    std::fill(job_at_.begin(), job_at_.end(), kNoJob);
-  }
+        process_(config.faults, master_rng_.split(), *catalog_, *machine_),
+        storm_(config.storm, *catalog_, *machine_),
+        pool_(*machine_),
+        job_at_(static_cast<std::size_t>(n_midplanes_), kNoJob),
+        wear_hours_(static_cast<std::size_t>(n_midplanes_), 0.0),
+        wear_updated_(static_cast<std::size_t>(n_midplanes_)),
+        last_fatal_at_(static_cast<std::size_t>(n_midplanes_)),
+        job_log_(*machine_) {}
 
   SynthResult run() {
     {
@@ -121,6 +128,18 @@ class Simulation {
 
     // Prime the fault process.
     push_next_fault(config_.start);
+
+    // Maintenance windows gate try_schedule(); a wake-up event at each window
+    // close restarts the drained queue (hold-free DiagRelease).
+    if (config_.maintenance.enabled && config_.maintenance.period > 0) {
+      for (TimePoint w = config_.maintenance.first; w < config_.end();
+           w = w + config_.maintenance.period) {
+        const TimePoint close = w + config_.maintenance.duration;
+        if (close < config_.end()) {
+          push(SimEvent{.t = close, .kind = EventKind::DiagRelease});
+        }
+      }
+    }
 
     obs::Span sim_span(obs_, "synth.simulate");
     std::size_t next_arrival = 0;
@@ -174,14 +193,21 @@ class Simulation {
     }
   }
 
+  bool in_maintenance(TimePoint t) const {
+    const MaintenanceConfig& mw = config_.maintenance;
+    if (!mw.enabled || mw.period <= 0 || t < mw.first) return false;
+    return (t - mw.first) % mw.period < mw.duration;
+  }
+
   void try_schedule(TimePoint now) {
     if (now >= config_.end()) return;
+    if (in_maintenance(now)) return;  // drain: nothing new starts
     sched::PartitionPool view = pool_;  // overlay with head-of-queue reservation
     bool reserved = false;
     // Cobalt-like bounded backfill: look at most this deep into the queue.
     int depth = 0;
     for (auto it = queue_.begin(); it != queue_.end() && depth < 256 &&
-                                   view.busy_count() < Topology::kMidplanes;
+                                   view.busy_count() < static_cast<std::size_t>(n_midplanes_);
          ++depth) {
       const App& app = workload_.apps[static_cast<std::size_t>(it->app)];
       const Usec runtime_hint = app.base_runtime;
@@ -216,11 +242,11 @@ class Simulation {
           // Reserve the policy-preferred partition for the blocked head so
           // later (smaller) jobs cannot starve it forever.
           reserved = true;
-          auto cands = Partition::all_of_size(app.size_midplanes);
+          auto cands = machine_->partitions_of_size(app.size_midplanes);
           std::stable_sort(cands.begin(), cands.end(),
                            [&](const Partition& a, const Partition& b) {
-                             return sched::placement_rank(config_.sched, a, runtime_hint) <
-                                    sched::placement_rank(config_.sched, b, runtime_hint);
+                             return sched::placement_rank(config_.sched, zones_, a, runtime_hint) <
+                                    sched::placement_rank(config_.sched, zones_, b, runtime_hint);
                            });
           view.force_acquire(cands.front());
         }
@@ -332,7 +358,7 @@ class Simulation {
     if (truth_id == -2) {
       // Application bug manifestation: a fresh ground-truth instance.
       const bgp::Location loc =
-          fault::location_on_midplane(info.loc_kind, pick_midplane(j.part), storm_rng_);
+          machine_->location_on_midplane(info.loc_kind, pick_midplane(j.part), storm_rng_);
       truth_id = add_truth(ev.t, ev.code, loc, FaultNature::ApplicationError, false, -1);
       emit_storm(ev.t, ev.code, loc, j.part, truth_id);
 
@@ -368,7 +394,7 @@ class Simulation {
       // Large partitions use dedicated I/O resources; shared-file-system
       // victims are the small jobs (keeps Obs. 11's "no app-error
       // interruption above 32 midplanes" intact).
-      if (slots_[s].part.midplane_count() > 32) continue;
+      if (slots_[s].part.midplane_count() > zones_.wide_threshold) continue;
       victims.push_back(s);
     }
     for (std::uint64_t k = 0; k < extra && !victims.empty(); ++k) {
@@ -380,7 +406,7 @@ class Simulation {
       const TimePoint vt = ev.t + 3 * kUsecPerSec + static_cast<Usec>(k) * kUsecPerSec;
       if (vt >= v.planned_end || vt >= config_.end()) continue;
       const bgp::Location vloc =
-          fault::location_on_midplane(info.loc_kind, pick_midplane(v.part), storm_rng_);
+          machine_->location_on_midplane(info.loc_kind, pick_midplane(v.part), storm_rng_);
       emit_storm(vt, ev.code, vloc, v.part, truth_id);
       end_job(vslot, vt, /*interrupted=*/true, ev.code, truth_id);
     }
@@ -400,7 +426,8 @@ class Simulation {
           double hours = wide_exposure(m, t);
           const std::int32_t s = job_at_[static_cast<std::size_t>(m)];
           if (s != kNoJob &&
-              slots_[static_cast<std::size_t>(s)].part.midplane_count() >= 32) {
+              slots_[static_cast<std::size_t>(s)].part.midplane_count() >=
+                  zones_.wide_threshold) {
             hours += config_.faults.wide_running_bonus_hours;
           }
           return hours;
@@ -413,7 +440,7 @@ class Simulation {
     const auto mid = loc->midplane_id();
     const std::int32_t slot_at =
         mid ? job_at_[static_cast<std::size_t>(*mid)]
-            : job_at_[static_cast<std::size_t>(bgp::midplane_id(loc->rack_index(), 0))];
+            : job_at_[static_cast<std::size_t>(loc->rack_index() * mpr_)];
 
     const std::int32_t truth_id =
         add_truth(t, trig.code, *loc, FaultNature::SystemFailure,
@@ -424,8 +451,9 @@ class Simulation {
         emit_storm(t, trig.code, *loc, std::nullopt, truth_id);
         // Take the hardware out for diagnostics briefly so no job lands on
         // the faulted midplane mid-storm (rack-level faults hold the rack).
-        const Partition hold = mid ? Partition(*mid, 1)
-                                   : Partition(bgp::midplane_id(loc->rack_index(), 0), 2);
+        const Partition hold =
+            mid ? Partition::unchecked(*mid, 1)
+                : Partition::unchecked(loc->rack_index() * mpr_, mpr_);
         pool_.force_acquire(hold);
         push(SimEvent{.t = t + 15 * kUsecPerMin, .kind = EventKind::DiagRelease,
                       .hold = hold});
@@ -475,7 +503,7 @@ class Simulation {
     pool_.release(j.part);
     for (MidplaneId m : j.part.midplanes()) {
       job_at_[static_cast<std::size_t>(m)] = kNoJob;
-      if (j.part.midplane_count() >= 32) {
+      if (j.part.midplane_count() >= zones_.wide_threshold) {
         // Accumulate residual wear: decayed exposure plus this run's hours.
         const auto i = static_cast<std::size_t>(m);
         wear_hours_[i] = wide_exposure(m, t) +
@@ -574,9 +602,10 @@ class Simulation {
       if (const auto mid = loc.midplane_id()) {
         last_fatal_at_[static_cast<std::size_t>(*mid)] = t;
       } else {
-        const int rack = loc.rack_index();
-        last_fatal_at_[static_cast<std::size_t>(bgp::midplane_id(rack, 0))] = t;
-        last_fatal_at_[static_cast<std::size_t>(bgp::midplane_id(rack, 1))] = t;
+        const MidplaneId first = loc.rack_index() * mpr_;
+        for (int k = 0; k < mpr_; ++k) {
+          last_fatal_at_[static_cast<std::size_t>(first + k)] = t;
+        }
       }
     }
   }
@@ -608,12 +637,13 @@ class Simulation {
           config_.start +
           static_cast<Usec>(noise_rng_.uniform() *
                             static_cast<double>(config_.end() - config_.start));
-      const auto mid = static_cast<MidplaneId>(noise_rng_.uniform_index(Topology::kMidplanes));
+      const auto mid = static_cast<MidplaneId>(
+          noise_rng_.uniform_index(static_cast<std::uint64_t>(n_midplanes_)));
       TaggedEvent te;
       te.event.errcode = code;
       te.event.severity = info.severity;
       te.event.event_time = t;
-      te.event.location = fault::location_on_midplane(info.loc_kind, mid, noise_rng_);
+      te.event.location = machine_->location_on_midplane(info.loc_kind, mid, noise_rng_);
       te.event.serial = static_cast<std::uint32_t>(noise_rng_.next() & 0xFFFFFF);
       te.truth_tag = -1;
       records_.push_back(te);
@@ -632,7 +662,7 @@ class Simulation {
           te.event.event_time =
               job.start_time - 60 * kUsecPerSec +
               static_cast<Usec>(noise_rng_.uniform() * 50.0 * kUsecPerSec);
-          te.event.location = bgp::Location::midplane(m);
+          te.event.location = machine_->midplane_location(m);
           te.event.serial = static_cast<std::uint32_t>(noise_rng_.next() & 0xFFFFFF);
           te.truth_tag = -1;
           records_.push_back(te);
@@ -661,7 +691,8 @@ class Simulation {
     }
 
     SynthResult result;
-    result.ras = ras::RasLog(std::move(events), *catalog_);  // stable re-sort keeps order
+    result.ras = ras::RasLog(std::move(events), *catalog_,
+                             *machine_);  // stable re-sort keeps order
     result.truth = std::move(truth_);
     result.truth.record_tags = std::move(tags);
     job_log_.finalize();
@@ -674,6 +705,10 @@ class Simulation {
   ScenarioConfig config_;
   obs::Collector* obs_;
   const Catalog* catalog_;
+  const machine::MachineModel* machine_;
+  int n_midplanes_;
+  int mpr_;  ///< midplanes per rack
+  machine::PlacementZones zones_;
   Rng master_rng_;
   Rng sim_rng_;
   Rng storm_rng_;
@@ -690,11 +725,11 @@ class Simulation {
                                         TimePoint now) const {
     if (config_.sched.avoid_failed_window <= 0) return view;
     sched::PartitionPool out = view;
-    for (MidplaneId m = 0; m < Topology::kMidplanes; ++m) {
+    for (MidplaneId m = 0; m < n_midplanes_; ++m) {
       const TimePoint last = last_fatal_at_[static_cast<std::size_t>(m)];
       if (last.usec() != 0 && now - last <= config_.sched.avoid_failed_window &&
           !out.midplane_busy(m)) {
-        out.force_acquire(Partition(m, 1));
+        out.force_acquire(Partition::unchecked(m, 1));
       }
     }
     return out;
@@ -710,10 +745,10 @@ class Simulation {
   }
 
   sched::PartitionPool pool_;
-  std::array<std::int32_t, Topology::kMidplanes> job_at_{};
-  std::array<double, Topology::kMidplanes> wear_hours_{};
-  std::array<TimePoint, Topology::kMidplanes> wear_updated_{};
-  std::array<TimePoint, Topology::kMidplanes> last_fatal_at_{};
+  std::vector<std::int32_t> job_at_;
+  std::vector<double> wear_hours_;
+  std::vector<TimePoint> wear_updated_;
+  std::vector<TimePoint> last_fatal_at_;
   std::vector<ActiveJob> slots_;
   std::deque<QueuedJob> queue_;
   std::vector<ActivePersistentFault> persistent_;

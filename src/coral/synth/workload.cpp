@@ -48,6 +48,8 @@ Workload generate_workload(const WorkloadConfig& config, TimePoint start, int da
                            Rng& rng, const Catalog& catalog) {
   CORAL_EXPECTS(days > 0);
   CORAL_EXPECTS(config.distinct_apps > 0);
+  CORAL_EXPECTS(config.job_sizes.size() == config.size_weights.size());
+  CORAL_EXPECTS(config.job_sizes.size() == config.runtime_weights.size());
   Workload w;
   w.apps.reserve(config.distinct_apps);
 
@@ -64,7 +66,7 @@ Workload generate_workload(const WorkloadConfig& config, TimePoint start, int da
     app.project = app.user % config.projects;
     app.exec_file = strformat("/gpfs/home/u%03d/app_%05zu", app.user, i);
     const auto size_idx = size_sampler.sample(rng);
-    app.size_midplanes = kJobSizes[size_idx];
+    app.size_midplanes = config.job_sizes[size_idx];
     const auto bucket = static_cast<int>(rng.categorical(config.runtime_weights[size_idx]));
     app.base_runtime = sample_bucket_runtime(bucket, rng);
     if (!app_codes.empty() && app.size_midplanes < config.buggy_max_size &&

@@ -24,13 +24,17 @@ struct WorkloadConfig {
   double extra_submits_mean = 9.2;
   double extra_submits_sigma = 1.1;
 
-  /// Job-size weights over {1,2,4,8,16,32,48,64,80} midplanes
-  /// (Table VI row sums).
-  std::array<double, 9> size_weights = {46413, 11911, 4822, 2618, 1854, 656, 28, 341, 73};
+  /// Job sizes (midplanes) this workload draws from. Must be legal partition
+  /// sizes on the scenario's machine; defaults are the Intrepid sizes.
+  std::vector<int> job_sizes = {1, 2, 4, 8, 16, 32, 48, 64, 80};
+
+  /// Job-size weights aligned with `job_sizes` (Table VI row sums).
+  std::vector<double> size_weights = {46413, 11911, 4822, 2618, 1854, 656, 28, 341, 73};
 
   /// Runtime-bucket weights per size over {10–400, 400–1600, 1600–6400,
-  /// >=6400} seconds (Table VI cells, successful-job denominators).
-  std::array<std::array<double, 4>, 9> runtime_weights = {{
+  /// >=6400} seconds (Table VI cells, successful-job denominators), aligned
+  /// with `job_sizes`.
+  std::vector<std::array<double, 4>> runtime_weights = {
       {12282, 7300, 17339, 9492},  // 1 midplane
       {1146, 2601, 6052, 2112},    // 2
       {881, 901, 1026, 2014},      // 4
@@ -40,7 +44,7 @@ struct WorkloadConfig {
       {3, 1, 1, 1},                // 48 (only 4 jobs in the paper)
       {12, 147, 143, 39},          // 64
       {11, 33, 27, 2},             // 80
-  }};
+  };
 
   /// Mean spacing between submissions within one app's campaign (hours).
   double campaign_spacing_hours = 20.0;
@@ -96,7 +100,9 @@ Usec sample_runtime(const App& app, Rng& rng);
 /// Sample a bug-manifestation delay for one run of a buggy app.
 Usec sample_bug_manifest(const WorkloadConfig& config, Rng& rng);
 
-/// Legal job sizes, aligned with WorkloadConfig::size_weights.
+/// The default (Intrepid) job-size ladder, aligned with the default
+/// WorkloadConfig::size_weights. Kept for existing callers; configurable
+/// workloads read WorkloadConfig::job_sizes instead.
 inline constexpr std::array<int, 9> kJobSizes = {1, 2, 4, 8, 16, 32, 48, 64, 80};
 
 /// Runtime-bucket edges in seconds, aligned with runtime_weights

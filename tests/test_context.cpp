@@ -289,22 +289,18 @@ TEST(ContextSeed, SeedOffsetDecorrelatesGeneration) {
   EXPECT_EQ(Context().derive_seed(51), 51u);
 }
 
-// ---- deprecated pool field ----------------------------------------------
+// ---- pool via Context ----------------------------------------------------
 
-TEST(ContextLegacy, DeprecatedPoolFieldStillHonored) {
+TEST(ContextPool, ContextPoolMatchesSerial) {
   const synth::SynthResult& data = intrepid_data();
   core::CoAnalysisConfig sharded;
   sharded.execution.shards = 2;
   const auto serial = core::run_coanalysis(data.ras, data.jobs, sharded);
 
   par::ThreadPool pool(2);
-  core::CoAnalysisConfig legacy = sharded;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  legacy.pool = &pool;
-#pragma GCC diagnostic pop
-  const auto via_field = core::run_coanalysis(data.ras, data.jobs, legacy);
-  expect_same(serial, via_field);
+  const auto via_ctx = core::run_coanalysis(data.ras, data.jobs, sharded,
+                                            Context().with_pool(&pool));
+  expect_same(serial, via_ctx);
 }
 
 }  // namespace

@@ -127,5 +127,80 @@ TEST(PaperGolden, Fig7ResubmissionStats) {
   EXPECT_NEAR(r.propagation.same_partition_fraction(), 0.5744, 0.05);
 }
 
+// ---- Nightly-scale golden: the full 237-day Intrepid scenario --------------
+//
+// The same three paper artifacts, but at the paper's own scale: the full
+// intrepid_scenario census (~1.96M RAS records, ~66.5k jobs, ~7 s to
+// generate). Committed goldens here are ±1% relative — half the reduced-
+// scale window — because the full census averages away the small-sample
+// noise that forces the wider tolerances above. Paper anchors get their
+// honest gap stated inline. Runs under the `slow` label only.
+
+const GoldenRun& full_run() {
+  static const GoldenRun run = [] {
+    GoldenRun r;
+    r.data = synth::generate(synth::intrepid_scenario(42));
+    r.result = core::run_coanalysis(r.data.ras, r.data.jobs);
+    return r;
+  }();
+  return run;
+}
+
+TEST(PaperGoldenFull, Table1LogSummary) {
+  const GoldenRun& run = full_run();
+  const auto& summary = run.data.ras.summary();
+
+  // Committed goldens, seed 42 / 237 days (±1%).
+  EXPECT_NEAR(static_cast<double>(run.data.ras.size()), 1964902.0, 1964902.0 * 0.01);
+  EXPECT_NEAR(static_cast<double>(summary.fatal_records), 38407.0, 38407.0 * 0.01);
+  EXPECT_NEAR(static_cast<double>(run.data.jobs.size()), 66537.0, 66537.0 * 0.01);
+
+  // Paper anchor: at full scale the FATAL fraction lands at 1.95%, finally
+  // comparable to the paper's raw-log 1.6% (33,370 / 2,084,392) — the
+  // reduced scenarios can't show this because they thin the noise floor.
+  const double fatal_fraction = static_cast<double>(summary.fatal_records) /
+                                static_cast<double>(run.data.ras.size());
+  EXPECT_NEAR(fatal_fraction, 0.0195, 0.006);
+}
+
+TEST(PaperGoldenFull, Table4FilteringAndWeibull) {
+  const core::CoAnalysisResult& r = full_run().result;
+
+  // Committed goldens (±1%): 824 groups from 38,407 fatal records.
+  EXPECT_NEAR(static_cast<double>(r.filtered.groups.size()), 824.0, 824.0 * 0.01);
+  // Compression 97.85% vs the paper's 98.35% — within 1 pp at full scale.
+  EXPECT_NEAR(r.filtered.total_compression(), 0.9785, 0.01);
+
+  // Weibull fits on the full census: ±0.02 absolute on the shape (the
+  // reduced-scale window is 0.05). Decreasing hazard before and after
+  // job-related filtering, Weibull preferred by LRT and KS, as in Table IV.
+  EXPECT_TRUE(r.fatal_before_jobfilter.lrt.weibull_preferred);
+  EXPECT_TRUE(r.fatal_after_jobfilter.lrt.weibull_preferred);
+  EXPECT_NEAR(r.fatal_before_jobfilter.weibull.shape(), 0.5249, 0.02);
+  EXPECT_NEAR(r.fatal_after_jobfilter.weibull.shape(), 0.5313, 0.02);
+  EXPECT_LT(r.fatal_before_jobfilter.ks_weibull, r.fatal_before_jobfilter.ks_exponential);
+  EXPECT_LT(r.fatal_after_jobfilter.ks_weibull, r.fatal_after_jobfilter.ks_exponential);
+}
+
+TEST(PaperGoldenFull, Fig7Interruptions) {
+  const core::CoAnalysisResult& r = full_run().result;
+
+  // Committed goldens (±2% on the total, ±3% on the split): 312
+  // interruptions, 186 system / 126 application. Paper: 308 = 206 + 102;
+  // the total matches within 1.5%, the split leans more application-heavy
+  // than Intrepid's (the bug model is calibrated to Obs. 11's size/time
+  // profile, not to the exact 2:1 census split).
+  EXPECT_NEAR(static_cast<double>(r.matches.interruptions.size()), 312.0, 312.0 * 0.02);
+  EXPECT_NEAR(static_cast<double>(r.system_interruptions), 186.0, 186.0 * 0.03);
+  EXPECT_NEAR(static_cast<double>(r.application_interruptions), 126.0, 126.0 * 0.03);
+
+  // Committed golden 61.4% same-partition resubmissions over 303 resubmits
+  // (±2 pp); the paper's 57.44% sits just outside the binomial noise at this
+  // scale, so the anchor keeps the wider reduced-scale window.
+  EXPECT_GT(r.propagation.resubmissions_after_interruption, 280u);
+  EXPECT_NEAR(r.propagation.same_partition_fraction(), 0.6139, 0.02);
+  EXPECT_NEAR(r.propagation.same_partition_fraction(), 0.5744, 0.06);
+}
+
 }  // namespace
 }  // namespace coral
