@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
 # CI entry point: build every preset (release, asan-ubsan, tsan) and run the
 # test suite under each, then run the perf benches and gate regressions.
-# Usage: scripts/ci.sh [stage...] (default: all presets + smoke + bench +
-# coverage).
+# Usage: scripts/ci.sh [stage...] (default: all presets + smoke + daemon +
+# bench + coverage).
 # Stages are preset names plus:
 #   smoke    — scenario-matrix smoke: every registered machine model runs
 #              every calibrated scenario pack through both co-analysis
 #              engines at a short horizon (perf_scenarios --smoke; whole
 #              matrix is well under a second, tier-1 budget).
+#   daemon   — fleet-daemon smoke: start coral_daemon, feed two tenants
+#              (bgp + bgq) concurrently over the wire protocol, scrape
+#              /metrics mid-run (live, non-final per-tenant counters), and
+#              assert end-state parity against the offline batch engine.
 #   bench    — runs the perf_* suites on the release build and merges the
 #              results into BENCH_coanalysis.json at the repo root, failing
 #              on a >25% regression versus the committed numbers.
 #   coverage — rebuilds with gcc --coverage, runs the full suite, and gates
 #              line coverage on src/coral at 80% plus branch coverage on the
-#              filter/matching kernels at 70% via scripts/coverage.py
+#              filter/matching kernels at 92% via scripts/coverage.py
 #              (plain gcov + python3; no gcovr dependency).
 set -euo pipefail
 
@@ -22,6 +26,7 @@ cd "$(dirname "$0")/.."
 RUN_BENCH=0
 RUN_COVERAGE=0
 RUN_SMOKE=0
+RUN_DAEMON=0
 PRESETS=()
 for stage in "$@"; do
   if [ "$stage" = bench ]; then
@@ -30,6 +35,8 @@ for stage in "$@"; do
     RUN_COVERAGE=1
   elif [ "$stage" = smoke ]; then
     RUN_SMOKE=1
+  elif [ "$stage" = daemon ]; then
+    RUN_DAEMON=1
   else
     PRESETS+=("$stage")
   fi
@@ -39,6 +46,7 @@ if [ $# -eq 0 ]; then
   RUN_BENCH=1
   RUN_COVERAGE=1
   RUN_SMOKE=1
+  RUN_DAEMON=1
 fi
 
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
@@ -56,13 +64,15 @@ done
 # mutators over CSV and framed-binary logs) must always run under
 # ASan/UBSan, even when the caller asked for a subset of presets — the whole
 # point of the harness is catching out-of-bounds reads and UB on damaged
-# input, which the release build cannot see.
+# input, which the release build cannot see. test_fleet replays the same
+# corpus over the wire-protocol socket path (FuzzSmokeWire), so it rides in
+# the same stage.
 case " ${PRESETS[*]} " in
   *" asan-ubsan "*) ;;  # full asan-ubsan suite already ran above
   *)
     echo "==== [asan-ubsan] fuzz-smoke corpus ===="
     cmake --preset asan-ubsan
-    cmake --build --preset asan-ubsan -j "$JOBS" --target test_ingest
+    cmake --build --preset asan-ubsan -j "$JOBS" --target test_ingest test_fleet
     ctest --preset asan-ubsan -L fuzz -j "$JOBS"
     ;;
 esac
@@ -85,6 +95,78 @@ if [ "$RUN_SMOKE" -eq 1 ]; then
   cmake --preset release
   cmake --build --preset release -j "$JOBS" --target perf_scenarios
   build/release/bench/perf_scenarios --smoke
+fi
+
+if [ "$RUN_DAEMON" -eq 1 ]; then
+  echo "==== [daemon] fleet smoke: two tenants + live /metrics scrape ===="
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS" --target coral_daemon example_fleet_feeder
+  DAEMON_OUT=$(mktemp -d)
+  DAEMON_PID=
+  FEEDER_PID=
+  cleanup_daemon() {
+    [ -n "$FEEDER_PID" ] && kill "$FEEDER_PID" 2>/dev/null || true
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    [ -n "$FEEDER_PID" ] && wait "$FEEDER_PID" 2>/dev/null || true
+    [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$DAEMON_OUT"
+  }
+  trap cleanup_daemon EXIT
+  build/release/tools/coral_daemon > "$DAEMON_OUT/daemon.log" &
+  DAEMON_PID=$!
+  for _ in $(seq 50); do
+    grep -q 'coral_daemon listening' "$DAEMON_OUT/daemon.log" 2>/dev/null && break
+    sleep 0.1
+  done
+  WIRE_PORT=$(sed -n 's/.*wire=[^:]*:\([0-9]*\).*/\1/p' "$DAEMON_OUT/daemon.log")
+  METRICS_PORT=$(sed -n 's/.*metrics=[^:]*:\([0-9]*\).*/\1/p' "$DAEMON_OUT/daemon.log")
+  [ -n "$WIRE_PORT" ] && [ -n "$METRICS_PORT" ] || {
+    echo "daemon never printed its ports:"; cat "$DAEMON_OUT/daemon.log"; exit 1;
+  }
+  # The feeder holds its sessions open (decoded, not finalized) for 3 s after
+  # flush, which gives the scrape below a deterministic mid-run window. It
+  # exits non-zero itself if the daemon fingerprints diverge from the offline
+  # engine, so `wait` is the parity gate.
+  FLEET_FEEDER_HOLD_MS=3000 build/release/examples/example_fleet_feeder \
+    "$WIRE_PORT" > "$DAEMON_OUT/feeder.log" &
+  FEEDER_PID=$!
+  python3 - "$METRICS_PORT" <<'PY'
+import sys, time, urllib.request
+
+# Mid-run liveness: poll /metrics until some tenant shows decoded records
+# while still not finalized. Both families carry per-tenant labels.
+port = sys.argv[1]
+for _ in range(100):
+    try:
+        text = urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=2).read().decode()
+    except OSError:
+        time.sleep(0.1)
+        continue
+    lines = text.splitlines()
+    live = [l for l in lines
+            if l.startswith('coral_session_ras_records{tenant="')
+            and not l.endswith(" 0")]
+    finalized = [l for l in lines
+                 if l.startswith('coral_session_finalized{tenant="')
+                 and l.endswith(" 1")]
+    if live and not finalized:
+        print("mid-run /metrics scrape is live and labeled:")
+        for l in live:
+            print("  " + l)
+        sys.exit(0)
+    time.sleep(0.1)
+sys.exit("never observed live, non-finalized per-tenant counters on /metrics")
+PY
+  wait "$FEEDER_PID"
+  FEEDER_PID=
+  cat "$DAEMON_OUT/feeder.log"
+  ! grep -q MISMATCH "$DAEMON_OUT/feeder.log"
+  kill "$DAEMON_PID"
+  wait "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=
+  trap - EXIT
+  rm -rf "$DAEMON_OUT"
 fi
 
 if [ "$RUN_BENCH" -eq 1 ]; then
@@ -128,11 +210,11 @@ if [ "$RUN_COVERAGE" -eq 1 ]; then
   # Stale counters from a previous run would double-count; start clean.
   find build/coverage -name '*.gcda' -delete
   (cd build/coverage && ctest -j "$JOBS" --output-on-failure)
-  echo "==== [coverage] aggregate + gate (>=80% line on src/coral, >=70% branch on filter/matching kernels) ===="
+  echo "==== [coverage] aggregate + gate (>=80% line on src/coral, >=92% branch on filter/matching kernels) ===="
   python3 scripts/coverage.py --build-dir build/coverage \
     --source-prefix src/coral --min-percent 80 \
     --branch-prefix src/coral/filter --branch-prefix src/coral/core/matching \
-    --min-branch-percent 70
+    --min-branch-percent 92
 fi
 
 echo "==== all stages green ===="

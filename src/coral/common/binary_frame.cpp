@@ -192,6 +192,86 @@ bool BlockReader::next(std::string& payload) {
   }
 }
 
+void FrameAssembler::push(std::string_view bytes) {
+  pending_.append(bytes.data(), bytes.size());
+}
+
+void FrameAssembler::drop(std::size_t n) {
+  pending_.erase(0, n);
+  pending_base_ += n;
+}
+
+void FrameAssembler::note_damage(std::uint64_t offset, const char* detail) {
+  if (in_damage_) return;  // one sample per damaged stretch
+  in_damage_ = true;
+  if (mode_ == ParseMode::Strict) {
+    throw ParseError(std::string(what_) + ": " + detail + " at byte offset " +
+                     std::to_string(offset));
+  }
+  if (report_ != nullptr) {
+    report_->add_malformed(IngestReason::BinaryFrame, offset, "", detail);
+  }
+}
+
+bool FrameAssembler::resync() {
+  const std::size_t at = pending_.find(kBlockMagic, 1, sizeof kBlockMagic);
+  if (at != std::string::npos) {
+    drop(at);
+    return true;
+  }
+  // No marker in the buffer: keep a partial-marker tail in case the "CBLK"
+  // straddles the next push; at end-of-stream the tail is trailing garbage
+  // (already covered by the open damage stretch).
+  const std::size_t keep =
+      pending_.size() < sizeof kBlockMagic - 1 ? pending_.size() : sizeof kBlockMagic - 1;
+  drop(pending_.size() - keep);
+  if (eos_) drop(pending_.size());
+  return false;
+}
+
+bool FrameAssembler::next(std::string& payload) {
+  for (;;) {
+    if (pending_.empty()) return false;  // clean: everything consumed
+    const std::uint64_t start = pending_base_;
+    if (pending_.size() < kHeaderBytes) {
+      if (!eos_) return false;  // header may complete on the next push
+      note_damage(start, "truncated block header");
+      drop(pending_.size());
+      return false;
+    }
+    if (std::memcmp(pending_.data(), kBlockMagic, sizeof kBlockMagic) != 0) {
+      note_damage(start, "bad block magic");
+      if (!resync()) return false;
+      continue;
+    }
+    std::uint32_t size = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&size, pending_.data() + sizeof kBlockMagic, sizeof size);
+    std::memcpy(&crc, pending_.data() + sizeof kBlockMagic + sizeof size, sizeof crc);
+    if (size == 0 || size > kMaxBlockPayload) {
+      note_damage(start, "implausible block size");
+      if (!resync()) return false;
+      continue;
+    }
+    if (pending_.size() < kHeaderBytes + size) {
+      if (!eos_) return false;  // payload still in flight
+      note_damage(start, "truncated block payload");
+      if (!resync()) return false;
+      continue;
+    }
+    if (crc32(pending_.data() + kHeaderBytes, size) != crc) {
+      note_damage(start, "block CRC mismatch");
+      if (!resync()) return false;
+      continue;
+    }
+    payload.assign(pending_, kHeaderBytes, size);
+    block_offset_ = start;
+    drop(kHeaderBytes + size);
+    in_damage_ = false;
+    return true;
+  }
+}
+
 void PayloadCursor::read(void* dst, std::size_t n) {
   if (n > remaining()) {
     throw ParseError(std::string(what_) + ": truncated field at byte offset " +

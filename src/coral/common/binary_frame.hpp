@@ -109,6 +109,62 @@ class BlockReader {
   std::uint64_t block_offset_ = 0;
 };
 
+/// Incremental counterpart of BlockReader for byte streams that arrive in
+/// pieces (a socket, a tailed file): push() appends raw bytes, next() yields
+/// each complete intact payload as soon as its last byte is in, and finish()
+/// signals end-of-stream so the final truncation accounting can run.
+///
+/// Damage semantics are BlockReader's, by construction: a damaged stretch —
+/// however many resync steps it takes to find the next "CBLK" marker — is one
+/// sample in `report` (strict mode throws instead), and byte offsets count
+/// from the first byte ever pushed. A reader that push()es a whole file and
+/// then finish()es produces the exact payload sequence and IngestReport of a
+/// BlockReader over the same bytes; the session/wire ingest path leans on
+/// that equivalence for its accounting parity with the offline readers.
+class FrameAssembler {
+ public:
+  FrameAssembler(ParseMode mode, IngestReport* report, const char* what)
+      : mode_(mode), report_(report), what_(what) {}
+
+  /// Append raw stream bytes (any chunking; frame boundaries need not align).
+  void push(std::string_view bytes);
+
+  /// Fetch the next complete intact payload. Returns false when the buffered
+  /// bytes do not (yet) contain one — call again after more push()es, or
+  /// after finish() to drain the tail.
+  bool next(std::string& payload);
+
+  /// Byte offset of the start of the block most recently returned.
+  std::uint64_t block_offset() const { return block_offset_; }
+
+  /// Declare end-of-stream: leftover bytes that can no longer become a
+  /// complete frame are accounted as damage (exactly as BlockReader does
+  /// when its istream runs dry). next() may still yield payloads buffered
+  /// before the call.
+  void finish() { eos_ = true; }
+
+  /// Bytes buffered but not yet consumed as frames (live backlog gauge).
+  std::size_t buffered() const { return pending_.size(); }
+
+ private:
+  void drop(std::size_t n);
+  void note_damage(std::uint64_t offset, const char* detail);
+  /// Skip to the next possible "CBLK" marker. Returns false when the buffer
+  /// was exhausted without one (wait for more bytes / end of tail).
+  bool resync();
+
+  ParseMode mode_;
+  IngestReport* report_;
+  const char* what_;
+  std::string pending_;
+  std::uint64_t pending_base_ = 0;
+  std::uint64_t block_offset_ = 0;
+  bool eos_ = false;
+  /// True while inside a damaged stretch: follow-on damage is not re-counted
+  /// until a good frame closes the stretch (BlockReader's per-call flag).
+  bool in_damage_ = false;
+};
+
 /// A bounds-checked little-endian cursor over one block payload — a view,
 /// so it reads equally from a BlockReader's copied payload or from a mapped
 /// file region in place. get<T> failures surface the absolute byte offset of

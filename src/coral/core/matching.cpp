@@ -67,10 +67,12 @@ std::vector<std::size_t> match_one_group(const filter::FilterPipelineResult& fil
     const auto slice = index.ends(footprint[f]);
     const auto begin = slice.end_time.begin();
     auto it = std::lower_bound(begin, slice.end_time.end(), lo);
+    // Every job in [lo, hi] by end time is a match: JobLog::append rejects
+    // inverted intervals, so start <= end <= hi always holds and no
+    // started-after-window check is needed here.
     for (; it != slice.end_time.end() && *it <= hi; ++it) {
       const auto k = static_cast<std::size_t>(it - begin);
       ++scanned;
-      if (slice.start_time[k] > hi) continue;  // not yet running
       matched.push_back(slice.job[k]);
     }
   }

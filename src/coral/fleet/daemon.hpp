@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coral/context.hpp"
+#include "coral/fleet/wire.hpp"
+#include "coral/stream/session.hpp"
+
+namespace coral::fleet {
+
+/// Daemon front-door configuration. Port 0 binds an ephemeral port (read it
+/// back with wire_port()/metrics_port() — the test and example path);
+/// metrics_port -1 disables the scrape endpoint.
+struct DaemonConfig {
+  std::string bind = "127.0.0.1";
+  int wire_port = 0;
+  int metrics_port = 0;
+  /// Threads in the shared analysis pool all tenants' finalize runs on.
+  /// 0 = no pool: finalize runs serially on the connection thread (results
+  /// are identical either way — the pool only buys wall-clock).
+  std::size_t pool_threads = 0;
+  /// Per-source ingest quota handed to each tenant's Session.
+  std::size_t queue_bytes = std::size_t{4} << 20;
+  /// Span ring capacity per tenant's obs::Collector (0 = unbounded; the
+  /// default keeps a resident daemon's trace memory flat).
+  std::size_t span_capacity = 4096;
+  core::CoAnalysisConfig analysis;
+};
+
+/// One tenant's public face for status listings.
+struct TenantStatus {
+  std::string name;
+  std::string machine;
+  stream::SessionStats stats;
+};
+
+/// The resident fleet daemon: N tenants (one per machine/log-source), each
+/// a named stream::Session wrapping the co-analysis engine, all sharing one
+/// Context pool. Connections speak the CBLK-framed wire protocol; a
+/// handshake names the tenant and its registered MachineModel, data chunks
+/// carry raw v2 log-file bytes, and Finalize runs the full co-analysis and
+/// replies with result/log fingerprints for parity checking. Live counters
+/// per tenant are scrapeable mid-run at GET /metrics (Prometheus text
+/// exposition, tenant="..." label dimension).
+///
+/// Several connections may feed one tenant (Session::feed is thread-safe);
+/// two tenants never contend except on the shared pool at finalize time.
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config = {},
+                  const ras::Catalog& catalog = ras::default_catalog());
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Bind + listen on both ports and start the accept threads. Throws
+  /// Error when a port cannot be bound.
+  void start();
+  /// Close the doors, unblock every connection, join all threads. Safe to
+  /// call twice; the destructor calls it.
+  void stop();
+
+  /// Bound ports (valid after start(); ephemeral requests resolved).
+  int wire_port() const;
+  int metrics_port() const;
+
+  std::vector<TenantStatus> tenants() const;
+  /// The same Prometheus exposition GET /metrics serves: every tenant's
+  /// live counters, histograms and span ledger under tenant="..." labels.
+  std::string metrics_text() const;
+
+ private:
+  struct Tenant;
+  struct Conn;
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace coral::fleet

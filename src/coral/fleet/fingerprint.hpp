@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "coral/core/pipeline.hpp"
+
+namespace coral::fleet {
+
+/// Order-sensitive FNV-1a digest of a CoAnalysisResult: decoded inputs'
+/// identities are already folded in through the filtered events, so two
+/// equal fingerprints mean the whole methodology produced the same output
+/// byte for byte (doubles are hashed by bit pattern — same-arch exactness,
+/// which is what the session-vs-offline parity suite needs). The daemon
+/// returns this with the finalize reply so a feeder can assert parity
+/// against its own offline run without shipping the result back.
+std::uint64_t result_fingerprint(const core::CoAnalysisResult& result);
+
+/// The same digest over a raw log pair (every record field, in order) —
+/// the input-side check: did the wire path decode the exact events and
+/// jobs the offline readers decode?
+std::uint64_t log_fingerprint(const ras::RasLog& ras, const joblog::JobLog& jobs);
+
+}  // namespace coral::fleet

@@ -3,39 +3,16 @@
 #include <algorithm>
 #include <cstring>
 #include <istream>
-#include <optional>
 #include <ostream>
 
 #include "coral/common/binary_frame.hpp"
 #include "coral/common/error.hpp"
 #include "coral/common/instrument.hpp"
+#include "coral/joblog/binary_stream.hpp"
 
 namespace coral::joblog {
 
 namespace {
-
-constexpr char kMagic[4] = {'C', 'J', 'O', 'B'};
-constexpr std::uint32_t kVersion = 2;
-constexpr char kHeaderTag = 'H';
-constexpr char kExecTag = 'X';
-constexpr char kUserTag = 'U';
-constexpr char kProjectTag = 'P';
-constexpr char kRecordTag = 'R';
-constexpr std::size_t kRecordsPerBlock = 64;
-
-struct PackedJob {
-  std::int64_t job_id = 0;
-  std::int32_t exec = 0;
-  std::int32_t user = 0;
-  std::int32_t project = 0;
-  std::int32_t first_midplane = 0;
-  std::int64_t queue_usec = 0;
-  std::int64_t start_usec = 0;
-  std::int64_t end_usec = 0;
-  std::int32_t midplane_count = 0;
-  std::int32_t exit_code = 0;
-};
-static_assert(sizeof(PackedJob) == 56);
 
 void write_table(bin::BlockWriter& w, char tag, const std::vector<std::string>& table) {
   w.put(tag);
@@ -44,39 +21,27 @@ void write_table(bin::BlockWriter& w, char tag, const std::vector<std::string>& 
   w.flush();
 }
 
-std::vector<std::string> parse_table(bin::PayloadCursor& cur) {
-  const auto count = cur.get<std::uint32_t>();
-  if (count > 10'000'000) throw ParseError("implausible table size in binary job log");
-  std::vector<std::string> table;
-  table.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const auto len = cur.get<std::uint16_t>();
-    table.push_back(cur.get_string(len));
-  }
-  return table;
-}
-
 }  // namespace
 
 void write_binary(std::ostream& out, const JobLog& log) {
-  out.write(kMagic, sizeof kMagic);
-  out.write(reinterpret_cast<const char*>(&kVersion), sizeof kVersion);
+  out.write(kJobMagic, sizeof kJobMagic);
+  out.write(reinterpret_cast<const char*>(&kJobVersion), sizeof kJobVersion);
 
   bin::BlockWriter w(out);
   // Metadata blocks are all written twice: losing any single frame must not
   // orphan the record blocks that follow.
   for (int copy = 0; copy < 2; ++copy) {
-    w.put(kHeaderTag);
+    w.put(kJobHeaderTag);
     w.put(static_cast<std::uint64_t>(log.size()));
     w.flush();
-    write_table(w, kExecTag, log.exec_files());
-    write_table(w, kUserTag, log.users());
-    write_table(w, kProjectTag, log.projects());
+    write_table(w, kJobExecTag, log.exec_files());
+    write_table(w, kJobUserTag, log.users());
+    write_table(w, kJobProjectTag, log.projects());
   }
 
-  for (std::size_t base = 0; base < log.size(); base += kRecordsPerBlock) {
-    const std::size_t n = std::min(kRecordsPerBlock, log.size() - base);
-    w.put(kRecordTag);
+  for (std::size_t base = 0; base < log.size(); base += kJobRecordsPerBlock) {
+    const std::size_t n = std::min(kJobRecordsPerBlock, log.size() - base);
+    w.put(kJobRecordTag);
     w.put(static_cast<std::uint32_t>(n));
     for (std::size_t i = base; i < base + n; ++i) {
       const JobRecord& j = log[i];
@@ -106,149 +71,28 @@ JobLog read_binary(std::istream& in, ParseMode mode, IngestReport* report,
   char header[8];
   in.read(header, sizeof header);
   if (mode == ParseMode::Strict) {
-    if (!in || std::memcmp(header, kMagic, sizeof kMagic) != 0) {
+    if (!in || std::memcmp(header, kJobMagic, sizeof kJobMagic) != 0) {
       throw ParseError("not a binary job log (bad magic)");
     }
     std::uint32_t version = 0;
-    std::memcpy(&version, header + sizeof kMagic, sizeof version);
-    if (version != kVersion) {
+    std::memcpy(&version, header + sizeof kJobMagic, sizeof version);
+    if (version != kJobVersion) {
       throw ParseError("unsupported binary job log version " + std::to_string(version));
     }
   }
 
+  // The recovering BlockReader feeds the shared incremental decoder — the
+  // same class the fleet session/wire path runs, so network ingest is
+  // byte-identical to this offline read by construction.
   IngestReport frames;
   bin::BlockReader blocks(in, mode, &frames, "binary job log");
-
-  std::optional<std::uint64_t> total;
-  std::optional<std::vector<std::string>> execs, users, projects;
-  JobLog log(machine);
-  bool interned = false;
-  std::uint64_t attempted = 0;  // records decoded or individually rejected
+  JobStreamDecoder decoder(mode, machine);
   std::string payload;
   while (blocks.next(payload)) {
-    bin::PayloadCursor cur(payload, blocks.block_offset() + bin::kBlockHeaderBytes,
-                           "binary job log");
-    try {
-      const char tag = cur.get<char>();
-      if (tag == kHeaderTag) {
-        const auto n = cur.get<std::uint64_t>();
-        if (!total) total = n;
-        continue;
-      }
-      if (tag == kExecTag || tag == kUserTag || tag == kProjectTag) {
-        auto& slot = tag == kExecTag ? execs : tag == kUserTag ? users : projects;
-        if (!slot) slot = parse_table(cur);
-        continue;
-      }
-      if (tag != kRecordTag) {
-        if (mode == ParseMode::Strict) {
-          throw ParseError("unknown block tag in binary job log at byte offset " +
-                           std::to_string(blocks.block_offset()));
-        }
-        continue;
-      }
-      if (!interned) {
-        // First record block: freeze whatever metadata survived. In an
-        // intact file every table precedes the records, so strict mode can
-        // insist on all three.
-        if (mode == ParseMode::Strict && (!execs || !users || !projects)) {
-          throw ParseError("records before string tables in binary job log");
-        }
-        if (execs) {
-          for (const auto& s : *execs) log.intern_exec(s);
-        }
-        if (users) {
-          for (const auto& s : *users) log.intern_user(s);
-        }
-        if (projects) {
-          for (const auto& s : *projects) log.intern_project(s);
-        }
-        interned = true;
-      }
-      const auto n = cur.get<std::uint32_t>();
-      const std::size_t n_execs = execs ? execs->size() : 0;
-      const std::size_t n_users = users ? users->size() : 0;
-      const std::size_t n_projects = projects ? projects->size() : 0;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint64_t rec_offset = cur.offset();
-        PackedJob rec;
-        cur.read(&rec, sizeof rec);
-        ++attempted;
-        if (rec.exec < 0 || static_cast<std::size_t>(rec.exec) >= n_execs ||
-            rec.user < 0 || static_cast<std::size_t>(rec.user) >= n_users ||
-            rec.project < 0 || static_cast<std::size_t>(rec.project) >= n_projects) {
-          if (mode == ParseMode::Strict) {
-            throw ParseError("bad table index in binary job log at byte offset " +
-                             std::to_string(rec_offset));
-          }
-          rep.add_malformed(IngestReason::BadRecord, rec_offset, "",
-                            "string-table index out of range");
-          continue;
-        }
-        if (mode == ParseMode::Lenient && rec.end_usec < rec.start_usec) {
-          rep.add_malformed(IngestReason::BadRecord, rec_offset, "",
-                            "job ends before it starts");
-          continue;
-        }
-        JobRecord j;
-        j.job_id = rec.job_id;
-        j.exec_id = rec.exec;
-        j.user_id = rec.user;
-        j.project_id = rec.project;
-        j.queue_time = TimePoint(rec.queue_usec);
-        j.start_time = TimePoint(rec.start_usec);
-        j.end_time = TimePoint(rec.end_usec);
-        j.exit_code = rec.exit_code;
-        if (!machine.is_legal_partition(rec.first_midplane, rec.midplane_count)) {
-          // Same diagnostic the validating bgp::Partition constructor threw
-          // before partition legality became a model question.
-          const std::string what = "illegal partition: first midplane " +
-                                   std::to_string(rec.first_midplane) + ", size " +
-                                   std::to_string(rec.midplane_count);
-          if (mode == ParseMode::Strict) throw InvalidArgument(what);
-          rep.add_malformed(IngestReason::BadLocation, rec_offset, "", what);
-          continue;
-        }
-        j.partition = bgp::Partition::unchecked(rec.first_midplane, rec.midplane_count);
-        log.append(j);
-        rep.add_ok();
-      }
-    } catch (const Error&) {
-      if (mode == ParseMode::Strict) throw;
-      // CRC-valid but unparseable payload: skip; the lost-record top-up
-      // below accounts for its records.
-    }
+    decoder.on_payload(payload, blocks.block_offset() + bin::kBlockHeaderBytes);
   }
+  JobLog log = decoder.finish(rep, frames);
 
-  if (!interned) {
-    // No record blocks (empty log): still preserve the string tables so a
-    // round trip keeps interned names.
-    if (execs) {
-      for (const auto& s : *execs) log.intern_exec(s);
-    }
-    if (users) {
-      for (const auto& s : *users) log.intern_user(s);
-    }
-    if (projects) {
-      for (const auto& s : *projects) log.intern_project(s);
-    }
-  }
-
-  if (mode == ParseMode::Strict) {
-    if (!total) throw ParseError("missing header block in binary job log");
-    if (attempted != *total) {
-      throw ParseError("binary job log record count mismatch: expected " +
-                       std::to_string(*total) + ", got " + std::to_string(attempted));
-    }
-  } else {
-    const std::uint64_t expected = total ? *total : attempted;
-    if (expected > attempted) {
-      rep.add_malformed_bulk(IngestReason::BinaryFrame, expected - attempted);
-    }
-    rep.adopt_samples(frames);
-  }
-
-  log.finalize();
   timer.counts(rep.records_seen(), rep.records_ok());
   rep.report_malformed(sink, "ingest.job_binary");
   return log;

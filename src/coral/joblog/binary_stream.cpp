@@ -1,0 +1,153 @@
+#include "coral/joblog/binary_stream.hpp"
+
+#include "coral/common/error.hpp"
+
+namespace coral::joblog {
+
+std::vector<std::string> parse_job_table(bin::PayloadCursor& cur) {
+  const auto count = cur.get<std::uint32_t>();
+  if (count > 10'000'000) throw ParseError("implausible table size in binary job log");
+  std::vector<std::string> table;
+  table.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto len = cur.get<std::uint16_t>();
+    table.push_back(cur.get_string(len));
+  }
+  return table;
+}
+
+void JobStreamDecoder::decode_records(bin::PayloadCursor& cur) {
+  if (!interned_) {
+    // First record block: freeze whatever metadata survived. In an intact
+    // file every table precedes the records, so strict mode can insist on
+    // all three.
+    if (mode_ == ParseMode::Strict && (!execs_ || !users_ || !projects_)) {
+      throw ParseError("records before string tables in binary job log");
+    }
+    if (execs_) {
+      for (const auto& s : *execs_) log_.intern_exec(s);
+    }
+    if (users_) {
+      for (const auto& s : *users_) log_.intern_user(s);
+    }
+    if (projects_) {
+      for (const auto& s : *projects_) log_.intern_project(s);
+    }
+    interned_ = true;
+  }
+  const auto n = cur.get<std::uint32_t>();
+  const std::size_t n_execs = execs_ ? execs_->size() : 0;
+  const std::size_t n_users = users_ ? users_->size() : 0;
+  const std::size_t n_projects = projects_ ? projects_->size() : 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t rec_offset = cur.offset();
+    PackedJob rec;
+    cur.read(&rec, sizeof rec);
+    ++attempted_;
+    if (rec.exec < 0 || static_cast<std::size_t>(rec.exec) >= n_execs ||
+        rec.user < 0 || static_cast<std::size_t>(rec.user) >= n_users ||
+        rec.project < 0 || static_cast<std::size_t>(rec.project) >= n_projects) {
+      if (mode_ == ParseMode::Strict) {
+        throw ParseError("bad table index in binary job log at byte offset " +
+                         std::to_string(rec_offset));
+      }
+      record_rep_.add_malformed(IngestReason::BadRecord, rec_offset, "",
+                                "string-table index out of range");
+      continue;
+    }
+    if (mode_ == ParseMode::Lenient && rec.end_usec < rec.start_usec) {
+      record_rep_.add_malformed(IngestReason::BadRecord, rec_offset, "",
+                                "job ends before it starts");
+      continue;
+    }
+    JobRecord j;
+    j.job_id = rec.job_id;
+    j.exec_id = rec.exec;
+    j.user_id = rec.user;
+    j.project_id = rec.project;
+    j.queue_time = TimePoint(rec.queue_usec);
+    j.start_time = TimePoint(rec.start_usec);
+    j.end_time = TimePoint(rec.end_usec);
+    j.exit_code = rec.exit_code;
+    if (!machine_->is_legal_partition(rec.first_midplane, rec.midplane_count)) {
+      // Same diagnostic the validating bgp::Partition constructor threw
+      // before partition legality became a model question.
+      const std::string what = "illegal partition: first midplane " +
+                               std::to_string(rec.first_midplane) + ", size " +
+                               std::to_string(rec.midplane_count);
+      if (mode_ == ParseMode::Strict) throw InvalidArgument(what);
+      record_rep_.add_malformed(IngestReason::BadLocation, rec_offset, "", what);
+      continue;
+    }
+    j.partition = bgp::Partition::unchecked(rec.first_midplane, rec.midplane_count);
+    log_.append(j);
+    record_rep_.add_ok();
+  }
+}
+
+void JobStreamDecoder::on_payload(std::string_view payload,
+                                  std::uint64_t payload_offset) {
+  bin::PayloadCursor cur(payload, payload_offset, "binary job log");
+  try {
+    const char tag = cur.get<char>();
+    if (tag == kJobHeaderTag) {
+      const auto n = cur.get<std::uint64_t>();
+      if (!total_) total_ = n;
+      return;
+    }
+    if (tag == kJobExecTag || tag == kJobUserTag || tag == kJobProjectTag) {
+      auto& slot = tag == kJobExecTag ? execs_ : tag == kJobUserTag ? users_ : projects_;
+      if (!slot) slot = parse_job_table(cur);
+      return;
+    }
+    if (tag != kJobRecordTag) {
+      if (mode_ == ParseMode::Strict) {
+        throw ParseError("unknown block tag in binary job log at byte offset " +
+                         std::to_string(payload_offset - bin::kBlockHeaderBytes));
+      }
+      return;
+    }
+    decode_records(cur);
+  } catch (const Error&) {
+    if (mode_ == ParseMode::Strict) throw;
+    // CRC-valid but unparseable payload: skip; the lost-record top-up in
+    // finish() accounts for its records.
+  }
+}
+
+JobLog JobStreamDecoder::finish(IngestReport& rep, const IngestReport& frame_damage) {
+  rep.merge(record_rep_);
+  record_rep_ = IngestReport{};
+  if (!interned_) {
+    // No record blocks (empty log): still preserve the string tables so a
+    // round trip keeps interned names.
+    if (execs_) {
+      for (const auto& s : *execs_) log_.intern_exec(s);
+    }
+    if (users_) {
+      for (const auto& s : *users_) log_.intern_user(s);
+    }
+    if (projects_) {
+      for (const auto& s : *projects_) log_.intern_project(s);
+    }
+  }
+
+  if (mode_ == ParseMode::Strict) {
+    if (!total_) throw ParseError("missing header block in binary job log");
+    if (attempted_ != *total_) {
+      throw ParseError("binary job log record count mismatch: expected " +
+                       std::to_string(*total_) + ", got " + std::to_string(attempted_));
+    }
+  } else {
+    const std::uint64_t expected = total_ ? *total_ : attempted_;
+    if (expected > attempted_) {
+      rep.add_malformed_bulk(IngestReason::BinaryFrame, expected - attempted_);
+    }
+    rep.adopt_samples(frame_damage);
+  }
+
+  log_.finalize();
+  return std::move(log_);
+}
+
+}  // namespace coral::joblog

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "coral/common/binary_frame.hpp"
+#include "coral/common/ingest.hpp"
+#include "coral/joblog/log.hpp"
+
+namespace coral::joblog {
+
+/// Format internals of the binary-v2 job log (layout contract in
+/// binary_io.hpp). Exposed for the same reason as ras/binary_stream.hpp:
+/// the one-shot file reader and the incremental wire/session path must
+/// decode through the same routines for the fleet parity guarantee to hold.
+
+inline constexpr char kJobMagic[4] = {'C', 'J', 'O', 'B'};
+inline constexpr std::uint32_t kJobVersion = 2;
+inline constexpr char kJobHeaderTag = 'H';
+inline constexpr char kJobExecTag = 'X';
+inline constexpr char kJobUserTag = 'U';
+inline constexpr char kJobProjectTag = 'P';
+inline constexpr char kJobRecordTag = 'R';
+inline constexpr std::size_t kJobRecordsPerBlock = 64;
+
+/// The fixed 56-byte on-disk record (golden byte layout pinned in
+/// tests/test_binary_io.cpp).
+struct PackedJob {
+  std::int64_t job_id = 0;
+  std::int32_t exec = 0;
+  std::int32_t user = 0;
+  std::int32_t project = 0;
+  std::int32_t first_midplane = 0;
+  std::int64_t queue_usec = 0;
+  std::int64_t start_usec = 0;
+  std::int64_t end_usec = 0;
+  std::int32_t midplane_count = 0;
+  std::int32_t exit_code = 0;
+};
+static_assert(sizeof(PackedJob) == 56);
+
+/// Parse one string-table payload body ('X'/'U'/'P', cursor past the tag).
+std::vector<std::string> parse_job_table(bin::PayloadCursor& cur);
+
+/// Incremental binary-v2 job decoder: feed block payloads as they arrive,
+/// finish() runs the lost-record top-up and finalizes the log. Feeding a
+/// file's payload sequence reproduces the one-shot reader exactly —
+/// read_binary is itself implemented on this class.
+class JobStreamDecoder {
+ public:
+  JobStreamDecoder(ParseMode mode, const machine::MachineModel& machine)
+      : machine_(&machine), mode_(mode), log_(machine) {}
+
+  /// Decode one block payload (tag byte + body) whose first byte sat at
+  /// absolute offset `payload_offset`. Lenient mode absorbs undecodable
+  /// payloads; strict mode throws.
+  void on_payload(std::string_view payload, std::uint64_t payload_offset);
+
+  /// Records successfully decoded so far (live gauge for mid-run snapshots).
+  std::uint64_t records_decoded() const { return log_.size(); }
+  /// Records attempted (decoded or individually rejected) so far.
+  std::uint64_t records_attempted() const { return attempted_; }
+  /// The declared total from the header block, once one has been seen.
+  std::optional<std::uint64_t> declared_total() const { return total_; }
+
+  /// End of stream: verify counts (strict) or top-up the BinaryFrame ledger
+  /// (lenient), fold per-record accounting into `rep`, adopt the framing
+  /// layer's damage samples, and return the finalized log.
+  JobLog finish(IngestReport& rep, const IngestReport& frame_damage);
+
+ private:
+  void decode_records(bin::PayloadCursor& cur);
+
+  const machine::MachineModel* machine_;
+  ParseMode mode_;
+  JobLog log_;
+  std::optional<std::uint64_t> total_;
+  std::optional<std::vector<std::string>> execs_, users_, projects_;
+  bool interned_ = false;
+  IngestReport record_rep_;  ///< per-record rejections, folded into finish()'s rep
+  std::uint64_t attempted_ = 0;
+};
+
+}  // namespace coral::joblog

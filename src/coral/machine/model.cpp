@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdio>
+#include <mutex>
 
 #include "coral/common/error.hpp"
 #include "coral/common/strings.hpp"
@@ -267,18 +268,97 @@ PlacementZones MachineModel::placement_zones() const {
 }
 
 // ---------------------------------------------------------------------------
-// Registry.
+// Data-declared models.
+
+DataModel::DataModel(const Topology& topo)
+    : MachineModel(topo),
+      name_(topo.name),
+      description_(topo.description),
+      interconnect_(topo.interconnect) {
+  // The Topology passed in may point at transient strings; re-point the
+  // stored copy at storage that lives as long as the model.
+  topo_.name = name_.c_str();
+  topo_.description = description_.c_str();
+  topo_.interconnect = interconnect_.c_str();
+  const int n = midplane_count();
+  for (int s = 1; s <= n; s *= 2) sizes_.push_back(s);
+  if (sizes_.empty() || sizes_.back() != n) sizes_.push_back(n);
+}
+
+const std::vector<int>& DataModel::legal_partition_sizes() const { return sizes_; }
+
+bool DataModel::is_legal_partition(MidplaneId first, int count) const {
+  if (first < 0 || count <= 0 || first + count > midplane_count()) return false;
+  if (count == midplane_count()) return first == 0;
+  // Power-of-two sizes aligned to their own size — the standard torus
+  //-partitioning rule both built-ins specialize.
+  if ((count & (count - 1)) != 0) return false;
+  return first % count == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Registry. The built-ins are compile-time fixtures; runtime registrations
+// (fleet tenants bringing their own machines) live behind a mutex.
+
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<const MachineModel*>& registered_models() {
+  static std::vector<const MachineModel*> models;
+  return models;
+}
+
+const std::vector<const MachineModel*>& builtin_models() {
+  static const std::vector<const MachineModel*> models = {&bgp_model(), &bgq_model()};
+  return models;
+}
+
+}  // namespace
 
 const MachineModel* find_model(std::string_view name) {
-  for (const MachineModel* m : all_models()) {
+  for (const MachineModel* m : builtin_models()) {
+    if (m->name() == name) return m;
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const MachineModel* m : registered_models()) {
     if (m->name() == name) return m;
   }
   return nullptr;
 }
 
-const std::vector<const MachineModel*>& all_models() {
-  static const std::vector<const MachineModel*> models = {&bgp_model(), &bgq_model()};
-  return models;
+std::vector<const MachineModel*> all_models() {
+  std::vector<const MachineModel*> out = builtin_models();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  out.insert(out.end(), registered_models().begin(), registered_models().end());
+  return out;
+}
+
+bool register_model(const MachineModel& model) {
+  for (const MachineModel* m : builtin_models()) {
+    if (m->name() == model.name()) return false;
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const MachineModel* m : registered_models()) {
+    if (m->name() == model.name()) return false;
+  }
+  registered_models().push_back(&model);
+  return true;
+}
+
+bool unregister_model(std::string_view name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto& models = registered_models();
+  for (auto it = models.begin(); it != models.end(); ++it) {
+    if ((*it)->name() == name) {
+      models.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace coral::machine

@@ -133,10 +133,44 @@ const MachineModel& bgp_model();
 /// leftover compile-time sizing assumption trips immediately.
 const MachineModel& bgq_model();
 
-/// Look up a built-in model by name ("bgp", "bgq"); nullptr when unknown.
+/// A machine model declared entirely from data: the generic Blue Gene
+/// grammar and placement scaling over an arbitrary Topology, with a
+/// power-of-two legal-partition ladder (plus the full machine) aligned to
+/// partition size. This is what a fleet tenant registers at connect time
+/// when its machine is neither of the built-ins — no subclass required.
+class DataModel : public MachineModel {
+ public:
+  /// `topo.name`/`.description`/`.interconnect` may point at transient
+  /// storage (a parsed handshake, a config file): the strings are copied
+  /// and the stored Topology re-pointed at the copies.
+  explicit DataModel(const Topology& topo);
+
+  const std::vector<int>& legal_partition_sizes() const override;
+  bool is_legal_partition(MidplaneId first, int count) const override;
+
+ private:
+  std::string name_, description_, interconnect_;
+  std::vector<int> sizes_;
+};
+
+/// Look up a model by name ("bgp", "bgq", or anything registered at
+/// runtime); nullptr when unknown.
 const MachineModel* find_model(std::string_view name);
 
-/// All built-in models, bgp first.
-const std::vector<const MachineModel*>& all_models();
+/// All known models: the built-ins (bgp first), then runtime registrations
+/// in registration order.
+std::vector<const MachineModel*> all_models();
+
+/// Register `model` under model.name() so find_model() resolves it — the
+/// hook that lets a fleet tenant's machine arrive at connect time instead
+/// of compile time. The caller keeps ownership and must keep the model
+/// alive until it is unregistered (or process exit). Returns false without
+/// registering when the name is already taken (built-in or registered).
+/// Thread-safe, as is lookup.
+bool register_model(const MachineModel& model);
+
+/// Remove a runtime registration by name. Returns false when no such
+/// runtime model exists; built-ins cannot be unregistered.
+bool unregister_model(std::string_view name);
 
 }  // namespace coral::machine

@@ -164,6 +164,7 @@ void Collector::record(const StageSample& sample) {
     std::lock_guard lock(span_mu_);
     spans_.push_back({sample.stage, end_us - dur_us, dur_us, tid, parent, sample.in,
                       sample.out});
+    evict_locked();
   }
   histogram(sample.stage).record(sample.wall_ms);
 }
@@ -188,12 +189,37 @@ Histogram& Collector::histogram(std::string_view name) {
   return ref;
 }
 
+void Collector::set_span_capacity(std::size_t cap) {
+  std::lock_guard lock(span_mu_);
+  span_capacity_ = cap;
+  evict_locked();
+}
+
+std::uint64_t Collector::spans_dropped() const {
+  std::lock_guard lock(span_mu_);
+  return spans_dropped_;
+}
+
+void Collector::evict_locked() {
+  if (span_capacity_ == 0) return;
+  // Open spans (dur_us < 0) pin the front: their absolute indices are held
+  // by live Span handles, so eviction stops at the oldest one still open.
+  while (spans_.size() > span_capacity_ && !spans_.empty() &&
+         spans_.front().dur_us >= 0) {
+    spans_.pop_front();
+    ++first_index_;
+    ++spans_dropped_;
+  }
+}
+
 Snapshot Collector::snapshot() const {
   Snapshot snap;
   {
     std::lock_guard lock(span_mu_);
     // Open spans have dur_us == -1 placeholders; export only finished ones,
     // preserving indices' meaning by keeping order and remapping parents.
+    // Parents evicted from a bounded buffer export as roots (-1).
+    snap.spans_dropped = spans_dropped_;
     snap.spans.reserve(spans_.size());
     std::vector<std::int32_t> remap(spans_.size(), -1);
     for (std::size_t i = 0; i < spans_.size(); ++i) {
@@ -202,7 +228,9 @@ Snapshot Collector::snapshot() const {
       snap.spans.push_back(spans_[i]);
     }
     for (SpanRecord& s : snap.spans) {
-      if (s.parent >= 0) s.parent = remap[static_cast<std::size_t>(s.parent)];
+      if (s.parent < 0) continue;
+      const std::int64_t rel = s.parent - first_index_;
+      s.parent = rel < 0 ? -1 : remap[static_cast<std::size_t>(rel)];
     }
   }
   {
@@ -223,18 +251,22 @@ Snapshot Collector::snapshot() const {
 std::int32_t Collector::open_span(const char* name, std::int64_t start_us,
                                   std::uint32_t tid, std::int32_t parent) {
   std::lock_guard lock(span_mu_);
-  const auto index = static_cast<std::int32_t>(spans_.size());
+  const auto index = static_cast<std::int32_t>(first_index_ +
+                                               static_cast<std::int64_t>(spans_.size()));
   spans_.push_back({name, start_us, /*dur_us=*/-1, tid, parent, 0, 0});
+  evict_locked();
   return index;
 }
 
 void Collector::close_span(std::int32_t index, std::int64_t end_us, std::uint64_t in,
                            std::uint64_t out) {
   std::lock_guard lock(span_mu_);
-  SpanRecord& s = spans_[static_cast<std::size_t>(index)];
+  // Open spans are never evicted, so the absolute index is still in range.
+  SpanRecord& s = spans_[static_cast<std::size_t>(index - first_index_)];
   s.dur_us = std::max<std::int64_t>(0, end_us - s.start_us);
   s.in = in;
   s.out = out;
+  evict_locked();
 }
 
 std::uint32_t Collector::thread_number() {
@@ -295,34 +327,99 @@ std::string chrome_trace_json(const Snapshot& snap) {
   return out;
 }
 
-std::string prometheus_text(const Snapshot& snap) {
+namespace {
+
+/// `{tenant="x"}` / `{tenant="x",le="1"}` / `{le="1"}` / `` — brace joinery
+/// shared by every sample line.
+std::string label_block(std::string_view labels, std::string_view extra = {}) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+void counter_samples(std::string& out, const CounterRecord& c, std::string_view labels) {
+  const std::string name = prometheus_name(c.name) + "_total";
+  append(out, "%s%s %llu\n", name.c_str(), label_block(labels).c_str(),
+         static_cast<unsigned long long>(c.value));
+}
+
+void histogram_samples(std::string& out, const HistogramRecord& h,
+                       std::string_view labels) {
+  const std::string name = prometheus_name(h.name);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    cumulative += h.buckets[b];
+    // Skip interior empty buckets to keep the exposition small; always
+    // keep +Inf, which Prometheus requires.
+    if (h.buckets[b] == 0 && b + 1 < kHistogramBuckets) continue;
+    const double bound = histogram_bound(b);
+    std::string le;
+    if (std::isinf(bound)) {
+      le = "le=\"+Inf\"";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "le=\"%g\"", bound);
+      le = buf;
+    }
+    append(out, "%s_bucket%s %llu\n", name.c_str(), label_block(labels, le).c_str(),
+           static_cast<unsigned long long>(cumulative));
+  }
+  append(out, "%s_sum%s %g\n", name.c_str(), label_block(labels).c_str(), h.sum);
+  append(out, "%s_count%s %llu\n", name.c_str(), label_block(labels).c_str(),
+         static_cast<unsigned long long>(h.count));
+}
+
+}  // namespace
+
+std::string prometheus_text(const Snapshot& snap, std::string_view labels) {
   std::string out;
   for (const CounterRecord& c : snap.counters) {
-    const std::string name = prometheus_name(c.name) + "_total";
-    append(out, "# TYPE %s counter\n", name.c_str());
-    append(out, "%s %llu\n", name.c_str(), static_cast<unsigned long long>(c.value));
+    append(out, "# TYPE %s counter\n", (prometheus_name(c.name) + "_total").c_str());
+    counter_samples(out, c, labels);
   }
   for (const HistogramRecord& h : snap.histograms) {
-    const std::string name = prometheus_name(h.name);
-    append(out, "# TYPE %s histogram\n", name.c_str());
-    std::uint64_t cumulative = 0;
-    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
-      cumulative += h.buckets[b];
-      // Skip interior empty buckets to keep the exposition small; always
-      // keep +Inf, which Prometheus requires.
-      if (h.buckets[b] == 0 && b + 1 < kHistogramBuckets) continue;
-      const double bound = histogram_bound(b);
-      if (std::isinf(bound)) {
-        append(out, "%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
-               static_cast<unsigned long long>(cumulative));
-      } else {
-        append(out, "%s_bucket{le=\"%g\"} %llu\n", name.c_str(), bound,
-               static_cast<unsigned long long>(cumulative));
-      }
+    append(out, "# TYPE %s histogram\n", prometheus_name(h.name).c_str());
+    histogram_samples(out, h, labels);
+  }
+  return out;
+}
+
+std::string prometheus_text(const Snapshot& snap) { return prometheus_text(snap, {}); }
+
+std::string prometheus_text(const std::vector<LabeledSnapshot>& snaps) {
+  // One TYPE header per family across every tenant, then each tenant's
+  // samples under its labels. Families are walked in sorted-name order
+  // (snapshots arrive sorted), counters before histograms.
+  std::string out;
+  std::vector<std::string> seen;
+  const auto first_time = [&seen](const std::string& name) {
+    for (const std::string& s : seen) {
+      if (s == name) return false;
     }
-    append(out, "%s_sum %g\n", name.c_str(), h.sum);
-    append(out, "%s_count %llu\n", name.c_str(),
-           static_cast<unsigned long long>(h.count));
+    seen.push_back(name);
+    return true;
+  };
+  for (const LabeledSnapshot& ls : snaps) {
+    for (const CounterRecord& c : ls.snap.counters) {
+      const std::string name = prometheus_name(c.name) + "_total";
+      if (first_time(name)) append(out, "# TYPE %s counter\n", name.c_str());
+    }
+  }
+  for (const LabeledSnapshot& ls : snaps) {
+    for (const CounterRecord& c : ls.snap.counters) counter_samples(out, c, ls.labels);
+  }
+  for (const LabeledSnapshot& ls : snaps) {
+    for (const HistogramRecord& h : ls.snap.histograms) {
+      const std::string name = prometheus_name(h.name);
+      if (first_time(name)) append(out, "# TYPE %s histogram\n", name.c_str());
+    }
+  }
+  for (const LabeledSnapshot& ls : snaps) {
+    for (const HistogramRecord& h : ls.snap.histograms) histogram_samples(out, h, ls.labels);
   }
   return out;
 }

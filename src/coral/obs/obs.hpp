@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -100,6 +101,9 @@ struct Snapshot {
   std::vector<SpanRecord> spans;
   std::vector<CounterRecord> counters;
   std::vector<HistogramRecord> histograms;
+  /// Closed spans evicted from a bounded collector before this snapshot
+  /// (see Collector::set_span_capacity); 0 for unbounded collectors.
+  std::uint64_t spans_dropped = 0;
 
   /// Total wall-ms across every span with this name (a sharded stage records
   /// one span per shard).
@@ -145,6 +149,16 @@ class Collector final : public InstrumentationSink {
   void add_counter(std::string_view name, std::uint64_t delta) { counter(name).add(delta); }
   void record_value(std::string_view name, double value) { histogram(name).record(value); }
 
+  /// Bound the span buffer: once more than `cap` spans are held, the oldest
+  /// *closed* spans are evicted (open spans are never evicted — their
+  /// handles are live) and counted in Snapshot::spans_dropped. 0 restores
+  /// the unbounded default. A resident daemon sets this so week-long
+  /// sessions cannot grow span memory without limit; one-shot analyses keep
+  /// every span as before.
+  void set_span_capacity(std::size_t cap);
+  /// Closed spans evicted so far.
+  std::uint64_t spans_dropped() const;
+
   Snapshot snapshot() const;
   Clock::time_point epoch() const { return epoch_; }
 
@@ -159,11 +173,19 @@ class Collector final : public InstrumentationSink {
                   std::uint64_t out);
 
   std::uint32_t thread_number();
+  /// Evict closed front spans down to capacity (span_mu_ held).
+  void evict_locked();
 
   const Clock::time_point epoch_;
 
+  // Span indices handed to open_span callers are *absolute* (monotonic since
+  // construction); the deque holds [first_index_, first_index_ + size).
+  // Eviction advances first_index_ without invalidating open-span indices.
   mutable std::mutex span_mu_;
-  std::vector<SpanRecord> spans_;
+  std::deque<SpanRecord> spans_;
+  std::int64_t first_index_ = 0;
+  std::size_t span_capacity_ = 0;  ///< 0 = unbounded
+  std::uint64_t spans_dropped_ = 0;
 
   mutable std::mutex reg_mu_;
   // Deques-of-nodes via unique_ptr keep handle addresses stable across
@@ -220,6 +242,22 @@ std::string chrome_trace_json(const Snapshot& snap);
 /// histograms as cumulative-bucket `histogram` families. Names are prefixed
 /// with `coral_` and sanitized to the Prometheus charset.
 std::string prometheus_text(const Snapshot& snap);
+
+/// Same exposition with a pre-rendered label set (e.g. `tenant="bgp0"`)
+/// attached to every sample. `labels` is spliced verbatim inside the braces,
+/// so it must already be escaped per the exposition format.
+std::string prometheus_text(const Snapshot& snap, std::string_view labels);
+
+/// One tenant's snapshot plus its label set, for the merged exposition.
+struct LabeledSnapshot {
+  std::string labels;  ///< e.g. `tenant="bgp0"`, pre-escaped
+  Snapshot snap;
+};
+
+/// Merged multi-tenant exposition: one `# TYPE` header per metric family
+/// (Prometheus rejects duplicates), then every tenant's samples under its
+/// labels — what a daemon's /metrics endpoint serves.
+std::string prometheus_text(const std::vector<LabeledSnapshot>& snaps);
 
 /// Machine-readable snapshot JSON for the BENCH_*.json artifacts:
 /// {"spans": [...], "counters": {...}, "histograms": [...]}.

@@ -14,140 +14,11 @@
 #include "coral/common/instrument.hpp"
 #include "coral/common/parallel.hpp"
 #include "coral/obs/obs.hpp"
+#include "coral/ras/binary_stream.hpp"
 
 namespace coral::ras {
 
 namespace {
-
-constexpr char kMagic[4] = {'C', 'R', 'A', 'S'};
-constexpr std::uint32_t kVersion = 2;
-constexpr char kDictTag = 'D';
-constexpr char kRecordTag = 'R';
-// Small blocks bound what one damaged frame can take with it: 64 records is
-// ~1.5 KB of payload, so the 12-byte frame header stays under 1% overhead
-// while a single bit flip in a 100k-record log costs at most 0.064% of it.
-constexpr std::size_t kRecordsPerBlock = 64;
-
-struct PackedRecord {
-  std::int64_t time_usec = 0;
-  std::uint32_t packed_location = 0;
-  std::uint32_t dict_index = 0;
-  std::uint32_t serial = 0;
-  std::uint8_t severity = 0;
-  std::uint8_t pad[3] = {0, 0, 0};  ///< explicit zeros: serialization is memcpy'd,
-                                    ///< so padding bytes must be deterministic
-};
-static_assert(sizeof(PackedRecord) == 24);
-
-// Decoded 'D' payload: dictionary remapped into the target catalog plus the
-// file's total record count. A name missing from the catalog stays nullopt
-// in strict-vs-lenient-neutral form; the caller decides whether to throw.
-struct Dictionary {
-  std::vector<std::optional<ErrcodeId>> remap;
-  std::uint64_t total_records = 0;
-};
-
-Dictionary parse_dictionary(bin::PayloadCursor& cur, const Catalog& catalog,
-                            ParseMode mode) {
-  Dictionary dict;
-  const auto size = cur.get<std::uint32_t>();
-  if (size > 1'000'000) throw ParseError("implausible dictionary size");
-  dict.remap.reserve(size);
-  for (std::uint32_t i = 0; i < size; ++i) {
-    const auto len = cur.get<std::uint16_t>();
-    const std::string name = cur.get_string(len);
-    const auto id = catalog.find(name);
-    if (!id && mode == ParseMode::Strict) {
-      throw ParseError("unknown errcode in binary RAS log: '" + name + "'");
-    }
-    dict.remap.push_back(id);
-  }
-  dict.total_records = cur.get<std::uint64_t>();
-  return dict;
-}
-
-// Validate and append one fixed-size record. Shared by the contiguous fast
-// path and the bounds-checked slow path so their accounting cannot drift.
-void decode_one(const PackedRecord& rec, std::uint64_t rec_offset, const Dictionary& dict,
-                ParseMode mode, const machine::MachineModel& machine, IngestReport& rep,
-                std::vector<RasEvent>& events) {
-  if (rec.dict_index >= dict.remap.size()) {
-    if (mode == ParseMode::Strict) throw ParseError("bad dictionary index");
-    rep.add_malformed(IngestReason::BadRecord, rec_offset, "",
-                      "dictionary index out of range");
-    return;
-  }
-  if (!dict.remap[rec.dict_index]) {
-    rep.add_malformed(IngestReason::UnknownErrcode, rec_offset, "",
-                      "errcode name not in target catalog");
-    return;
-  }
-  if (rec.severity > static_cast<std::uint8_t>(Severity::Fatal)) {
-    if (mode == ParseMode::Strict) {
-      throw ParseError("bad severity in binary RAS log at byte offset " +
-                       std::to_string(rec_offset));
-    }
-    rep.add_malformed(IngestReason::BadSeverity, rec_offset, "",
-                      "severity byte out of range");
-    return;
-  }
-  RasEvent ev;
-  ev.event_time = TimePoint(rec.time_usec);
-  try {
-    ev.location = machine.location_from_packed(rec.packed_location);
-  } catch (const Error& e) {
-    if (mode == ParseMode::Strict) throw;
-    rep.add_malformed(IngestReason::BadLocation, rec_offset, "", e.what());
-    return;
-  }
-  ev.errcode = *dict.remap[rec.dict_index];
-  ev.serial = rec.serial;
-  ev.severity = static_cast<Severity>(rec.severity);
-  events.push_back(ev);
-  rep.add_ok();
-}
-
-// Decode one 'R' payload's records (cursor past the tag byte). `dict` may be
-// null only when both dictionary copies were lost earlier in the input.
-// Shared by the sequential and parallel readers so their per-record
-// accounting cannot drift apart.
-void decode_records(bin::PayloadCursor& cur, const Dictionary* dict, ParseMode mode,
-                    const machine::MachineModel& machine, IngestReport& rep,
-                    std::vector<RasEvent>& events, std::uint64_t& attempted) {
-  const auto n = cur.get<std::uint32_t>();
-  // Writer-canonical blocks hold exactly n contiguous records; decode them
-  // straight from the payload view, skipping per-record cursor bookkeeping.
-  // Any other shape (an adversarial CRC-valid payload) takes the
-  // bounds-checked loop below with identical accounting.
-  if (dict != nullptr &&
-      cur.remaining() == std::size_t{n} * sizeof(PackedRecord)) {
-    const std::uint64_t base = cur.offset();
-    const std::string_view raw = cur.take(cur.remaining());
-    for (std::uint32_t i = 0; i < n; ++i) {
-      PackedRecord rec;
-      std::memcpy(&rec, raw.data() + std::size_t{i} * sizeof rec, sizeof rec);
-      ++attempted;
-      decode_one(rec, base + std::uint64_t{i} * sizeof rec, *dict, mode, machine, rep, events);
-    }
-    return;
-  }
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const std::uint64_t rec_offset = cur.offset();
-    PackedRecord rec;
-    cur.read(&rec, sizeof rec);
-    ++attempted;
-    if (dict == nullptr) {
-      // Both dictionary copies were damaged; nothing to resolve against.
-      if (mode == ParseMode::Strict) {
-        throw ParseError("records before dictionary in binary RAS log");
-      }
-      rep.add_malformed(IngestReason::UnknownErrcode, rec_offset, "",
-                        "record with no surviving dictionary");
-      continue;
-    }
-    decode_one(rec, rec_offset, *dict, mode, machine, rep, events);
-  }
-}
 
 /// An istream over an in-memory region, so the recovering BlockReader can
 /// run on the already-buffered file without copying it.
@@ -158,9 +29,11 @@ struct ViewBuf : std::streambuf {
   }
 };
 
-// The reference reader: the recovering BlockReader walked front to back.
-// Handles every damage shape, and defines the exact error messages and
-// lenient accounting the parallel fast path must reproduce.
+// The reference reader: the recovering BlockReader walked front to back,
+// feeding the shared incremental decoder — the same class the fleet
+// session/wire path runs, which is what makes network ingest byte-identical
+// to offline reads. Handles every damage shape, and defines the exact error
+// messages and lenient accounting the parallel fast path must reproduce.
 RasLog read_region_sequential(std::string_view region, const Catalog& catalog,
                               ParseMode mode, const machine::MachineModel& machine,
                               IngestReport& rep) {
@@ -168,63 +41,21 @@ RasLog read_region_sequential(std::string_view region, const Catalog& catalog,
   std::istream in(&viewbuf);
 
   // Frame damage is tracked in a side report: one sample per damaged
-  // stretch, while the caller-visible BinaryFrame *count* is computed below
-  // as the exact number of records lost (the dictionary carries the total).
+  // stretch, while the caller-visible BinaryFrame *count* is computed in
+  // finish() as the exact number of records lost (the dictionary carries
+  // the total).
   IngestReport frames;
   bin::BlockReader blocks(in, mode, &frames, "binary RAS log");
 
-  std::optional<Dictionary> dict;
-  std::vector<RasEvent> events;
-  std::uint64_t attempted = 0;  // records decoded or individually rejected
+  RasStreamDecoder decoder(catalog, mode, machine);
+  // Pre-size from the declared total, capped by what the region could
+  // physically hold so a corrupt count cannot force a huge allocation.
+  decoder.set_reserve_cap(region.size() / sizeof(PackedRecord));
   std::string payload;
   while (blocks.next(payload)) {
-    bin::PayloadCursor cur(payload, blocks.block_offset() + bin::kBlockHeaderBytes,
-                           "binary RAS log");
-    try {
-      const char tag = cur.get<char>();
-      if (tag == kDictTag) {
-        Dictionary d = parse_dictionary(cur, catalog, mode);
-        if (!dict) dict = std::move(d);  // later copies are redundancy
-        // Pre-size from the declared total, capped by what the region could
-        // physically hold so a corrupt count cannot force a huge allocation.
-        events.reserve(static_cast<std::size_t>(
-            std::min<std::uint64_t>(dict->total_records,
-                                    region.size() / sizeof(PackedRecord))));
-        continue;
-      }
-      if (tag != kRecordTag) {
-        if (mode == ParseMode::Strict) {
-          throw ParseError("unknown block tag in binary RAS log at byte offset " +
-                           std::to_string(blocks.block_offset()));
-        }
-        continue;  // records inside are covered by the lost-record top-up
-      }
-      decode_records(cur, dict ? &*dict : nullptr, mode, machine, rep, events, attempted);
-    } catch (const Error&) {
-      if (mode == ParseMode::Strict) throw;
-      // A CRC-valid block whose payload still does not parse (writer bug or
-      // an adversarial file): skip it; the lost-record top-up accounts for
-      // its records.
-    }
+    decoder.on_payload(payload, blocks.block_offset() + bin::kBlockHeaderBytes);
   }
-
-  if (mode == ParseMode::Strict) {
-    if (!dict) throw ParseError("missing dictionary in binary RAS log");
-    if (attempted != dict->total_records) {
-      throw ParseError("binary RAS log record count mismatch: expected " +
-                       std::to_string(dict->total_records) + ", got " +
-                       std::to_string(attempted));
-    }
-  } else {
-    // Exactly the records that vanished with dropped/undecodable frames.
-    const std::uint64_t expected = dict ? dict->total_records : attempted;
-    if (expected > attempted) {
-      rep.add_malformed_bulk(IngestReason::BinaryFrame, expected - attempted);
-    }
-    rep.adopt_samples(frames);
-  }
-
-  return RasLog(std::move(events), catalog, machine);
+  return decoder.finish(rep, frames);
 }
 
 // The fast path: index frames in place, decode the dictionary (the writer
@@ -240,7 +71,7 @@ RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
   std::vector<bin::FrameRef> frames;
   if (!bin::index_frames(region, frames) || frames.empty()) return fall_back();
   const char* base = region.data();
-  if (base[frames[0].offset + bin::kBlockHeaderBytes] != kDictTag) return fall_back();
+  if (base[frames[0].offset + bin::kBlockHeaderBytes] != kRasDictTag) return fall_back();
 
   // Block 0 carries the dictionary, so any error in it — CRC or content — is
   // also the sequential reader's first error; order is preserved by handling
@@ -254,13 +85,13 @@ RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
     }
     return fall_back();  // the redundant copy may still be intact
   }
-  Dictionary dict;
+  RasDictionary dict;
   {
     bin::PayloadCursor cur(std::string_view(dict_payload, f0.size),
                            f0.offset + bin::kBlockHeaderBytes, "binary RAS log");
     try {
       cur.get<char>();  // tag, known to be 'D'
-      dict = parse_dictionary(cur, catalog, mode);
+      dict = parse_ras_dictionary(cur, catalog, mode);
     } catch (const Error&) {
       if (mode == ParseMode::Strict) throw;
       return fall_back();  // sequential skips the block, second copy serves
@@ -292,7 +123,7 @@ RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
           ChunkOut& out = outs[c];
           const std::size_t fb = 1 + c * nblocks / chunks;
           const std::size_t fe = 1 + (c + 1) * nblocks / chunks;
-          out.events.reserve((fe - fb) * kRecordsPerBlock);
+          out.events.reserve((fe - fb) * kRasRecordsPerBlock);
           for (std::size_t f = fb; f < fe; ++f) {
             const bin::FrameRef& fr = frames[f];
             const char* payload = base + fr.offset + bin::kBlockHeaderBytes;
@@ -310,18 +141,19 @@ RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
                                    fr.offset + bin::kBlockHeaderBytes, "binary RAS log");
             try {
               const char tag = cur.get<char>();
-              if (tag == kDictTag) {
-                parse_dictionary(cur, catalog, mode);  // redundant copy
+              if (tag == kRasDictTag) {
+                parse_ras_dictionary(cur, catalog, mode);  // redundant copy
                 continue;
               }
-              if (tag != kRecordTag) {
+              if (tag != kRasRecordTag) {
                 if (mode == ParseMode::Strict) {
                   throw ParseError("unknown block tag in binary RAS log at byte offset " +
                                    std::to_string(fr.offset));
                 }
                 continue;
               }
-              decode_records(cur, &dict, mode, machine, out.rep, out.events, out.attempted);
+              decode_ras_records(cur, &dict, mode, machine, out.rep, out.events,
+                                 out.attempted);
             } catch (const Error& e) {
               if (mode == ParseMode::Strict) {
                 out.has_error = true;
@@ -407,24 +239,24 @@ std::string slurp(std::istream& in) {
 }  // namespace
 
 void write_binary(std::ostream& out, const RasLog& log) {
-  out.write(kMagic, sizeof kMagic);
-  out.write(reinterpret_cast<const char*>(&kVersion), sizeof kVersion);
+  out.write(kRasMagic, sizeof kRasMagic);
+  out.write(reinterpret_cast<const char*>(&kRasVersion), sizeof kRasVersion);
 
   bin::BlockWriter w(out);
   // Dictionary: every catalog errcode name, indexed by ErrcodeId. Written
   // twice so one damaged frame cannot make every record undecodable.
   const Catalog& catalog = log.catalog();
   for (int copy = 0; copy < 2; ++copy) {
-    w.put(kDictTag);
+    w.put(kRasDictTag);
     w.put(static_cast<std::uint32_t>(catalog.size()));
     for (const ErrcodeInfo& info : catalog.all()) w.put_string(info.name);
     w.put(static_cast<std::uint64_t>(log.size()));
     w.flush();
   }
 
-  for (std::size_t base = 0; base < log.size(); base += kRecordsPerBlock) {
-    const std::size_t n = std::min(kRecordsPerBlock, log.size() - base);
-    w.put(kRecordTag);
+  for (std::size_t base = 0; base < log.size(); base += kRasRecordsPerBlock) {
+    const std::size_t n = std::min(kRasRecordsPerBlock, log.size() - base);
+    w.put(kRasRecordTag);
     w.put(static_cast<std::uint32_t>(n));
     for (std::size_t i = base; i < base + n; ++i) {
       const RasEvent& ev = log[i];
@@ -453,13 +285,13 @@ RasLog read_binary(std::istream& in, const Catalog& catalog, ParseMode mode,
   CORAL_OBS_COUNT(obs::as_collector(sink), "ingest.ras_binary.bytes", buffer.size());
 
   if (mode == ParseMode::Strict) {
-    if (buffer.size() < sizeof kMagic + sizeof kVersion ||
-        std::memcmp(buffer.data(), kMagic, sizeof kMagic) != 0) {
+    if (buffer.size() < sizeof kRasMagic + sizeof kRasVersion ||
+        std::memcmp(buffer.data(), kRasMagic, sizeof kRasMagic) != 0) {
       throw ParseError("not a binary RAS log (bad magic)");
     }
     std::uint32_t version = 0;
-    std::memcpy(&version, buffer.data() + sizeof kMagic, sizeof version);
-    if (version != kVersion) {
+    std::memcpy(&version, buffer.data() + sizeof kRasMagic, sizeof version);
+    if (version != kRasVersion) {
       throw ParseError("unsupported binary RAS log version " + std::to_string(version));
     }
   }
@@ -468,7 +300,7 @@ RasLog read_binary(std::istream& in, const Catalog& catalog, ParseMode mode,
   // reports and errors are relative to the end of the 8-byte header, as the
   // streaming reader always counted them.
   const std::string_view region = std::string_view(buffer).substr(
-      std::min(buffer.size(), sizeof kMagic + sizeof kVersion));
+      std::min(buffer.size(), sizeof kRasMagic + sizeof kRasVersion));
 
   // The indexed in-place path wins even on a single-thread pool (no per-block
   // payload copies), so any pool at all selects it.

@@ -1,0 +1,167 @@
+#include "coral/ras/binary_stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "coral/common/error.hpp"
+
+namespace coral::ras {
+
+RasDictionary parse_ras_dictionary(bin::PayloadCursor& cur, const Catalog& catalog,
+                                   ParseMode mode) {
+  RasDictionary dict;
+  const auto size = cur.get<std::uint32_t>();
+  if (size > 1'000'000) throw ParseError("implausible dictionary size");
+  dict.remap.reserve(size);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    const auto len = cur.get<std::uint16_t>();
+    const std::string name = cur.get_string(len);
+    const auto id = catalog.find(name);
+    if (!id && mode == ParseMode::Strict) {
+      throw ParseError("unknown errcode in binary RAS log: '" + name + "'");
+    }
+    dict.remap.push_back(id);
+  }
+  dict.total_records = cur.get<std::uint64_t>();
+  return dict;
+}
+
+namespace {
+
+// Validate and append one fixed-size record. Shared by the contiguous fast
+// path and the bounds-checked slow path so their accounting cannot drift.
+void decode_one(const PackedRecord& rec, std::uint64_t rec_offset,
+                const RasDictionary& dict, ParseMode mode,
+                const machine::MachineModel& machine, IngestReport& rep,
+                std::vector<RasEvent>& events) {
+  if (rec.dict_index >= dict.remap.size()) {
+    if (mode == ParseMode::Strict) throw ParseError("bad dictionary index");
+    rep.add_malformed(IngestReason::BadRecord, rec_offset, "",
+                      "dictionary index out of range");
+    return;
+  }
+  if (!dict.remap[rec.dict_index]) {
+    rep.add_malformed(IngestReason::UnknownErrcode, rec_offset, "",
+                      "errcode name not in target catalog");
+    return;
+  }
+  if (rec.severity > static_cast<std::uint8_t>(Severity::Fatal)) {
+    if (mode == ParseMode::Strict) {
+      throw ParseError("bad severity in binary RAS log at byte offset " +
+                       std::to_string(rec_offset));
+    }
+    rep.add_malformed(IngestReason::BadSeverity, rec_offset, "",
+                      "severity byte out of range");
+    return;
+  }
+  RasEvent ev;
+  ev.event_time = TimePoint(rec.time_usec);
+  try {
+    ev.location = machine.location_from_packed(rec.packed_location);
+  } catch (const Error& e) {
+    if (mode == ParseMode::Strict) throw;
+    rep.add_malformed(IngestReason::BadLocation, rec_offset, "", e.what());
+    return;
+  }
+  ev.errcode = *dict.remap[rec.dict_index];
+  ev.serial = rec.serial;
+  ev.severity = static_cast<Severity>(rec.severity);
+  events.push_back(ev);
+  rep.add_ok();
+}
+
+}  // namespace
+
+void decode_ras_records(bin::PayloadCursor& cur, const RasDictionary* dict,
+                        ParseMode mode, const machine::MachineModel& machine,
+                        IngestReport& rep, std::vector<RasEvent>& events,
+                        std::uint64_t& attempted) {
+  const auto n = cur.get<std::uint32_t>();
+  // Writer-canonical blocks hold exactly n contiguous records; decode them
+  // straight from the payload view, skipping per-record cursor bookkeeping.
+  // Any other shape (an adversarial CRC-valid payload) takes the
+  // bounds-checked loop below with identical accounting.
+  if (dict != nullptr &&
+      cur.remaining() == std::size_t{n} * sizeof(PackedRecord)) {
+    const std::uint64_t base = cur.offset();
+    const std::string_view raw = cur.take(cur.remaining());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      PackedRecord rec;
+      std::memcpy(&rec, raw.data() + std::size_t{i} * sizeof rec, sizeof rec);
+      ++attempted;
+      decode_one(rec, base + std::uint64_t{i} * sizeof rec, *dict, mode, machine, rep,
+                 events);
+    }
+    return;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t rec_offset = cur.offset();
+    PackedRecord rec;
+    cur.read(&rec, sizeof rec);
+    ++attempted;
+    if (dict == nullptr) {
+      // Every dictionary copy was damaged; nothing to resolve against.
+      if (mode == ParseMode::Strict) {
+        throw ParseError("records before dictionary in binary RAS log");
+      }
+      rep.add_malformed(IngestReason::UnknownErrcode, rec_offset, "",
+                        "record with no surviving dictionary");
+      continue;
+    }
+    decode_one(rec, rec_offset, *dict, mode, machine, rep, events);
+  }
+}
+
+void RasStreamDecoder::on_payload(std::string_view payload,
+                                  std::uint64_t payload_offset) {
+  bin::PayloadCursor cur(payload, payload_offset, "binary RAS log");
+  try {
+    const char tag = cur.get<char>();
+    if (tag == kRasDictTag) {
+      RasDictionary d = parse_ras_dictionary(cur, *catalog_, mode_);
+      if (!dict_) {
+        dict_ = std::move(d);
+        events_.reserve(static_cast<std::size_t>(
+            std::min<std::uint64_t>(dict_->total_records, reserve_cap_)));
+      }
+      return;
+    }
+    if (tag != kRasRecordTag) {
+      if (mode_ == ParseMode::Strict) {
+        throw ParseError("unknown block tag in binary RAS log at byte offset " +
+                         std::to_string(payload_offset - bin::kBlockHeaderBytes));
+      }
+      return;  // records inside are covered by the lost-record top-up
+    }
+    decode_ras_records(cur, dict_ ? &*dict_ : nullptr, mode_, *machine_, record_rep_,
+                       events_, attempted_);
+  } catch (const Error&) {
+    if (mode_ == ParseMode::Strict) throw;
+    // A CRC-valid block whose payload still does not parse (writer bug or an
+    // adversarial file): skip it; the lost-record top-up accounts for its
+    // records.
+  }
+}
+
+RasLog RasStreamDecoder::finish(IngestReport& rep, const IngestReport& frame_damage) {
+  rep.merge(record_rep_);
+  record_rep_ = IngestReport{};
+  if (mode_ == ParseMode::Strict) {
+    if (!dict_) throw ParseError("missing dictionary in binary RAS log");
+    if (attempted_ != dict_->total_records) {
+      throw ParseError("binary RAS log record count mismatch: expected " +
+                       std::to_string(dict_->total_records) + ", got " +
+                       std::to_string(attempted_));
+    }
+  } else {
+    // Exactly the records that vanished with dropped/undecodable frames.
+    const std::uint64_t expected = dict_ ? dict_->total_records : attempted_;
+    if (expected > attempted_) {
+      rep.add_malformed_bulk(IngestReason::BinaryFrame, expected - attempted_);
+    }
+    rep.adopt_samples(frame_damage);
+  }
+  return RasLog(std::move(events_), *catalog_, *machine_);
+}
+
+}  // namespace coral::ras

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "coral/common/binary_frame.hpp"
+#include "coral/common/ingest.hpp"
+#include "coral/ras/log.hpp"
+
+namespace coral::ras {
+
+/// Format internals of the binary-v2 RAS log (see binary_io.hpp for the
+/// layout contract). Exposed so the one-shot file readers and the
+/// incremental wire/session ingest path decode through the *same* routines —
+/// the fleet parity guarantee (network feed == offline read, byte for byte)
+/// rests on there being exactly one decode implementation.
+
+inline constexpr char kRasMagic[4] = {'C', 'R', 'A', 'S'};
+inline constexpr std::uint32_t kRasVersion = 2;
+inline constexpr char kRasDictTag = 'D';
+inline constexpr char kRasRecordTag = 'R';
+/// Small blocks bound what one damaged frame can take with it: 64 records is
+/// ~1.5 KB of payload, so the 12-byte frame header stays under 1% overhead
+/// while a single bit flip in a 100k-record log costs at most 0.064% of it.
+inline constexpr std::size_t kRasRecordsPerBlock = 64;
+
+/// The fixed 24-byte on-disk record (golden byte layout pinned in
+/// tests/test_binary_io.cpp; padding bytes are explicit zeros because
+/// serialization memcpy's the struct).
+struct PackedRecord {
+  std::int64_t time_usec = 0;
+  std::uint32_t packed_location = 0;
+  std::uint32_t dict_index = 0;
+  std::uint32_t serial = 0;
+  std::uint8_t severity = 0;
+  std::uint8_t pad[3] = {0, 0, 0};
+};
+static_assert(sizeof(PackedRecord) == 24);
+
+/// Decoded 'D' payload: dictionary remapped into the target catalog plus the
+/// file's total record count. A name missing from the catalog stays nullopt
+/// in strict-vs-lenient-neutral form; the caller decides whether to throw.
+struct RasDictionary {
+  std::vector<std::optional<ErrcodeId>> remap;
+  std::uint64_t total_records = 0;
+};
+
+/// Parse a 'D' payload (cursor past the tag byte). Strict mode throws on a
+/// dictionary name missing from `catalog`.
+RasDictionary parse_ras_dictionary(bin::PayloadCursor& cur, const Catalog& catalog,
+                                   ParseMode mode);
+
+/// Decode one 'R' payload's records (cursor past the tag byte). `dict` may be
+/// null only when every dictionary copy was lost earlier in the input.
+/// `attempted` counts records decoded or individually rejected — the unit the
+/// lost-record top-up is computed in.
+void decode_ras_records(bin::PayloadCursor& cur, const RasDictionary* dict,
+                        ParseMode mode, const machine::MachineModel& machine,
+                        IngestReport& rep, std::vector<RasEvent>& events,
+                        std::uint64_t& attempted);
+
+/// Incremental binary-v2 RAS decoder: feed block payloads as they become
+/// available (from a BlockReader, a FrameAssembler over a socket, a tailed
+/// file); finish() runs the lost-record top-up and builds the log. Feeding
+/// the payload sequence of an intact or damaged file reproduces the one-shot
+/// reader's events and accounting exactly — read_binary's sequential path is
+/// itself implemented on this class.
+class RasStreamDecoder {
+ public:
+  RasStreamDecoder(const Catalog& catalog, ParseMode mode,
+                   const machine::MachineModel& machine)
+      : catalog_(&catalog), machine_(&machine), mode_(mode) {}
+
+  /// Decode one block payload (tag byte + body) whose first byte sat at
+  /// absolute offset `payload_offset`. Lenient mode absorbs undecodable
+  /// payloads (their records are covered by the finish() top-up); strict
+  /// mode throws.
+  void on_payload(std::string_view payload, std::uint64_t payload_offset);
+
+  /// Bound the event pre-reservation taken from the dictionary's declared
+  /// total, so a corrupt count cannot force a huge allocation. File readers
+  /// set this to what the region could physically hold; streaming callers
+  /// keep the conservative default and let the vector grow.
+  void set_reserve_cap(std::uint64_t cap) { reserve_cap_ = cap; }
+
+  /// Records successfully decoded so far (live gauge for mid-run snapshots).
+  std::uint64_t records_decoded() const { return events_.size(); }
+  /// Records attempted (decoded or individually rejected) so far.
+  std::uint64_t records_attempted() const { return attempted_; }
+  /// The declared total from the dictionary, once one has been seen.
+  std::optional<std::uint64_t> declared_total() const {
+    return dict_ ? std::optional<std::uint64_t>(dict_->total_records) : std::nullopt;
+  }
+
+  /// End of stream: verify counts (strict) or top-up the BinaryFrame ledger
+  /// with the exact number of records lost to dropped frames (lenient), fold
+  /// the per-record accounting into `rep`, and build the finalized log.
+  /// `frame_damage` carries the framing layer's per-stretch samples
+  /// (adopted as diagnostics, never double-counted).
+  RasLog finish(IngestReport& rep, const IngestReport& frame_damage);
+
+ private:
+  const Catalog* catalog_;
+  const machine::MachineModel* machine_;
+  ParseMode mode_;
+  std::optional<RasDictionary> dict_;
+  std::vector<RasEvent> events_;
+  IngestReport record_rep_;  ///< per-record rejections, folded into finish()'s rep
+  std::uint64_t attempted_ = 0;
+  std::uint64_t reserve_cap_ = std::uint64_t{1} << 16;
+};
+
+}  // namespace coral::ras

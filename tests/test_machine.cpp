@@ -314,5 +314,76 @@ TEST(BgqEndToEnd, DeterministicAcrossRuns) {
   EXPECT_EQ(a.result.filtered.groups.size(), b.result.filtered.groups.size());
 }
 
+
+// ---- runtime model registry + data-defined models ---------------------------
+
+TEST(ModelRegistry, RegisterFindUnregisterRoundTrip) {
+  machine::Topology topo;
+  topo.name = "testbg";
+  topo.description = "registry test machine";
+  topo.racks = 2;
+  const machine::DataModel model(topo);
+  EXPECT_EQ(machine::find_model("testbg"), nullptr);
+  ASSERT_TRUE(machine::register_model(model));
+  EXPECT_EQ(machine::find_model("testbg"), &model);
+  // all_models: builtins first, then the registration.
+  const auto all = machine::all_models();
+  ASSERT_GE(all.size(), 3u);
+  EXPECT_EQ(all.front(), &machine::bgp_model());
+  EXPECT_EQ(all.back(), &model);
+  EXPECT_TRUE(machine::unregister_model("testbg"));
+  EXPECT_EQ(machine::find_model("testbg"), nullptr);
+  EXPECT_FALSE(machine::unregister_model("testbg"));
+}
+
+TEST(ModelRegistry, RejectsDuplicateAndBuiltinNames) {
+  machine::Topology topo;
+  topo.name = "bgp";  // collides with a builtin
+  const machine::DataModel impostor(topo);
+  EXPECT_FALSE(machine::register_model(impostor));
+  EXPECT_EQ(machine::find_model("bgp"), &machine::bgp_model());
+
+  machine::Topology t2;
+  t2.name = "dupe";
+  const machine::DataModel first(t2), second(t2);
+  ASSERT_TRUE(machine::register_model(first));
+  EXPECT_FALSE(machine::register_model(second));
+  EXPECT_EQ(machine::find_model("dupe"), &first);
+  EXPECT_TRUE(machine::unregister_model("dupe"));
+}
+
+TEST(ModelRegistry, DataModelOwnsItsStrings) {
+  const machine::MachineModel* found = nullptr;
+  {
+    std::string name = "ephemeral";
+    machine::Topology topo;
+    topo.name = name.c_str();  // transient storage, as in a parsed handshake
+    topo.racks = 1;
+    static const machine::DataModel model(topo);
+    name.assign("clobbered");  // DataModel must have copied, not aliased
+    ASSERT_TRUE(machine::register_model(model));
+    found = machine::find_model("ephemeral");
+    EXPECT_EQ(found, &model);
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(std::string_view(found->topology().name), "ephemeral");
+  EXPECT_TRUE(machine::unregister_model("ephemeral"));
+}
+
+TEST(ModelRegistry, DataModelPartitionLadderIsPowerOfTwo) {
+  machine::Topology topo;
+  topo.name = "ladder";
+  topo.racks = 3;  // 6 midplanes -> ladder 1,2,4 + full machine 6
+  const machine::DataModel model(topo);
+  const std::vector<int> want = {1, 2, 4, 6};
+  EXPECT_EQ(model.legal_partition_sizes(), want);
+  EXPECT_TRUE(model.is_legal_partition(0, 2));
+  EXPECT_TRUE(model.is_legal_partition(4, 2));
+  EXPECT_FALSE(model.is_legal_partition(1, 2));   // misaligned
+  EXPECT_FALSE(model.is_legal_partition(0, 3));   // not a power of two
+  EXPECT_TRUE(model.is_legal_partition(0, 6));    // full machine
+  EXPECT_FALSE(model.is_legal_partition(2, 6));   // full machine starts at 0
+}
+
 }  // namespace
 }  // namespace coral

@@ -449,5 +449,105 @@ TEST(ObsEndToEnd, CoanalysisProducesATraceAcrossLayers) {
   EXPECT_TRUE(valid_json(obs::chrome_trace_json(bs)));
 }
 
+
+// ---- bounded span ring + labeled multi-tenant export -----------------------
+
+TEST(ObsRing, EvictsClosedSpansBeyondCapacityFifo) {
+  obs::Collector c;
+  c.set_span_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    obs::Span s(&c, i % 2 == 0 ? "even" : "odd");
+  }
+  const obs::Snapshot snap = c.snapshot();
+  EXPECT_EQ(snap.spans.size(), 4u);
+  EXPECT_EQ(snap.spans_dropped, 6u);
+  EXPECT_EQ(c.spans_dropped(), 6u);
+  // The survivors are the newest four, in order: odd, even, odd, even.
+  EXPECT_EQ(snap.spans[0].name, "even");
+  EXPECT_EQ(snap.spans[3].name, "odd");
+}
+
+TEST(ObsRing, OpenFrontSpanPinsTheRing) {
+  obs::Collector c;
+  c.set_span_capacity(2);
+  {
+    obs::Span outer(&c, "outer");  // open: its live handle pins the front
+    for (int i = 0; i < 8; ++i) {
+      obs::Span child(&c, "child");
+    }
+    // Eviction stops at the oldest open span, so nothing was dropped even
+    // though the ring is 4x over capacity.
+    EXPECT_EQ(c.spans_dropped(), 0u);
+    EXPECT_EQ(c.snapshot().spans.size(), 8u);  // the closed children
+  }
+  // Once the pin closes, the next record resumes eviction down to capacity.
+  {
+    obs::Span after(&c, "after");
+  }
+  EXPECT_GT(c.spans_dropped(), 0u);
+  const obs::Snapshot snap = c.snapshot();
+  ASSERT_LE(snap.spans.size(), 2u);
+  EXPECT_EQ(snap.spans.back().name, "after");
+}
+
+TEST(ObsRing, EvictedParentRemapsToRoot) {
+  obs::Collector c;
+  c.set_span_capacity(3);
+  {
+    obs::Span parent(&c, "parent");
+  }
+  // Push the closed parent out of the ring.
+  for (int i = 0; i < 6; ++i) {
+    obs::Span filler(&c, "filler");
+  }
+  for (const auto& s : c.snapshot().spans) {
+    EXPECT_EQ(s.parent, -1) << s.name;  // nothing may point at evicted slots
+  }
+}
+
+TEST(ObsRing, UnboundedByDefault) {
+  obs::Collector c;
+  for (int i = 0; i < 1000; ++i) {
+    obs::Span s(&c, "s");
+  }
+  EXPECT_EQ(c.snapshot().spans.size(), 1000u);
+  EXPECT_EQ(c.spans_dropped(), 0u);
+}
+
+TEST(ObsExport, LabeledPrometheusMatchesUnlabeledWhenLabelsEmpty) {
+  obs::Collector c;
+  CORAL_OBS_COUNT(&c, "events.seen", 42);
+  c.record_value("batch.ms", 3.5);
+  const obs::Snapshot snap = c.snapshot();
+  EXPECT_EQ(obs::prometheus_text(snap), obs::prometheus_text(snap, ""));
+}
+
+TEST(ObsExport, MultiTenantExpositionEmitsEachFamilyOnce) {
+  obs::Collector a, b;
+  CORAL_OBS_COUNT(&a, "session.bytes.accepted", 100);
+  CORAL_OBS_COUNT(&b, "session.bytes.accepted", 250);
+  const std::string text = obs::prometheus_text(
+      {{"tenant=\"alpha\"", a.snapshot()}, {"tenant=\"beta\"", b.snapshot()}});
+  const std::string type_line =
+      "# TYPE coral_session_bytes_accepted_total counter";
+  EXPECT_EQ(text.find(type_line), text.rfind(type_line)) << text;
+  EXPECT_NE(
+      text.find("coral_session_bytes_accepted_total{tenant=\"alpha\"} 100"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("coral_session_bytes_accepted_total{tenant=\"beta\"} 250"),
+      std::string::npos);
+}
+
+TEST(ObsExport, SpansDroppedSurfacesInSnapshot) {
+  obs::Collector c;
+  c.set_span_capacity(1);
+  for (int i = 0; i < 3; ++i) {
+    obs::Span s(&c, "x");
+  }
+  EXPECT_EQ(c.snapshot().spans_dropped, 2u);
+}
+
 }  // namespace
 }  // namespace coral
