@@ -14,7 +14,7 @@
 #              assert end-state parity against the offline batch engine.
 #   bench    — runs the perf_* suites on the release build and merges the
 #              results into BENCH_coanalysis.json at the repo root, failing
-#              on a >25% regression versus the committed numbers.
+#              on a >10% cpu_time regression versus the committed numbers.
 #   coverage — rebuilds with gcc --coverage, runs the full suite, and gates
 #              line coverage on src/coral at 80% plus branch coverage on the
 #              filter/matching kernels at 92% via scripts/coverage.py
@@ -196,7 +196,7 @@ if [ "$RUN_BENCH" -eq 1 ]; then
              "$BENCH_OUT"/perf_pipeline.json \
     --streaming "$BENCH_OUT"/perf_streaming.json \
     --obs "$BENCH_DIR"/BENCH_streaming.json \
-    --max-regression 0.25
+    --max-regression 0.10
 fi
 
 if [ "$RUN_COVERAGE" -eq 1 ]; then

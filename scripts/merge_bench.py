@@ -15,9 +15,13 @@ real time, and merges the result into the committed trajectory file:
 "baseline" is historical (written once, before the columnar rewrite) and
 never touched; "current" is the regression reference: any bench that got
 more than --max-regression slower than the committed "current" entry
-fails the run. Benches faster than --gate-floor-ms are reported but not
-gated — at microsecond scale, scheduler noise on a shared CI box easily
-exceeds any sane threshold.
+fails the run. Only gbench cpu_time entries are gated. Bench names are
+keyed by function name with gbench's '/'-joined argument suffixes
+(min_time:, threads:, Args) stripped, and a committed cpu_time entry
+with no fresh counterpart fails the gate rather than being skipped.
+Benches faster than --gate-floor-ms are reported but not gated — at
+microsecond scale, scheduler noise on a shared CI box easily exceeds
+any sane threshold.
 
 The perf_streaming per-mode wall numbers are recorded but never gated:
 they are fork-based wall measurements of a few-ms run, observed swinging
@@ -31,6 +35,18 @@ import json
 import sys
 
 GBENCH_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def normalize_gbench(name):
+    """Strip google-benchmark's '/'-joined run arguments from a bench name.
+
+    gbench appends ->Arg()/->MinTime()/->Threads() settings to the reported
+    name ("BM_Foo/min_time:0.500"), so tuning a bench silently forks its
+    trajectory key: the suffixed fresh name never matches the committed
+    entry, both sides print as "new", and the regression gate stops
+    comparing that series. Key everything by the function name instead.
+    """
+    return name.split("/")[0]
 
 
 def load_gbench(path):
@@ -49,7 +65,11 @@ def load_gbench(path):
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
-        out[bench["name"]] = bench["cpu_time"] * GBENCH_TO_MS[bench["time_unit"]]
+        name = normalize_gbench(bench["name"])
+        if name in out:
+            sys.exit(f"merge_bench.py: {path}: duplicate bench key {name!r} "
+                     "after argument-suffix normalization")
+        out[name] = bench["cpu_time"] * GBENCH_TO_MS[bench["time_unit"]]
     return out
 
 
@@ -90,8 +110,8 @@ def main():
     ap.add_argument("--obs", help="obs snapshot JSON (the BENCH_streaming.json "
                     "artifact) for the informational per-stage totals; defaults "
                     "to the --streaming file")
-    ap.add_argument("--max-regression", type=float, default=0.25,
-                    help="fail when current/committed - 1 exceeds this (default 0.25)")
+    ap.add_argument("--max-regression", type=float, default=0.10,
+                    help="fail when current/committed - 1 exceeds this (default 0.10)")
     ap.add_argument("--gate-floor-ms", type=float, default=0.5,
                     help="skip the gate for benches faster than this (default 0.5 ms)")
     args = ap.parse_args()
@@ -117,9 +137,28 @@ def main():
             doc = json.load(f)
     except FileNotFoundError:
         doc = {}
-    committed = doc.get("current", {})
+    # Normalize the committed keys the same way as the fresh gbench keys, so
+    # a trajectory recorded before the normalization (or with a different
+    # MinTime) still lines up. perf_streaming/<mode> keys are this script's
+    # own naming, not gbench's — the '/' is load-bearing there.
+    committed = {}
+    for name, ms in doc.get("current", {}).items():
+        key = name if name.startswith("perf_streaming/") else normalize_gbench(name)
+        committed[key] = ms
 
     failures = []
+    # A committed cpu_time entry with no fresh counterpart means the gate
+    # silently stopped covering that series (bench renamed or dropped, or a
+    # suite not passed to --gbench). That is exactly how the suffix bug hid:
+    # fail loudly instead. Streaming wall entries are trajectory-only, so a
+    # run without --streaming legitimately leaves them untouched.
+    if args.gbench:
+        stale = [name for name in sorted(committed)
+                 if not name.startswith("perf_streaming/") and name not in fresh]
+        for name in stale:
+            print(f"  GONE  {name}: committed {committed[name]:.3f} ms has no "
+                  "fresh result")
+        failures.extend(stale)
     for name in sorted(fresh):
         now = fresh[name]
         ref = committed.get(name)
@@ -136,8 +175,9 @@ def main():
             failures.append(name)
 
     if failures:
-        sys.exit(f"merge_bench.py: regression over {args.max_regression:.0%} in: "
-                 + ", ".join(failures))
+        sys.exit(f"merge_bench.py: gate failed (regression over "
+                 f"{args.max_regression:.0%}, or committed entry without a "
+                 "fresh result) in: " + ", ".join(failures))
 
     merged = dict(committed)
     merged.update(fresh)

@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "coral/core/characterization.hpp"
 #include "coral/core/identification.hpp"
 
 namespace coral::core {
@@ -55,7 +56,19 @@ struct ClassificationResult {
   Cause cause_of(ras::ErrcodeId code) const { return by_code.at(code).cause; }
 };
 
-/// Distinguish system failures from application errors.
+/// Distinguish system failures from application errors. The columnar
+/// overload runs the rules over CharColumns (per-code CSR interruption
+/// buckets, survivor binary search) with independent codes fanned over
+/// `pool`; the convenience overload gathers the columns itself. Results are
+/// identical.
+ClassificationResult classify_causes(const filter::FilterPipelineResult& filtered,
+                                     const MatchResult& matches,
+                                     const IdentificationResult& identification,
+                                     const joblog::JobLog& jobs,
+                                     const CharColumns& cols,
+                                     const ClassificationConfig& config = {},
+                                     par::ThreadPool* pool = nullptr);
+
 ClassificationResult classify_causes(const filter::FilterPipelineResult& filtered,
                                      const MatchResult& matches,
                                      const IdentificationResult& identification,

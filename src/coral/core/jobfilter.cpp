@@ -1,104 +1,175 @@
 #include "coral/core/jobfilter.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
+
+#include "coral/joblog/interval_index.hpp"
 
 namespace coral::core {
 
 namespace {
 
-struct GroupObs {
-  std::size_t group = 0;
-  TimePoint time;
-  bgp::Location location;         ///< representative (fault) location
-  std::vector<std::size_t> jobs;  ///< interrupted job indices
+/// Interrupting groups bucketed by errcode (CSR). Groups are ordered by
+/// representative time, so the stable scatter keeps every bucket
+/// time-ordered — the order the redundancy chains are followed in.
+struct GroupBuckets {
+  std::vector<ras::ErrcodeId> codes;  ///< ascending, one per non-empty bucket
+  std::vector<std::uint32_t> offset;
+  std::vector<std::uint32_t> group;  ///< group indices, time-ordered per bucket
 };
+
+GroupBuckets bucket_interrupting_groups(const MatchResult& matches,
+                                        const CharColumns& cols) {
+  GroupBuckets b;
+  const std::size_t n_groups = cols.group_count();
+  std::vector<std::uint32_t> interrupting;
+  ras::ErrcodeId max_code = 0;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    if (matches.jobs_by_group[g].empty()) continue;
+    interrupting.push_back(static_cast<std::uint32_t>(g));
+    max_code = std::max(max_code, cols.group_code[g]);
+  }
+  if (interrupting.empty()) {
+    b.offset.assign(1, 0);
+    return b;
+  }
+  std::vector<std::int32_t> bucket_of(static_cast<std::size_t>(max_code) + 1, -1);
+  for (const std::uint32_t g : interrupting) {
+    bucket_of[static_cast<std::size_t>(cols.group_code[g])] = 0;
+  }
+  for (std::size_t c = 0; c < bucket_of.size(); ++c) {
+    if (bucket_of[c] < 0) continue;
+    bucket_of[c] = static_cast<std::int32_t>(b.codes.size());
+    b.codes.push_back(static_cast<ras::ErrcodeId>(c));
+  }
+  b.offset.assign(b.codes.size() + 1, 0);
+  for (const std::uint32_t g : interrupting) {
+    b.offset[static_cast<std::size_t>(
+        bucket_of[static_cast<std::size_t>(cols.group_code[g])]) + 1] += 1;
+  }
+  for (std::size_t i = 0; i < b.codes.size(); ++i) b.offset[i + 1] += b.offset[i];
+  b.group.resize(interrupting.size());
+  std::vector<std::uint32_t> cursor(b.offset.begin(), b.offset.end() - 1);
+  for (const std::uint32_t g : interrupting) {
+    b.group[cursor[static_cast<std::size_t>(
+        bucket_of[static_cast<std::size_t>(cols.group_code[g])])]++] = g;
+  }
+  return b;
+}
 
 }  // namespace
 
 JobFilterResult job_related_filter(const filter::FilterPipelineResult& filtered,
                                    const MatchResult& matches,
                                    const ClassificationResult& classification,
-                                   const joblog::JobLog& jobs,
-                                   const JobFilterConfig& config) {
+                                   const joblog::JobLog& jobs, const CharColumns& cols,
+                                   const JobFilterConfig& config, par::ThreadPool* pool) {
+  (void)filtered;
   JobFilterResult result;
+  const std::size_t n_groups = cols.group_count();
 
-  // Interrupting groups per errcode, in time order.
-  std::map<ras::ErrcodeId, std::vector<GroupObs>> by_code;
-  for (std::size_t g = 0; g < filtered.groups.size(); ++g) {
-    if (matches.jobs_by_group[g].empty()) continue;
-    const ras::RasEvent& rep = filtered.fatal_events[filtered.groups[g].rep];
-    by_code[rep.errcode].push_back(
-        {g, rep.event_time, rep.location, matches.jobs_by_group[g]});
-  }
-
-  // Survivor jobs (not interrupted), used for the "no job executed in
-  // between" test of the system-failure rule.
-  std::vector<std::size_t> survivors;
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    if (!matches.group_by_job[j]) survivors.push_back(j);
-  }
+  const GroupBuckets buckets = bucket_interrupting_groups(matches, cols);
 
   // Did any untroubled job run *on the failed hardware itself* between the
   // two reports? (The paper's "no job executed between these two events".)
-  const auto survivor_between = [&](const bgp::Location& where, TimePoint a, TimePoint b) {
-    for (std::size_t s : survivors) {
-      const joblog::JobRecord& job = jobs[s];
-      if (job.start_time <= a || job.end_time >= b) continue;
-      if (job.partition.covers(where)) return true;
+  // The per-midplane interval index narrows the candidates to jobs whose
+  // partition contains the location's midplane(s) — one bucket for sub-rack
+  // locations, midplanes_per_rack buckets for rack-level ones — and the
+  // start-ordered slice turns the time window into a binary search plus a
+  // contiguous scan.
+  const joblog::IntervalIndex& index = jobs.interval_index();
+  const machine::LocCodec codec = jobs.machine().codec();
+  const auto survivor_between = [&](std::uint32_t loc_key, TimePoint a, TimePoint b) {
+    bgp::MidplaneId first = 0;
+    int span = 1;
+    if (codec.is_rack(loc_key)) {
+      first = codec.rack_first_midplane(loc_key);
+      span = codec.midplanes_per_rack;
+    } else {
+      first = codec.midplane_of(loc_key);
+    }
+    for (bgp::MidplaneId m = first; m < first + span; ++m) {
+      const joblog::IntervalIndex::StartSlice s = index.starts(m);
+      std::size_t i = static_cast<std::size_t>(
+          std::upper_bound(s.start_time.begin(), s.start_time.end(), a) -
+          s.start_time.begin());
+      for (; i < s.start_time.size() && s.start_time[i] < b; ++i) {
+        if (s.end_time[i] < b && cols.job_group[s.job[i]] < 0) return true;
+      }
     }
     return false;
   };
 
-  std::set<std::size_t> redundant;
-  for (auto& [code, v] : by_code) {
-    std::sort(v.begin(), v.end(),
-              [](const GroupObs& a, const GroupObs& b) { return a.time < b.time; });
-    const bool app_error =
-        classification.by_code.count(code) != 0 &&
-        classification.by_code.at(code).cause == Cause::ApplicationError;
+  // Each errcode's redundancy chain is independent of every other code's
+  // (a group belongs to exactly one bucket), so the buckets fan over the
+  // pool; the (removed, anchor) pairs land in per-bucket vectors and merge
+  // serially in ascending-code order.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> removed(buckets.codes.size());
+  par::parallel_for_chunks(buckets.codes.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t bkt = lo; bkt < hi; ++bkt) {
+      const std::uint32_t* v = buckets.group.data() + buckets.offset[bkt];
+      const std::size_t len = buckets.offset[bkt + 1] - buckets.offset[bkt];
+      const auto cit = classification.by_code.find(buckets.codes[bkt]);
+      const bool app_error =
+          cit != classification.by_code.end() && cit->second.cause == Cause::ApplicationError;
 
-    // anchor[i] = the group each later observation may be redundant to;
-    // transitivity: the anchor of a redundant observation is the anchor of
-    // its predecessor.
-    for (std::size_t i = 1; i < v.size(); ++i) {
-      for (std::size_t k = i; k-- > 0;) {
-        if (v[i].time - v[k].time > config.horizon) break;
-        if (redundant.count(v[k].group)) continue;  // compare against anchors only
-        bool is_redundant = false;
-        if (app_error) {
-          // Same executable interrupted by the same code before.
-          for (std::size_t ji : v[i].jobs) {
-            for (std::size_t jk : v[k].jobs) {
-              if (jobs[ji].exec_id == jobs[jk].exec_id) {
-                is_redundant = true;
-                break;
+      // red[i] = observation i is redundant; transitivity: the anchor of a
+      // redundant observation is the anchor of its predecessor.
+      std::vector<std::uint8_t> red(len, 0);
+      for (std::size_t i = 1; i < len; ++i) {
+        for (std::size_t k = i; k-- > 0;) {
+          if (cols.group_time[v[i]] - cols.group_time[v[k]] > config.horizon) break;
+          if (red[k]) continue;  // compare against anchors only
+          bool is_redundant = false;
+          if (app_error) {
+            // Same executable interrupted by the same code before.
+            for (const std::size_t ji : matches.jobs_by_group[v[i]]) {
+              for (const std::size_t jk : matches.jobs_by_group[v[k]]) {
+                if (jobs[ji].exec_id == jobs[jk].exec_id) {
+                  is_redundant = true;
+                  break;
+                }
               }
+              if (is_redundant) break;
             }
-            if (is_redundant) break;
+          } else {
+            // Same failed hardware, and no untroubled job ran on it in
+            // between.
+            if (cols.group_loc[v[i]] == cols.group_loc[v[k]] &&
+                !survivor_between(cols.group_loc[v[k]], cols.group_time[v[k]],
+                                  cols.group_time[v[i]])) {
+              is_redundant = true;
+            }
           }
-        } else {
-          // Same failed hardware, and no untroubled job ran on it in
-          // between.
-          if (v[i].location == v[k].location &&
-              !survivor_between(v[k].location, v[k].time, v[i].time)) {
-            is_redundant = true;
+          if (is_redundant) {
+            red[i] = 1;
+            removed[bkt].push_back({v[i], v[k]});
+            break;
           }
-        }
-        if (is_redundant) {
-          redundant.insert(v[i].group);
-          result.redundant_to[v[i].group] = v[k].group;
-          break;
         }
       }
     }
-  }
+  }, pool);
 
-  for (std::size_t g = 0; g < filtered.groups.size(); ++g) {
-    if (!redundant.count(g)) result.kept.push_back(g);
+  std::vector<std::uint8_t> redundant(n_groups, 0);
+  for (const auto& pairs : removed) {
+    for (const auto& [g, anchor] : pairs) {
+      redundant[g] = 1;
+      result.redundant_to[g] = anchor;
+    }
+  }
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    if (!redundant[g]) result.kept.push_back(g);
   }
   return result;
+}
+
+JobFilterResult job_related_filter(const filter::FilterPipelineResult& filtered,
+                                   const MatchResult& matches,
+                                   const ClassificationResult& classification,
+                                   const joblog::JobLog& jobs,
+                                   const JobFilterConfig& config) {
+  return job_related_filter(filtered, matches, classification, jobs,
+                            build_char_columns(filtered, matches, jobs), config);
 }
 
 }  // namespace coral::core

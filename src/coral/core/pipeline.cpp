@@ -28,6 +28,7 @@ CoAnalysisResult complete_coanalysis(filter::FilterPipelineResult filtered,
   r.matches = std::move(matches);
 
   InstrumentationSink* sink = ctx.sink();
+  par::ThreadPool* pool = ctx.pool();
 
   // Step 1 (continued): identify the interruption-related errcodes (§IV-A).
   {
@@ -37,11 +38,20 @@ CoAnalysisResult complete_coanalysis(filter::FilterPipelineResult filtered,
     timer.counts(r.filtered.groups.size(), r.identification.verdicts.size());
   }
 
+  // Shared columnar inputs of the characterization stages: gathered once,
+  // scanned by classification, job filter, propagation and vulnerability.
+  CharColumns cols;
+  {
+    StageTimer timer(sink, "char.columns");
+    cols = build_char_columns(r.filtered, r.matches, jobs, pool);
+    timer.counts(jobs.size(), cols.survivor_job.size());
+  }
+
   // Step 2: separate system failures from application errors (§IV-B).
   {
     StageTimer timer(sink, "classification");
     r.classification = classify_causes(r.filtered, r.matches, r.identification, jobs,
-                                       config.classification);
+                                       cols, config.classification, pool);
     timer.counts(r.identification.verdicts.size(), r.classification.by_code.size());
   }
 
@@ -49,21 +59,22 @@ CoAnalysisResult complete_coanalysis(filter::FilterPipelineResult filtered,
   {
     StageTimer timer(sink, "job_filter");
     r.job_filter = job_related_filter(r.filtered, r.matches, r.classification, jobs,
-                                      config.job_filter);
+                                      cols, config.job_filter, pool);
     timer.counts(r.filtered.groups.size(), r.job_filter.kept.size());
   }
 
   // Characterization: propagation and vulnerability (§VI-C, §VI-D).
   {
     StageTimer timer(sink, "propagation");
-    r.propagation = analyze_propagation(r.filtered, r.matches, jobs, config.propagation);
+    r.propagation =
+        analyze_propagation(r.filtered, r.matches, jobs, cols, config.propagation, pool);
     timer.counts(r.matches.interruptions.size(), r.propagation.propagating_codes.size());
   }
   {
     StageTimer timer(sink, "vulnerability");
     r.vulnerability =
-        analyze_vulnerability(r.filtered, r.matches, r.classification, jobs,
-                              config.vulnerability);
+        analyze_vulnerability(r.filtered, r.matches, r.classification, jobs, cols,
+                              config.vulnerability, pool);
     timer.counts(r.matches.interruptions.size(), jobs.size());
   }
 

@@ -1,59 +1,84 @@
 #include "coral/core/propagation.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <mutex>
 
 namespace coral::core {
 
 PropagationResult analyze_propagation(const filter::FilterPipelineResult& filtered,
                                       const MatchResult& matches,
-                                      const joblog::JobLog& jobs,
-                                      const PropagationConfig& config) {
+                                      const joblog::JobLog& jobs, const CharColumns& cols,
+                                      const PropagationConfig& config,
+                                      par::ThreadPool* pool) {
+  (void)filtered;
+  (void)jobs;
   PropagationResult result;
+  const std::size_t n_groups = cols.group_count();
 
   // --- Spatial propagation: one event, several victim jobs elsewhere ----
-  for (std::size_t g = 0; g < filtered.groups.size(); ++g) {
+  // A pair of victims with non-overlapping partitions exists iff the
+  // largest range start is >= the smallest range end: if the extremes come
+  // from two different victims they are that pair, and they cannot come
+  // from one victim (its own start < its own end). One pass per group
+  // instead of the pairwise scan.
+  for (std::size_t g = 0; g < n_groups; ++g) {
     const auto& victims = matches.jobs_by_group[g];
     if (victims.size() < 2) continue;
-    bool disjoint = false;
-    for (std::size_t i = 0; i + 1 < victims.size() && !disjoint; ++i) {
-      for (std::size_t k = i + 1; k < victims.size(); ++k) {
-        if (!jobs[victims[i]].partition.overlaps(jobs[victims[k]].partition)) {
-          disjoint = true;
-          break;
-        }
-      }
+    std::int32_t max_first = std::numeric_limits<std::int32_t>::min();
+    std::int32_t min_end = std::numeric_limits<std::int32_t>::max();
+    for (const std::size_t j : victims) {
+      max_first = std::max(max_first, cols.job_part_first[j]);
+      min_end = std::min(min_end, cols.job_part_end[j]);
     }
-    if (disjoint) {
+    if (max_first >= min_end) {
       result.propagating_groups.push_back(g);
-      result.propagating_codes.insert(
-          filtered.fatal_events[filtered.groups[g].rep].errcode);
+      result.propagating_codes.insert(cols.group_code[g]);
     }
   }
-  if (!filtered.groups.empty()) {
+  if (n_groups != 0) {
     result.propagating_event_fraction =
         static_cast<double>(result.propagating_groups.size()) /
-        static_cast<double>(filtered.groups.size());
+        static_cast<double>(n_groups);
   }
 
   // --- Temporal propagation: resubmission placement ----------------------
-  // Jobs of each executable in start order; a run that follows an
-  // interrupted run within the gap is its resubmission.
-  std::map<joblog::ExecId, std::vector<std::size_t>> runs;
-  for (std::size_t j = 0; j < jobs.size(); ++j) runs[jobs[j].exec_id].push_back(j);
-  for (auto& [exec, v] : runs) {
-    std::sort(v.begin(), v.end(), [&jobs](std::size_t a, std::size_t b) {
-      return jobs[a].start_time < jobs[b].start_time;
-    });
-    for (std::size_t i = 0; i + 1 < v.size(); ++i) {
-      if (!matches.group_by_job[v[i]]) continue;  // prior run not interrupted
-      const joblog::JobRecord& prev = jobs[v[i]];
-      const joblog::JobRecord& next = jobs[v[i + 1]];
-      if (next.queue_time - prev.end_time > config.resubmit_gap) continue;
-      result.resubmissions_after_interruption += 1;
-      if (next.partition == prev.partition) result.resubmissions_same_partition += 1;
+  // Each executable's runs are a contiguous start-ordered chain slice; a run
+  // that follows an interrupted run within the gap is its resubmission. The
+  // chains are independent and the tallies are integer sums, so the loop
+  // fans over the pool and merges per-chunk partials deterministically.
+  const std::size_t n_exec = cols.exec_count();
+  std::mutex merge;
+  par::parallel_for_chunks(n_exec, 256, [&](std::size_t lo, std::size_t hi) {
+    std::size_t after = 0, same = 0;
+    for (std::size_t e = lo; e < hi; ++e) {
+      const std::uint32_t* chain = cols.chain_job.data() + cols.chain_offset[e];
+      const std::size_t len = cols.chain_offset[e + 1] - cols.chain_offset[e];
+      for (std::size_t i = 0; i + 1 < len; ++i) {
+        const std::uint32_t prev = chain[i];
+        if (cols.job_group[prev] < 0) continue;  // prior run not interrupted
+        const std::uint32_t next = chain[i + 1];
+        if (cols.job_queue[next] - cols.job_end[prev] > config.resubmit_gap) continue;
+        after += 1;
+        if (cols.job_part_first[next] == cols.job_part_first[prev] &&
+            cols.job_part_end[next] == cols.job_part_end[prev]) {
+          same += 1;
+        }
+      }
     }
-  }
+    const std::lock_guard<std::mutex> lock(merge);
+    result.resubmissions_after_interruption += after;
+    result.resubmissions_same_partition += same;
+  }, pool);
   return result;
+}
+
+PropagationResult analyze_propagation(const filter::FilterPipelineResult& filtered,
+                                      const MatchResult& matches,
+                                      const joblog::JobLog& jobs,
+                                      const PropagationConfig& config) {
+  return analyze_propagation(filtered, matches, jobs,
+                             build_char_columns(filtered, matches, jobs), config);
 }
 
 }  // namespace coral::core

@@ -36,6 +36,17 @@ struct PropagationConfig {
   Usec resubmit_gap = 3 * kUsecPerDay;
 };
 
+/// The columnar overload drives the spatial pass from the per-job partition
+/// ranges (a disjoint victim pair exists iff max(first) >= min(end)) and the
+/// temporal pass from the exec-chain CSR, fanned over `pool`; the
+/// convenience overload gathers the columns itself. Results are identical.
+PropagationResult analyze_propagation(const filter::FilterPipelineResult& filtered,
+                                      const MatchResult& matches,
+                                      const joblog::JobLog& jobs,
+                                      const CharColumns& cols,
+                                      const PropagationConfig& config = {},
+                                      par::ThreadPool* pool = nullptr);
+
 PropagationResult analyze_propagation(const filter::FilterPipelineResult& filtered,
                                       const MatchResult& matches,
                                       const joblog::JobLog& jobs,

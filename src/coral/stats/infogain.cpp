@@ -34,21 +34,51 @@ GainScore gain_ratio(const FeatureColumn& feature, std::span<const std::uint8_t>
   const std::size_t class_counts[2] = {n - pos, pos};
   const double h_class = entropy(class_counts);
 
-  // Per-feature-value class counts.
-  std::map<int, std::array<std::size_t, 2>> groups;
-  for (std::size_t i = 0; i < n; ++i) {
-    groups[feature.values[i]][labels[i] ? 1 : 0] += 1;
-  }
-
+  // Per-feature-value class counts. Feature values are tiny enumerations
+  // (bucket/row/flag indices), so a flat array indexed by value replaces the
+  // per-instance ordered-map lookup; iterating it ascending accumulates
+  // h_cond in exactly the map's key order, keeping the doubles bit-identical.
+  // Values outside [0, 256) (or negative) fall back to the map.
   double h_cond = 0;
   std::vector<std::size_t> value_counts;
-  value_counts.reserve(groups.size());
-  for (const auto& [value, counts] : groups) {
-    (void)value;
-    const std::size_t group_n = counts[0] + counts[1];
-    value_counts.push_back(group_n);
-    const double w = static_cast<double>(group_n) / static_cast<double>(n);
-    h_cond += w * entropy(counts);
+  constexpr int kFlatLimit = 256;
+  bool flat = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int v = feature.values[i];
+    if (v < 0 || v >= kFlatLimit) {
+      flat = false;
+      break;
+    }
+  }
+  if (flat) {
+    std::array<std::array<std::size_t, 2>, kFlatLimit> counts{};
+    int max_v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int v = feature.values[i];
+      counts[static_cast<std::size_t>(v)][labels[i] ? 1 : 0] += 1;
+      max_v = std::max(max_v, v);
+    }
+    for (int v = 0; v <= max_v; ++v) {
+      const auto& c = counts[static_cast<std::size_t>(v)];
+      const std::size_t group_n = c[0] + c[1];
+      if (group_n == 0) continue;
+      value_counts.push_back(group_n);
+      const double w = static_cast<double>(group_n) / static_cast<double>(n);
+      h_cond += w * entropy(c);
+    }
+  } else {
+    std::map<int, std::array<std::size_t, 2>> groups;
+    for (std::size_t i = 0; i < n; ++i) {
+      groups[feature.values[i]][labels[i] ? 1 : 0] += 1;
+    }
+    value_counts.reserve(groups.size());
+    for (const auto& [value, counts] : groups) {
+      (void)value;
+      const std::size_t group_n = counts[0] + counts[1];
+      value_counts.push_back(group_n);
+      const double w = static_cast<double>(group_n) / static_cast<double>(n);
+      h_cond += w * entropy(counts);
+    }
   }
 
   score.info_gain = h_class - h_cond;

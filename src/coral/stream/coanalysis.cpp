@@ -205,6 +205,7 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
   phase2_timer.counts(spatial_total, groups_total);
   phase2_timer.report();
   StageTimer merge_timer(sink, "merge");
+  obs::Span merge_span(obs, "stream.merge");
   r.filtered.stages.push_back({"raw FATAL records", fatal_count, fatal_count});
   r.filtered.stages.push_back({"temporal", fatal_count, temporal_total});
   r.filtered.stages.push_back({"spatial", temporal_total, spatial_total});
@@ -243,6 +244,9 @@ FrontEndResult run_streaming_frontend(const ras::RasLog& ras, const joblog::JobL
   for (const ShardOutput& s : shard) {
     r.peak_stage_state = std::max({r.peak_stage_state, s.peak_phase1, s.peak_phase2});
   }
+  merge_span.counts(groups_total, r.matches.interruptions.size());
+  CORAL_OBS_VALUE(obs, "stream.peak_state", static_cast<double>(r.peak_stage_state));
+  CORAL_OBS_COUNT(obs, "stream.shards_used", static_cast<std::int64_t>(nshards));
   merge_timer.counts(groups_total, r.matches.interruptions.size());
   return r;
 }
