@@ -93,8 +93,21 @@ esac
 if [ "$RUN_SMOKE" -eq 1 ]; then
   echo "==== [smoke] scenario matrix (machines x packs x engines) ===="
   cmake --preset release
-  cmake --build --preset release -j "$JOBS" --target perf_scenarios
+  cmake --build --preset release -j "$JOBS" --target perf_scenarios coral_logtool
   build/release/bench/perf_scenarios --smoke
+
+  echo "==== [smoke] logtool v2 -> v3 convert + verify round trip ===="
+  LOGTOOL_OUT=$(mktemp -d)
+  trap 'rm -rf "$LOGTOOL_OUT"' EXIT
+  LOGTOOL=build/release/tools/coral_logtool
+  "$LOGTOOL" gen "$LOGTOOL_OUT/ras.v2" "$LOGTOOL_OUT/jobs.v2" --v2
+  "$LOGTOOL" convert "$LOGTOOL_OUT/ras.v2" "$LOGTOOL_OUT/ras.v3" --v3
+  "$LOGTOOL" convert "$LOGTOOL_OUT/jobs.v2" "$LOGTOOL_OUT/jobs.v3" --v3
+  "$LOGTOOL" verify "$LOGTOOL_OUT/ras.v2" "$LOGTOOL_OUT/ras.v3"
+  "$LOGTOOL" verify "$LOGTOOL_OUT/jobs.v2" "$LOGTOOL_OUT/jobs.v3"
+  "$LOGTOOL" info "$LOGTOOL_OUT/ras.v3"
+  rm -rf "$LOGTOOL_OUT"
+  trap - EXIT
 fi
 
 if [ "$RUN_DAEMON" -eq 1 ]; then

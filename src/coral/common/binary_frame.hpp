@@ -33,6 +33,12 @@ inline constexpr std::uint32_t kMaxBlockPayload = 1u << 24;
 inline constexpr std::size_t kBlockHeaderBytes =
     sizeof kBlockMagic + 2 * sizeof(std::uint32_t);
 
+/// Append one framed block (header + crc + payload) to a byte buffer —
+/// the in-memory counterpart of BlockWriter::flush(), so parallel writers
+/// can frame blocks on worker threads and concatenate the results into the
+/// exact byte sequence the serial writer produces.
+void append_frame(std::string& out, std::string_view payload);
+
 /// Accumulates payload bytes and writes them as framed blocks. Callers
 /// decide block granularity by calling flush(); destruction flushes any
 /// remaining bytes.

@@ -1,0 +1,96 @@
+#include "coral/common/storev3.hpp"
+
+#include <cstring>
+
+#include "coral/common/error.hpp"
+#include "coral/common/lz.hpp"
+
+namespace coral::bin {
+
+namespace {
+
+template <typename T>
+void append_raw(std::string& out, T v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof buf);
+}
+
+void append_string16(std::string& out, const std::string& s) {
+  append_raw(out, static_cast<std::uint16_t>(s.size()));
+  out.append(s);
+}
+
+}  // namespace
+
+void append_store_meta(std::string& out, const StoreMeta& meta) {
+  append_string16(out, meta.machine);
+  append_string16(out, meta.schema);
+  append_raw(out, meta.records_per_block);
+  append_raw(out, meta.flags);
+}
+
+StoreMeta parse_store_meta(PayloadCursor& cur) {
+  StoreMeta meta;
+  meta.machine = cur.get_string(cur.get<std::uint16_t>());
+  meta.schema = cur.get_string(cur.get<std::uint16_t>());
+  meta.records_per_block = cur.get<std::uint32_t>();
+  meta.flags = cur.get<std::uint8_t>();
+  return meta;
+}
+
+void append_segment_footer(std::string& out, const std::vector<SegmentEntry>& entries) {
+  append_raw(out, static_cast<std::uint32_t>(entries.size()));
+  for (const SegmentEntry& e : entries) {
+    append_raw(out, e.offset);
+    append_raw(out, e.count);
+    append_zone_map(out, e.zone);
+  }
+}
+
+void parse_segment_footer(PayloadCursor& cur, std::vector<SegmentEntry>& out) {
+  const auto n = cur.get<std::uint32_t>();
+  // A footer entry is 44 bytes; a count its own payload cannot hold is
+  // corruption, not a directory (a flipped count byte must not allocate
+  // gigabytes).
+  if (std::uint64_t{n} * kSegmentEntryBytes > cur.remaining()) {
+    throw ParseError("implausible segment footer entry count");
+  }
+  // Grow geometrically: an exact reserve here would reallocate the whole
+  // directory once per footer (a multi-segment file appends hundreds of
+  // footers), turning the directory build quadratic.
+  if (out.capacity() < out.size() + n) {
+    out.reserve(std::max<std::size_t>(out.size() + n, out.capacity() * 2));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SegmentEntry e;
+    e.offset = cur.get<std::uint64_t>();
+    e.count = cur.get<std::uint32_t>();
+    const std::string_view zb = cur.take(kZoneMapBytes);
+    std::size_t pos = 0;
+    read_zone_map(zb, pos, e.zone);
+    out.push_back(e);
+  }
+}
+
+void append_column_body(std::string& out, const std::string& raw, bool compress) {
+  const auto raw_size = static_cast<std::uint32_t>(raw.size());
+  if (compress) {
+    // Compress into place after the header, then back out unless it pays:
+    // a block must shrink by at least 1/8 to earn its decompression cost
+    // on the read path. Column bodies are already delta/dictionary-packed,
+    // so marginal LZ wins (a few percent) buy almost no bytes but slow
+    // every future read of the block; those blocks stay raw.
+    const std::size_t header_at = out.size();
+    out.push_back(static_cast<char>(kCodecLz));
+    append_raw(out, raw_size);
+    const std::size_t lz_size = lz::compress(raw, out);
+    if (lz_size + raw.size() / 8 <= raw.size()) return;
+    out.resize(header_at);
+  }
+  out.push_back(static_cast<char>(kCodecRaw));
+  append_raw(out, raw_size);
+  out.append(raw);
+}
+
+}  // namespace coral::bin

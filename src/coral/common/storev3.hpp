@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coral/common/binary_frame.hpp"
+#include "coral/common/zonemap.hpp"
+
+namespace coral::bin {
+
+/// Format machinery shared by the v3 RAS and job log stores (see
+/// ras/binary_io.hpp for the full layout contract). Both formats reuse the
+/// v2 CBLK framing and add three version-neutral payload shapes on top:
+///
+///   'M' meta: u16 len + machine name | u16 len + schema name |
+///       u32 records per block | u8 flags. Written twice; makes a file
+///       self-describing (which machine's codec, which column schema).
+///   per-block column header: u32 record count | 32-byte ZoneMap |
+///       u8 codec (0 = raw, 1 = in-repo LZ) | u32 raw (uncompressed) size |
+///       body. The count and zone map stay uncompressed so predicate
+///       pushdown can accept or skip a block without touching the body.
+///   'S' segment footer: u32 n | n x { u64 block offset, u32 record count,
+///       32-byte ZoneMap }, one entry per column block of the preceding
+///       segment. Offsets count from the end of the 8-byte file header,
+///       the coordinate every reader already reports. Footers let a reader
+///       rebuild the block directory of an append-grown file without
+///       decoding any record block, and let predicate reads skip
+///       zone-rejected blocks without faulting their pages in at all.
+
+inline constexpr std::uint8_t kCodecRaw = 0;
+inline constexpr std::uint8_t kCodecLz = 1;
+/// Meta flag: the writer had compression enabled (informational — each
+/// block carries its own codec byte, incompressible blocks stay raw).
+inline constexpr std::uint8_t kStoreFlagCompressed = 1;
+
+struct StoreMeta {
+  std::string machine;
+  std::string schema;
+  std::uint32_t records_per_block = 0;
+  std::uint8_t flags = 0;
+};
+
+/// Serialize the meta body (caller prepends the tag byte).
+void append_store_meta(std::string& out, const StoreMeta& meta);
+/// Parse a meta body (cursor past the tag byte); throws ParseError via the
+/// cursor on truncation.
+StoreMeta parse_store_meta(PayloadCursor& cur);
+
+/// One column block as recorded in a segment footer.
+struct SegmentEntry {
+  std::uint64_t offset = 0;  ///< frame offset, relative to the region start
+  std::uint32_t count = 0;   ///< records in the block
+  ZoneMap zone;
+};
+inline constexpr std::size_t kSegmentEntryBytes = 8 + 4 + kZoneMapBytes;
+
+/// Serialize a footer body (caller prepends the tag byte).
+void append_segment_footer(std::string& out, const std::vector<SegmentEntry>& entries);
+/// Parse a footer body (cursor past the tag byte), appending to `out`.
+/// Throws ParseError on truncation or an implausible entry count.
+void parse_segment_footer(PayloadCursor& cur, std::vector<SegmentEntry>& out);
+
+/// Append `codec | raw_size | body` for an already-built raw column body,
+/// compressing when asked and the result actually shrinks.
+void append_column_body(std::string& out, const std::string& raw, bool compress);
+
+/// Record-block bookkeeping for the pushdown obs counters: every record
+/// block seen is `total`; each is then `decoded` or (zone map rejected
+/// under a predicate) `skipped`.
+struct BlockCounters {
+  std::uint64_t total = 0;
+  std::uint64_t decoded = 0;
+  std::uint64_t skipped = 0;
+
+  void merge(const BlockCounters& o) {
+    total += o.total;
+    decoded += o.decoded;
+    skipped += o.skipped;
+  }
+};
+
+}  // namespace coral::bin

@@ -10,7 +10,7 @@
 namespace coral::fleet {
 
 /// The fleet wire protocol: every message is one CBLK frame (the same
-/// `"CBLK" | u32 size | u32 crc32 | payload` framing the binary-v2 log
+/// `"CBLK" | u32 size | u32 crc32 | payload` framing the binary v2/v3 log
 /// files use), whose payload starts with a one-byte message type. Reusing
 /// the log framing means the daemon's front door gets CRC integrity and
 /// self-locating resync for free — and the corrupt-frame fuzz corpus built
@@ -20,7 +20,7 @@ namespace coral::fleet {
 ///
 ///   -> Hello      name the tenant, its MachineModel and parse mode
 ///   <- Ok | Error
-///   -> RasData / JobData   raw v2 *file* bytes, any chunking
+///   -> RasData / JobData   raw v2/v3 *file* bytes, any chunking
 ///   -> Flush      drain the backlog now
 ///   <- Stats      live SessionStats as key=value lines
 ///   -> Finalize   end of both streams; run the co-analysis
@@ -34,8 +34,8 @@ namespace coral::fleet {
 inline constexpr char kMsgHello = 'H';
 inline constexpr char kMsgOk = 'O';
 inline constexpr char kMsgError = 'E';     ///< body: human-readable reason
-inline constexpr char kMsgRasData = 'R';   ///< body: raw RAS v2 file bytes
-inline constexpr char kMsgJobData = 'J';   ///< body: raw job v2 file bytes
+inline constexpr char kMsgRasData = 'R';   ///< body: raw RAS v2/v3 file bytes
+inline constexpr char kMsgJobData = 'J';   ///< body: raw job v2/v3 file bytes
 inline constexpr char kMsgFlush = 'F';
 inline constexpr char kMsgStats = 'S';     ///< body: key=value lines
 inline constexpr char kMsgFinalize = 'Q';

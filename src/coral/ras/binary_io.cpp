@@ -2,19 +2,33 @@
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
+#include <limits>
 #include <istream>
 #include <iterator>
+#include <memory>
 #include <optional>
 #include <ostream>
+#include <sstream>
 #include <streambuf>
 #include <string_view>
+#include <unordered_map>
 
 #include "coral/common/binary_frame.hpp"
 #include "coral/common/error.hpp"
 #include "coral/common/instrument.hpp"
 #include "coral/common/parallel.hpp"
+#include "coral/common/storev3.hpp"
 #include "coral/obs/obs.hpp"
 #include "coral/ras/binary_stream.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CORAL_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace coral::ras {
 
@@ -32,11 +46,13 @@ struct ViewBuf : std::streambuf {
 // The reference reader: the recovering BlockReader walked front to back,
 // feeding the shared incremental decoder — the same class the fleet
 // session/wire path runs, which is what makes network ingest byte-identical
-// to offline reads. Handles every damage shape, and defines the exact error
-// messages and lenient accounting the parallel fast path must reproduce.
+// to offline reads. Handles every damage shape and both format versions,
+// and defines the exact error messages and lenient accounting the parallel
+// fast paths must reproduce.
 RasLog read_region_sequential(std::string_view region, const Catalog& catalog,
                               ParseMode mode, const machine::MachineModel& machine,
-                              IngestReport& rep) {
+                              IngestReport& rep, const bin::ZoneFilter* filter,
+                              bin::BlockCounters& blocks, std::size_t reserve_div) {
   ViewBuf viewbuf(region);
   std::istream in(&viewbuf);
 
@@ -45,33 +61,88 @@ RasLog read_region_sequential(std::string_view region, const Catalog& catalog,
   // finish() as the exact number of records lost (the dictionary carries
   // the total).
   IngestReport frames;
-  bin::BlockReader blocks(in, mode, &frames, "binary RAS log");
+  bin::BlockReader reader(in, mode, &frames, "binary RAS log");
 
   RasStreamDecoder decoder(catalog, mode, machine);
   // Pre-size from the declared total, capped by what the region could
-  // physically hold so a corrupt count cannot force a huge allocation.
-  decoder.set_reserve_cap(region.size() / sizeof(PackedRecord));
+  // physically hold so a corrupt count cannot force a huge allocation
+  // (v3 blocks compress, so their floor is a few bytes per record).
+  decoder.set_reserve_cap(region.size() / reserve_div);
+  decoder.set_filter(filter);
   std::string payload;
-  while (blocks.next(payload)) {
-    decoder.on_payload(payload, blocks.block_offset() + bin::kBlockHeaderBytes);
+  while (reader.next(payload)) {
+    decoder.on_payload(payload, reader.block_offset() + bin::kBlockHeaderBytes);
   }
-  return decoder.finish(rep, frames);
+  RasLog log = decoder.finish(rep, frames);
+  blocks = decoder.block_counters();
+  return log;
 }
 
-// The fast path: index frames in place, decode the dictionary (the writer
-// always puts it in block 0), then fan CRC verification + record decode over
-// contiguous block ranges. Any framing anomaly defers to the sequential
-// reader, which is the authority on recovery; the caller's report is only
-// touched on a committed parallel result, so the fallback starts clean.
-RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
-                            ParseMode mode, const machine::MachineModel& machine,
-                            IngestReport& rep, par::ThreadPool& pool) {
-  const auto fall_back = [&] { return read_region_sequential(region, catalog, mode, machine, rep); };
+struct ChunkOut {
+  std::vector<RasEvent> events;
+  IngestReport rep;
+  std::uint64_t attempted = 0;
+  bin::BlockCounters blocks;
+  FatalColumns fatal;      ///< v3: fatal gather from emit; log_index is chunk-local
+  bool sorted = true;      ///< v3: chunk-local time order held at emit
+  bool damaged = false;    ///< lenient CRC failure: whole read falls back
+  std::string error;       ///< strict: first error in block order
+  bool has_error = false;
+};
 
-  std::vector<bin::FrameRef> frames;
-  if (!bin::index_frames(region, frames) || frames.empty()) return fall_back();
+/// Merge per-chunk results in chunk (== input) order into the caller's
+/// report and the output event vector.
+std::uint64_t merge_chunks(std::vector<ChunkOut>& outs, std::vector<RasEvent>& events,
+                           IngestReport& rep, bin::BlockCounters& blocks) {
+  std::uint64_t attempted = 0;
+  if (outs.size() == 1) {
+    events = std::move(outs[0].events);
+    rep.merge(outs[0].rep);
+    blocks.merge(outs[0].blocks);
+    return outs[0].attempted;
+  }
+  std::size_t total = 0;
+  for (const ChunkOut& out : outs) total += out.events.size();
+  events.reserve(total);
+  for (ChunkOut& out : outs) {
+    // Chunks assign RECIDs from their local emit position; rebase onto the
+    // global sequence so the TrustedRecids finalize sees 1..N.
+    const auto base = static_cast<std::int64_t>(events.size());
+    events.insert(events.end(), std::make_move_iterator(out.events.begin()),
+                  std::make_move_iterator(out.events.end()));
+    if (base != 0) {
+      for (std::size_t i = events.size() - out.events.size(); i < events.size(); ++i) {
+        events[i].recid += base;
+      }
+    }
+    rep.merge(out.rep);  // chunk order == offset order: samples stay sorted
+    blocks.merge(out.blocks);
+    attempted += out.attempted;
+  }
+  return attempted;
+}
+
+std::size_t chunk_count(std::size_t nblocks, par::ThreadPool& pool) {
+  // 4 chunks per thread for load balance; a single-thread pool gets one
+  // chunk so the merge is a plain move.
+  return pool.thread_count() <= 1
+             ? 1
+             : std::max<std::size_t>(1, std::min(nblocks, pool.thread_count() * 4));
+}
+
+// The v2 fast path: the dictionary lives in block 0, every other block is
+// decoded independently across contiguous block ranges. Any framing anomaly
+// defers to the sequential reader, which is the authority on recovery; the
+// caller's report is only touched on a committed parallel result, so the
+// fallback starts clean.
+template <typename FallBack>
+RasLog read_region_parallel_v2(std::string_view region,
+                               const std::vector<bin::FrameRef>& frames,
+                               const Catalog& catalog, ParseMode mode,
+                               const machine::MachineModel& machine, IngestReport& rep,
+                               par::ThreadPool& pool, const bin::ZoneFilter* filter,
+                               bin::BlockCounters& blocks, const FallBack& fall_back) {
   const char* base = region.data();
-  if (base[frames[0].offset + bin::kBlockHeaderBytes] != kRasDictTag) return fall_back();
 
   // Block 0 carries the dictionary, so any error in it — CRC or content — is
   // also the sequential reader's first error; order is preserved by handling
@@ -98,22 +169,8 @@ RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
     }
   }
 
-  struct ChunkOut {
-    std::vector<RasEvent> events;
-    IngestReport rep;
-    std::uint64_t attempted = 0;
-    bool damaged = false;    ///< lenient CRC failure: whole read falls back
-    std::string error;       ///< strict: first error in block order
-    bool has_error = false;
-  };
-
   const std::size_t nblocks = frames.size() - 1;
-  // 4 chunks per thread for load balance; a single-thread pool gets one
-  // chunk so the merge below is a plain move.
-  const std::size_t chunks =
-      pool.thread_count() <= 1
-          ? 1
-          : std::max<std::size_t>(1, std::min(nblocks, pool.thread_count() * 4));
+  const std::size_t chunks = chunk_count(nblocks, pool);
   std::vector<ChunkOut> outs(chunks);
 
   par::parallel_for_chunks(
@@ -152,8 +209,10 @@ RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
                 }
                 continue;
               }
+              ++out.blocks.total;
               decode_ras_records(cur, &dict, mode, machine, out.rep, out.events,
-                                 out.attempted);
+                                 out.attempted, filter);
+              ++out.blocks.decoded;
             } catch (const Error& e) {
               if (mode == ParseMode::Strict) {
                 out.has_error = true;
@@ -181,23 +240,8 @@ RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
     }
   }
 
-  std::size_t total = 0;
-  for (const ChunkOut& out : outs) total += out.events.size();
   std::vector<RasEvent> events;
-  std::uint64_t attempted = 0;
-  if (outs.size() == 1) {
-    events = std::move(outs[0].events);
-    rep.merge(outs[0].rep);
-    attempted = outs[0].attempted;
-  } else {
-    events.reserve(total);
-    for (ChunkOut& out : outs) {
-      events.insert(events.end(), std::make_move_iterator(out.events.begin()),
-                    std::make_move_iterator(out.events.end()));
-      rep.merge(out.rep);  // chunk order == offset order: samples stay sorted
-      attempted += out.attempted;
-    }
-  }
+  const std::uint64_t attempted = merge_chunks(outs, events, rep, blocks);
 
   if (mode == ParseMode::Strict) {
     if (attempted != dict.total_records) {
@@ -209,7 +253,267 @@ RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
     rep.add_malformed_bulk(IngestReason::BinaryFrame, dict.total_records - attempted);
   }
 
-  return RasLog(std::move(events), catalog, machine);
+  return RasLog(std::move(events), catalog, machine, RasLog::TrustedRecids{});
+}
+
+// The v3 fast path: parse the writer-canonical metadata prefix
+// ('M' 'M' 'D' 'D' 'L' 'L') in order, rebuild the block directory from the
+// 'S' segment footers, then fan the 'C' blocks out. Under a predicate,
+// blocks whose footer entry zone-rejects are skipped without touching their
+// payload bytes at all (the mmap zero-copy win); blocks without a footer
+// entry (an appender's unsealed tail) fall back to the in-block zone map.
+// Any deviation from the canonical shape defers to the sequential reader.
+template <typename FallBack>
+RasLog read_region_parallel_v3(std::string_view region,
+                               const std::vector<bin::FrameRef>& frames,
+                               const Catalog& catalog, ParseMode mode,
+                               const machine::MachineModel& machine, IngestReport& rep,
+                               par::ThreadPool& pool, const bin::ZoneFilter* filter,
+                               bin::BlockCounters& blocks, const FallBack& fall_back) {
+  const char* base = region.data();
+  const auto tag_of = [&](const bin::FrameRef& f) {
+    return base[f.offset + bin::kBlockHeaderBytes];
+  };
+
+  static constexpr char kPrefix[6] = {kRasMetaTag, kRasMetaTag, kRasDictTag,
+                                      kRasDictTag, kRasLocTag,  kRasLocTag};
+  if (frames.size() < 6) return fall_back();
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (tag_of(frames[i]) != kPrefix[i]) return fall_back();
+  }
+
+  std::optional<RasDictionary> dict;
+  std::optional<RasLocDict> locs;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const bin::FrameRef& fr = frames[i];
+    const char* payload = base + fr.offset + bin::kBlockHeaderBytes;
+    if (bin::crc32(payload, fr.size) != fr.crc) {
+      // The prefix blocks are the stream's first blocks, so a strict CRC
+      // throw here is the sequential reader's first error too.
+      if (mode == ParseMode::Strict) {
+        throw ParseError("binary RAS log: block CRC mismatch at byte offset " +
+                         std::to_string(fr.offset));
+      }
+      return fall_back();  // the redundant copy may still be intact
+    }
+    bin::PayloadCursor cur(std::string_view(payload, fr.size),
+                           fr.offset + bin::kBlockHeaderBytes, "binary RAS log");
+    try {
+      const char tag = cur.get<char>();
+      if (tag == kRasMetaTag) {
+        const bin::StoreMeta meta = bin::parse_store_meta(cur);
+        if (meta.machine != machine.name() && mode == ParseMode::Strict) {
+          throw ParseError("binary RAS log written for machine '" + meta.machine +
+                           "' but read with model '" + std::string(machine.name()) +
+                           "'");
+        }
+      } else if (tag == kRasDictTag) {
+        RasDictionary d = parse_ras_dictionary(cur, catalog, mode);
+        if (!dict) dict = std::move(d);
+      } else {
+        RasLocDict l = parse_ras_loc_dict(cur, machine, mode);
+        if (!locs) locs = std::move(l);
+      }
+    } catch (const Error&) {
+      if (mode == ParseMode::Strict) throw;
+      return fall_back();
+    }
+  }
+
+  // Classify body frames and rebuild the directory from segment footers.
+  std::vector<const bin::FrameRef*> cframes;
+  std::vector<bin::SegmentEntry> dir;
+  for (std::size_t i = 6; i < frames.size(); ++i) {
+    const bin::FrameRef& fr = frames[i];
+    const char t = tag_of(fr);
+    if (t == kRasColumnTag) {
+      cframes.push_back(&fr);
+      continue;
+    }
+    if (t != kRasSegmentTag) return fall_back();
+    const char* payload = base + fr.offset + bin::kBlockHeaderBytes;
+    if (bin::crc32(payload, fr.size) != fr.crc) return fall_back();
+    bin::PayloadCursor cur(std::string_view(payload, fr.size),
+                           fr.offset + bin::kBlockHeaderBytes, "binary RAS log");
+    try {
+      cur.get<char>();  // tag
+      bin::parse_segment_footer(cur, dir);
+    } catch (const Error&) {
+      return fall_back();
+    }
+  }
+  // The offset directory only pays for itself under a predicate (zero-touch
+  // skips); an unfiltered read never probes it, so skip the build.
+  std::unordered_map<std::uint64_t, const bin::SegmentEntry*> dir_at;
+  if (filter != nullptr) {
+    dir_at.reserve(dir.size());
+    for (const bin::SegmentEntry& e : dir) dir_at.emplace(e.offset, &e);
+  }
+
+  const std::size_t nblocks = cframes.size();
+  const std::size_t chunks = std::max<std::size_t>(1, chunk_count(nblocks, pool));
+  std::vector<ChunkOut> outs(chunks);
+
+  par::parallel_for_chunks(
+      chunks, 1,
+      [&](std::size_t cb, std::size_t ce) {
+        RasV3Scratch scratch;
+        for (std::size_t c = cb; c < ce; ++c) {
+          ChunkOut& out = outs[c];
+          const std::size_t fb = c * nblocks / chunks;
+          const std::size_t fe = (c + 1) * nblocks / chunks;
+          out.events.reserve((fe - fb) * kRasRecordsPerBlock);
+          for (std::size_t f = fb; f < fe; ++f) {
+            const bin::FrameRef& fr = *cframes[f];
+            if (filter != nullptr) {
+              const auto it = dir_at.find(fr.offset);
+              if (it != dir_at.end() && !filter->may_match(it->second->zone)) {
+                // Footer-covered and zone-rejected: zero-touch skip — the
+                // payload bytes (and their mmap pages) are never read.
+                out.attempted += it->second->count;
+                ++out.blocks.total;
+                ++out.blocks.skipped;
+                continue;
+              }
+            }
+            const char* payload = base + fr.offset + bin::kBlockHeaderBytes;
+            if (bin::crc32(payload, fr.size) != fr.crc) {
+              if (mode == ParseMode::Strict) {
+                out.has_error = true;
+                out.error = "binary RAS log: block CRC mismatch at byte offset " +
+                            std::to_string(fr.offset);
+              } else {
+                out.damaged = true;
+              }
+              break;
+            }
+            bin::PayloadCursor cur(std::string_view(payload, fr.size),
+                                   fr.offset + bin::kBlockHeaderBytes, "binary RAS log");
+            try {
+              cur.get<char>();  // tag, known to be 'C'
+              decode_ras_column_payload(cur, &*dict, &*locs, mode, filter, out.rep,
+                                        out.events, out.attempted, out.blocks, scratch);
+            } catch (const Error& e) {
+              if (mode == ParseMode::Strict) {
+                out.has_error = true;
+                out.error = e.what();
+                break;
+              }
+            }
+          }
+          // The scratch is shared across this worker's chunks; snapshot its
+          // emit bookkeeping into the chunk and reset for the next one.
+          out.fatal = std::move(scratch.fatal);
+          scratch.fatal = FatalColumns{};
+          out.sorted = scratch.sorted;
+          scratch.sorted = true;
+          scratch.last_time = std::numeric_limits<std::int64_t>::min();
+        }
+      },
+      &pool);
+
+  if (mode == ParseMode::Strict) {
+    for (const ChunkOut& out : outs) {
+      if (out.has_error) throw ParseError(out.error);
+    }
+  } else {
+    for (const ChunkOut& out : outs) {
+      if (out.damaged) return fall_back();
+    }
+  }
+
+  // Chunk sizes before the merge moves the event vectors: they place the
+  // chunk-local fatal log_index values (and the boundary order checks) on
+  // the global event array.
+  std::vector<std::size_t> sizes;
+  sizes.reserve(outs.size());
+  bool sorted = true;
+  for (const ChunkOut& out : outs) {
+    sizes.push_back(out.events.size());
+    sorted = sorted && out.sorted;
+  }
+
+  std::vector<RasEvent> events;
+  const std::uint64_t attempted = merge_chunks(outs, events, rep, blocks);
+
+  if (mode == ParseMode::Strict) {
+    if (attempted != dict->total_records) {
+      throw ParseError("binary RAS log record count mismatch: expected " +
+                       std::to_string(dict->total_records) + ", got " +
+                       std::to_string(attempted));
+    }
+  } else if (dict->total_records > attempted) {
+    rep.add_malformed_bulk(IngestReason::BinaryFrame, dict->total_records - attempted);
+  }
+
+  // Each chunk verified its own order; the seams between chunks are the only
+  // unchecked pairs.
+  if (sorted) {
+    std::size_t at = 0;
+    for (std::size_t c = 0; c + 1 < sizes.size() && sorted; ++c) {
+      at += sizes[c];
+      if (at > 0 && at < events.size() &&
+          events[at].event_time < events[at - 1].event_time) {
+        sorted = false;
+      }
+    }
+  }
+  RasLog::TrustedParts parts;
+  parts.sorted = sorted;
+  if (sorted) {
+    if (outs.size() == 1) {
+      parts.fatal = std::move(outs[0].fatal);
+    } else {
+      std::size_t nfatal = 0;
+      for (const ChunkOut& out : outs) nfatal += out.fatal.size();
+      parts.fatal.event_time.reserve(nfatal);
+      parts.fatal.errcode.reserve(nfatal);
+      parts.fatal.loc_key.reserve(nfatal);
+      parts.fatal.log_index.reserve(nfatal);
+      std::size_t ebase = 0;
+      for (std::size_t c = 0; c < outs.size(); ++c) {
+        const FatalColumns& f = outs[c].fatal;
+        parts.fatal.event_time.insert(parts.fatal.event_time.end(),
+                                      f.event_time.begin(), f.event_time.end());
+        parts.fatal.errcode.insert(parts.fatal.errcode.end(), f.errcode.begin(),
+                                   f.errcode.end());
+        parts.fatal.loc_key.insert(parts.fatal.loc_key.end(), f.loc_key.begin(),
+                                   f.loc_key.end());
+        for (const std::size_t idx : f.log_index) {
+          parts.fatal.log_index.push_back(idx + ebase);
+        }
+        ebase += sizes[c];
+      }
+    }
+  }
+  return RasLog(std::move(events), catalog, machine, std::move(parts));
+}
+
+// Index the region and dispatch on the first block's tag ('D' = v2,
+// 'M' = v3); anything else is the sequential recovering reader's problem.
+RasLog read_region_parallel(std::string_view region, const Catalog& catalog,
+                            ParseMode mode, const machine::MachineModel& machine,
+                            IngestReport& rep, par::ThreadPool& pool,
+                            const bin::ZoneFilter* filter, bin::BlockCounters& blocks,
+                            std::size_t reserve_div) {
+  const auto fall_back = [&] {
+    blocks = bin::BlockCounters{};
+    return read_region_sequential(region, catalog, mode, machine, rep, filter, blocks,
+                                  reserve_div);
+  };
+
+  std::vector<bin::FrameRef> frames;
+  if (!bin::index_frames(region, frames) || frames.empty()) return fall_back();
+  const char first = region[frames[0].offset + bin::kBlockHeaderBytes];
+  if (first == kRasDictTag) {
+    return read_region_parallel_v2(region, frames, catalog, mode, machine, rep, pool,
+                                   filter, blocks, fall_back);
+  }
+  if (first == kRasMetaTag) {
+    return read_region_parallel_v3(region, frames, catalog, mode, machine, rep, pool,
+                                   filter, blocks, fall_back);
+  }
+  return fall_back();
 }
 
 std::string slurp(std::istream& in) {
@@ -236,62 +540,227 @@ std::string slurp(std::istream& in) {
   return buf;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Writers
 
-void write_binary(std::ostream& out, const RasLog& log) {
-  out.write(kRasMagic, sizeof kRasMagic);
-  out.write(reinterpret_cast<const char*>(&kRasVersion), sizeof kRasVersion);
+template <typename T>
+void append_raw(std::string& out, T v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof buf);
+}
 
-  bin::BlockWriter w(out);
-  // Dictionary: every catalog errcode name, indexed by ErrcodeId. Written
-  // twice so one damaged frame cannot make every record undecodable.
+std::string build_dict_payload(const RasLog& log) {
+  std::string p;
+  p.push_back(kRasDictTag);
   const Catalog& catalog = log.catalog();
-  for (int copy = 0; copy < 2; ++copy) {
-    w.put(kRasDictTag);
-    w.put(static_cast<std::uint32_t>(catalog.size()));
-    for (const ErrcodeInfo& info : catalog.all()) w.put_string(info.name);
-    w.put(static_cast<std::uint64_t>(log.size()));
-    w.flush();
+  append_raw(p, static_cast<std::uint32_t>(catalog.size()));
+  for (const ErrcodeInfo& info : catalog.all()) {
+    append_raw(p, static_cast<std::uint16_t>(info.name.size()));
+    p.append(info.name);
   }
+  append_raw(p, static_cast<std::uint64_t>(log.size()));
+  return p;
+}
 
-  for (std::size_t base = 0; base < log.size(); base += kRasRecordsPerBlock) {
-    const std::size_t n = std::min(kRasRecordsPerBlock, log.size() - base);
-    w.put(kRasRecordTag);
-    w.put(static_cast<std::uint32_t>(n));
-    for (std::size_t i = base; i < base + n; ++i) {
-      const RasEvent& ev = log[i];
-      PackedRecord rec;
-      rec.time_usec = ev.event_time.usec();
-      rec.packed_location = ev.location.packed();
-      rec.dict_index = static_cast<std::uint32_t>(ev.errcode);
-      rec.serial = ev.serial;
-      rec.severity = static_cast<std::uint8_t>(ev.severity);
-      w.append(&rec, sizeof rec);
-    }
-    w.flush();
+void encode_v2_block(std::string& payload, const RasLog& log, std::size_t base,
+                     std::size_t n) {
+  payload.push_back(kRasRecordTag);
+  append_raw(payload, static_cast<std::uint32_t>(n));
+  for (std::size_t i = base; i < base + n; ++i) {
+    const RasEvent& ev = log[i];
+    PackedRecord rec;
+    rec.time_usec = ev.event_time.usec();
+    rec.packed_location = ev.location.packed();
+    rec.dict_index = static_cast<std::uint32_t>(ev.errcode);
+    rec.serial = ev.serial;
+    rec.severity = static_cast<std::uint8_t>(ev.severity);
+    payload.append(reinterpret_cast<const char*>(&rec), sizeof rec);
   }
 }
 
-RasLog read_binary(std::istream& in, const Catalog& catalog, ParseMode mode,
-                   IngestReport* report, InstrumentationSink* sink, par::ThreadPool* pool,
-                   const machine::MachineModel& machine) {
-  IngestReport local;
-  IngestReport& rep = report != nullptr ? *report : local;
-  StageTimer timer(sink, "ingest.ras_binary");
+/// Frame blocks [block_begin, block_end) into per-block byte strings, fanned
+/// over the pool when one is given. `encode` appends one block's complete
+/// payload (tag through body); framing (size + CRC) is deterministic, so
+/// parallel output is byte-identical to serial.
+template <typename Encode>
+void frame_blocks(std::vector<std::string>& framed, std::size_t block_begin,
+                  std::size_t block_end, par::ThreadPool* pool, const Encode& encode) {
+  const std::size_t nb = block_end - block_begin;
+  framed.resize(nb);
+  const std::size_t chunks =
+      pool == nullptr || pool->thread_count() <= 1
+          ? 1
+          : std::max<std::size_t>(1, std::min(nb, pool->thread_count() * 4));
+  par::parallel_for_chunks(
+      chunks, 1,
+      [&](std::size_t cb, std::size_t ce) {
+        std::string payload;
+        for (std::size_t c = cb; c < ce; ++c) {
+          const std::size_t bb = block_begin + c * nb / chunks;
+          const std::size_t be = block_begin + (c + 1) * nb / chunks;
+          for (std::size_t b = bb; b < be; ++b) {
+            payload.clear();
+            encode(payload, b);
+            std::string& out = framed[b - block_begin];
+            out.clear();
+            bin::append_frame(out, payload);
+          }
+        }
+      },
+      pool);
+}
 
-  // Buffer the whole input once; frames are then indexed and decoded in
-  // place, with no per-block payload copies.
-  const std::string buffer = slurp(in);
-  CORAL_OBS_COUNT(obs::as_collector(sink), "ingest.ras_binary.bytes", buffer.size());
+void write_v2(std::ostream& out, const RasLog& log, par::ThreadPool* pool) {
+  out.write(kRasMagic, sizeof kRasMagic);
+  out.write(reinterpret_cast<const char*>(&kRasVersion), sizeof kRasVersion);
 
-  if (mode == ParseMode::Strict) {
-    if (buffer.size() < sizeof kRasMagic + sizeof kRasVersion ||
-        std::memcmp(buffer.data(), kRasMagic, sizeof kRasMagic) != 0) {
-      throw ParseError("not a binary RAS log (bad magic)");
+  // Dictionary: every catalog errcode name, indexed by ErrcodeId. Written
+  // twice so one damaged frame cannot make every record undecodable.
+  const std::string dict = build_dict_payload(log);
+  std::string head;
+  bin::append_frame(head, dict);
+  bin::append_frame(head, dict);
+  out.write(head.data(), static_cast<std::streamsize>(head.size()));
+
+  const std::size_t nblocks = (log.size() + kRasRecordsPerBlock - 1) / kRasRecordsPerBlock;
+  // Encode in bounded batches so peak memory stays a slice of the file, not
+  // a full copy of it.
+  constexpr std::size_t kBatchBlocks = 4096;
+  std::vector<std::string> framed;
+  for (std::size_t batch = 0; batch < nblocks; batch += kBatchBlocks) {
+    const std::size_t batch_end = std::min(nblocks, batch + kBatchBlocks);
+    frame_blocks(framed, batch, batch_end, pool,
+                 [&](std::string& payload, std::size_t b) {
+                   const std::size_t base = b * kRasRecordsPerBlock;
+                   encode_v2_block(payload, log, base,
+                                   std::min(kRasRecordsPerBlock, log.size() - base));
+                 });
+    for (const std::string& f : framed) {
+      out.write(f.data(), static_cast<std::streamsize>(f.size()));
     }
-    std::uint32_t version = 0;
+  }
+}
+
+void write_v3(std::ostream& out, const RasLog& log, const WriteOptions& opts) {
+  const machine::MachineModel& machine = log.machine();
+  out.write(kRasMagic, sizeof kRasMagic);
+  out.write(reinterpret_cast<const char*>(&kRasVersion3), sizeof kRasVersion3);
+
+  // Location dictionary: distinct packed keys in first-appearance order,
+  // plus each event's index into it.
+  std::vector<std::uint32_t> keys;
+  std::vector<std::uint32_t> loc_idx(log.size());
+  {
+    std::unordered_map<std::uint32_t, std::uint32_t> index;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      const std::uint32_t key = log[i].location.packed();
+      const auto [it, inserted] =
+          index.try_emplace(key, static_cast<std::uint32_t>(keys.size()));
+      if (inserted) keys.push_back(key);
+      loc_idx[i] = it->second;
+    }
+  }
+
+  std::string meta_payload;
+  meta_payload.push_back(kRasMetaTag);
+  bin::append_store_meta(
+      meta_payload,
+      bin::StoreMeta{std::string(machine.name()), std::string(kRasSchemaV3),
+                     static_cast<std::uint32_t>(kRasRecordsPerBlock),
+                     opts.compress ? bin::kStoreFlagCompressed : std::uint8_t{0}});
+  const std::string dict_payload = build_dict_payload(log);
+  std::string loc_payload;
+  loc_payload.push_back(kRasLocTag);
+  append_raw(loc_payload, static_cast<std::uint32_t>(keys.size()));
+  for (const std::uint32_t key : keys) append_raw(loc_payload, key);
+
+  std::string head;
+  bin::append_frame(head, meta_payload);
+  bin::append_frame(head, meta_payload);
+  bin::append_frame(head, dict_payload);
+  bin::append_frame(head, dict_payload);
+  bin::append_frame(head, loc_payload);
+  bin::append_frame(head, loc_payload);
+  out.write(head.data(), static_cast<std::streamsize>(head.size()));
+
+  // Offsets in segment footers count from the end of the 8-byte file
+  // header, like every other offset the readers report.
+  std::uint64_t offset = head.size();
+  const std::size_t bps = std::max<std::size_t>(1, opts.blocks_per_segment);
+  const std::size_t nblocks = (log.size() + kRasRecordsPerBlock - 1) / kRasRecordsPerBlock;
+  std::vector<bin::SegmentEntry> seg;
+  seg.reserve(bps);
+  const auto flush_segment = [&] {
+    std::string footer;
+    footer.push_back(kRasSegmentTag);
+    bin::append_segment_footer(footer, seg);
+    std::string framed_footer;
+    bin::append_frame(framed_footer, footer);
+    out.write(framed_footer.data(), static_cast<std::streamsize>(framed_footer.size()));
+    offset += framed_footer.size();
+    seg.clear();
+  };
+
+  constexpr std::size_t kBatchBlocks = 4096;
+  std::vector<std::string> framed;
+  for (std::size_t batch = 0; batch < nblocks; batch += kBatchBlocks) {
+    const std::size_t batch_end = std::min(nblocks, batch + kBatchBlocks);
+    frame_blocks(framed, batch, batch_end, opts.pool,
+                 [&](std::string& payload, std::size_t b) {
+                   const std::size_t base = b * kRasRecordsPerBlock;
+                   const std::size_t n =
+                       std::min(kRasRecordsPerBlock, log.size() - base);
+                   // Per-thread scratch would save allocations, but encode is
+                   // dominated by varint/LZ work; a local string is simpler.
+                   std::string raw;
+                   encode_ras_column_block(payload, &log[base], n,
+                                           loc_idx.data() + base, opts.compress,
+                                           machine.codec(), raw);
+                 });
+    for (std::size_t b = batch; b < batch_end; ++b) {
+      const std::string& f = framed[b - batch];
+      out.write(f.data(), static_cast<std::streamsize>(f.size()));
+      // The footer repeats the block's count and zone map; both sit at
+      // fixed offsets in the payload we just framed.
+      bin::SegmentEntry entry;
+      entry.offset = offset;
+      std::uint32_t count = 0;
+      std::memcpy(&count, f.data() + bin::kBlockHeaderBytes + 1, sizeof count);
+      entry.count = count;
+      std::size_t pos = 0;
+      bin::read_zone_map(
+          std::string_view(f).substr(bin::kBlockHeaderBytes + 1 + sizeof count),
+          pos, entry.zone);
+      seg.push_back(entry);
+      offset += f.size();
+      if (seg.size() >= bps) flush_segment();
+    }
+  }
+  if (!seg.empty()) flush_segment();
+}
+
+// ---------------------------------------------------------------------------
+// Read entry points
+
+RasLog read_view(std::string_view buffer, const Catalog& catalog,
+                 const ReadOptions& opts) {
+  IngestReport local;
+  IngestReport& rep = opts.report != nullptr ? *opts.report : local;
+  const machine::MachineModel& machine =
+      opts.machine != nullptr ? *opts.machine : machine::bgp_model();
+  StageTimer timer(opts.sink, "ingest.ras_binary");
+  CORAL_OBS_COUNT(obs::as_collector(opts.sink), "ingest.ras_binary.bytes", buffer.size());
+
+  std::uint32_t version = kRasVersion;
+  const bool header_ok = buffer.size() >= sizeof kRasMagic + sizeof version &&
+                         std::memcmp(buffer.data(), kRasMagic, sizeof kRasMagic) == 0;
+  if (header_ok) {
     std::memcpy(&version, buffer.data() + sizeof kRasMagic, sizeof version);
-    if (version != kRasVersion) {
+  }
+  if (opts.mode == ParseMode::Strict) {
+    if (!header_ok) throw ParseError("not a binary RAS log (bad magic)");
+    if (version != kRasVersion && version != kRasVersion3) {
       throw ParseError("unsupported binary RAS log version " + std::to_string(version));
     }
   }
@@ -299,18 +768,136 @@ RasLog read_binary(std::istream& in, const Catalog& catalog, ParseMode mode,
   // self-locating, so recovery proceeds from whatever survives. Offsets in
   // reports and errors are relative to the end of the 8-byte header, as the
   // streaming reader always counted them.
-  const std::string_view region = std::string_view(buffer).substr(
-      std::min(buffer.size(), sizeof kRasMagic + sizeof kRasVersion));
+  const std::string_view region =
+      buffer.substr(std::min(buffer.size(), sizeof kRasMagic + sizeof version));
 
+  // Bound for the corrupt-declared-total allocation guard: v2 records are
+  // fixed 24 bytes; v3 columns bottom out at 8 bytes per record before
+  // compression, and compression is bounded by the block floor anyway.
+  const std::size_t reserve_div = version == kRasVersion3 ? 8 : sizeof(PackedRecord);
+
+  std::optional<bin::ZoneFilter> filter_store;
+  const bin::ZoneFilter* filter = nullptr;
+  if (!opts.predicate.unconstrained()) {
+    filter_store.emplace(opts.predicate, machine.codec(), machine.midplane_count());
+    filter = &*filter_store;
+  }
+
+  bin::BlockCounters blocks;
   // The indexed in-place path wins even on a single-thread pool (no per-block
   // payload copies), so any pool at all selects it.
-  RasLog log = pool != nullptr
-                   ? read_region_parallel(region, catalog, mode, machine, rep, *pool)
-                   : read_region_sequential(region, catalog, mode, machine, rep);
+  RasLog log = opts.pool != nullptr
+                   ? read_region_parallel(region, catalog, opts.mode, machine, rep,
+                                          *opts.pool, filter, blocks, reserve_div)
+                   : read_region_sequential(region, catalog, opts.mode, machine, rep,
+                                            filter, blocks, reserve_div);
+
+  obs::Collector* col = obs::as_collector(opts.sink);
+  CORAL_OBS_COUNT(col, "ingest.ras_binary.blocks_total", blocks.total);
+  CORAL_OBS_COUNT(col, "ingest.ras_binary.blocks_decoded", blocks.decoded);
+  CORAL_OBS_COUNT(col, "ingest.ras_binary.blocks_skipped", blocks.skipped);
 
   timer.counts(rep.records_seen(), rep.records_ok());
-  rep.report_malformed(sink, "ingest.ras_binary");
+  rep.report_malformed(opts.sink, "ingest.ras_binary");
   return log;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const RasLog& log) {
+  write_v2(out, log, nullptr);
+}
+
+void write_binary(std::ostream& out, const RasLog& log, const WriteOptions& opts) {
+  if (opts.version == kRasVersion) {
+    write_v2(out, log, opts.pool);
+  } else if (opts.version == kRasVersion3) {
+    write_v3(out, log, opts);
+  } else {
+    throw InvalidArgument("unsupported binary RAS log version " +
+                          std::to_string(opts.version));
+  }
+}
+
+RasLog read_binary(std::istream& in, const Catalog& catalog, const ReadOptions& opts) {
+  // Buffer the whole input once; frames are then indexed and decoded in
+  // place, with no per-block payload copies. A string-backed stream already
+  // holds a contiguous buffer — decode straight from its view instead of
+  // copying tens of MB. Otherwise a seekable stream reveals its size up
+  // front, so the buffer can be read in one pass into default-initialized
+  // memory (std::string would zero-fill it first); anything else goes
+  // through the chunked slurp.
+  if (auto* sb = dynamic_cast<std::stringbuf*>(in.rdbuf())) {
+    const auto pos = in.tellg();
+    if (pos != std::istream::pos_type(-1)) {
+      const std::string_view view = sb->view();
+      const auto off = static_cast<std::size_t>(pos);
+      if (off <= view.size()) {
+        in.seekg(0, std::ios::end);
+        return read_view(view.substr(off), catalog, opts);
+      }
+    }
+  }
+  const auto pos = in.tellg();
+  if (pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    in.seekg(pos);
+    if (end != std::istream::pos_type(-1) && end > pos) {
+      const auto size = static_cast<std::size_t>(end - pos);
+      const std::unique_ptr<char[]> mem(new char[size]);
+      in.read(mem.get(), static_cast<std::streamsize>(size));
+      if (static_cast<std::size_t>(in.gcount()) == size) {
+        return read_view(std::string_view(mem.get(), size), catalog, opts);
+      }
+    }
+  }
+  const std::string buffer = slurp(in);
+  return read_view(buffer, catalog, opts);
+}
+
+RasLog read_binary(std::istream& in, const Catalog& catalog, ParseMode mode,
+                   IngestReport* report, InstrumentationSink* sink, par::ThreadPool* pool,
+                   const machine::MachineModel& machine) {
+  ReadOptions opts;
+  opts.mode = mode;
+  opts.report = report;
+  opts.sink = sink;
+  opts.pool = pool;
+  opts.machine = &machine;
+  return read_binary(in, catalog, opts);
+}
+
+RasLog read_binary_file(const std::string& path, const Catalog& catalog,
+                        const ReadOptions& opts) {
+#ifdef CORAL_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw Error("cannot open binary RAS log: " + path);
+  struct ::stat st = {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw Error("cannot stat binary RAS log: " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return read_view(std::string_view{}, catalog, opts);
+  }
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (mapped != MAP_FAILED) {
+    struct Unmap {
+      void* p;
+      std::size_t n;
+      ~Unmap() { ::munmap(p, n); }
+    } guard{mapped, size};
+    return read_view(std::string_view(static_cast<const char*>(mapped), size), catalog,
+                     opts);
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open binary RAS log: " + path);
+  return read_binary(in, catalog, opts);
 }
 
 }  // namespace coral::ras

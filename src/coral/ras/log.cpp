@@ -18,34 +18,67 @@ RasLog::RasLog(std::vector<RasEvent> events, const Catalog& catalog,
   finalize();
 }
 
+RasLog::RasLog(std::vector<RasEvent> events, const Catalog& catalog,
+               const machine::MachineModel& machine, TrustedRecids)
+    : catalog_(&catalog), machine_(&machine), events_(std::move(events)) {
+  finalize_impl(true);
+}
+
+RasLog::RasLog(std::vector<RasEvent> events, const Catalog& catalog,
+               const machine::MachineModel& machine, TrustedParts parts)
+    : catalog_(&catalog), machine_(&machine), events_(std::move(events)) {
+  if (parts.sorted) {
+    fatal_ = std::move(parts.fatal);
+    finalized_ = true;
+    return;
+  }
+  finalize_impl(false);
+}
+
 void RasLog::append(RasEvent ev) {
   finalized_ = false;
   events_.push_back(ev);
 }
 
-void RasLog::finalize() {
+void RasLog::finalize() { finalize_impl(false); }
+
+void RasLog::finalize_impl(bool trust_recids) {
   const auto by_time = [](const RasEvent& a, const RasEvent& b) {
     return a.event_time < b.event_time;
   };
-  // Binary logs are written from a finalized (time-ordered) RasLog, so the
-  // common reload path is already sorted; stable_sort on sorted input is the
-  // identity, and the O(n) check is ~50x cheaper than the sort itself.
-  if (!std::is_sorted(events_.begin(), events_.end(), by_time)) {
+  // The order check, RECID assignment and the fatal-column gather all touch
+  // every record, so they share a single walk — on the multi-million-record
+  // reload path the separate passes were pure memory traffic. Binary logs
+  // are written from a finalized (time-ordered) RasLog, so the first walk
+  // almost always completes; an out-of-order log (hand-built via append)
+  // detects mid-walk, sorts, and rescans. With trusted RECIDs the walk is
+  // read-only — nothing is dirtied, nothing written back.
+  for (int pass = 0; pass < 2; ++pass) {
+    fatal_.event_time.clear();
+    fatal_.errcode.clear();
+    fatal_.loc_key.clear();
+    fatal_.log_index.clear();
+    bool sorted = true;
+    std::int64_t recid = 1;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      RasEvent& ev = events_[i];
+      if (i != 0 && ev.event_time < events_[i - 1].event_time) {
+        sorted = false;
+        break;
+      }
+      if (!trust_recids) ev.recid = recid++;
+      if (ev.is_fatal()) {
+        fatal_.event_time.push_back(ev.event_time);
+        fatal_.errcode.push_back(ev.errcode);
+        fatal_.loc_key.push_back(ev.location.packed());
+        fatal_.log_index.push_back(i);
+      }
+    }
+    if (sorted) break;
+    // A caller that promised order but did not deliver loses the fast path:
+    // sort and rewrite RECIDs like any other finalize.
+    trust_recids = false;
     std::stable_sort(events_.begin(), events_.end(), by_time);
-  }
-  std::int64_t recid = 1;
-  for (auto& ev : events_) ev.recid = recid++;
-  fatal_.event_time.clear();
-  fatal_.errcode.clear();
-  fatal_.loc_key.clear();
-  fatal_.log_index.clear();
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const RasEvent& ev = events_[i];
-    if (!ev.is_fatal()) continue;
-    fatal_.event_time.push_back(ev.event_time);
-    fatal_.errcode.push_back(ev.errcode);
-    fatal_.loc_key.push_back(ev.location.packed());
-    fatal_.log_index.push_back(i);
   }
   finalized_ = true;
 }

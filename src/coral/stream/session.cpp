@@ -112,8 +112,13 @@ std::size_t Session::pump_locked(SourceState& st) {
         }
         std::uint32_t version = 0;
         std::memcpy(&version, st.header.data() + 4, sizeof version);
-        const std::uint32_t want = is_ras ? ras::kRasVersion : joblog::kJobVersion;
-        if (version != want) {
+        // v2 and v3 block tags are disjoint, so one decoder handles both
+        // and the session accepts either header.
+        const bool known = is_ras ? (version == ras::kRasVersion ||
+                                     version == ras::kRasVersion3)
+                                  : (version == joblog::kJobVersion ||
+                                     version == joblog::kJobVersion3);
+        if (!known) {
           throw ParseError(std::string("unsupported binary ") + logname +
                            " log version " + std::to_string(version));
         }

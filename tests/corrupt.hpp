@@ -9,9 +9,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "coral/common/binary_frame.hpp"
 #include "coral/common/rng.hpp"
 
 namespace coral::testing {
@@ -32,6 +34,80 @@ inline std::string flip_bits(const std::string& data, Rng& rng, int flips) {
     const std::size_t at = rng.uniform_index(out.size());
     out[at] = static_cast<char>(out[at] ^ (1 << rng.uniform_index(8)));
   }
+  return out;
+}
+
+// -- Framed-binary mutators: operate on whole CBLK frames so a test can aim
+// -- damage at one block kind (v3 compressed bodies, zone maps) instead of
+// -- spraying bits and hoping one lands in the structure under test.
+
+/// Byte offsets of every intact "CBLK" frame header after the 8-byte file
+/// header (naive scan; mirrors how the lenient reader resynchronizes).
+inline std::vector<std::size_t> frame_offsets(const std::string& data) {
+  std::vector<std::size_t> at;
+  std::size_t p = 8;
+  while (p + bin::kBlockHeaderBytes <= data.size()) {
+    if (std::memcmp(data.data() + p, bin::kBlockMagic, sizeof bin::kBlockMagic) != 0) {
+      ++p;
+      continue;
+    }
+    std::uint32_t size = 0;
+    std::memcpy(&size, data.data() + p + sizeof bin::kBlockMagic, sizeof size);
+    if (p + bin::kBlockHeaderBytes + size > data.size()) break;
+    at.push_back(p);
+    p += bin::kBlockHeaderBytes + size;
+  }
+  return at;
+}
+
+/// Offsets of frames whose payload starts with `tag` ('C' columnar blocks,
+/// 'S' segment footers, ...).
+inline std::vector<std::size_t> frames_with_tag(const std::string& data, char tag) {
+  std::vector<std::size_t> out;
+  for (const std::size_t p : frame_offsets(data)) {
+    if (data[p + bin::kBlockHeaderBytes] == tag) out.push_back(p);
+  }
+  return out;
+}
+
+/// Flip `flips` bits inside the payload of one random `tag` frame. The CRC
+/// is left stale, so the framing layer must drop exactly that block.
+inline std::string flip_block_payload(const std::string& data, Rng& rng, char tag,
+                                      int flips = 1) {
+  const auto frames = frames_with_tag(data, tag);
+  if (frames.empty()) return data;
+  std::string out = data;
+  const std::size_t p = frames[rng.uniform_index(frames.size())];
+  std::uint32_t size = 0;
+  std::memcpy(&size, out.data() + p + sizeof bin::kBlockMagic, sizeof size);
+  for (int i = 0; i < flips && size > 0; ++i) {
+    const std::size_t at = p + bin::kBlockHeaderBytes + rng.uniform_index(size);
+    out[at] = static_cast<char>(out[at] ^ (1 << rng.uniform_index(8)));
+  }
+  return out;
+}
+
+/// Corrupt the 32-byte zone map of one random v3 'C' block and REPAIR the
+/// frame CRC, so the lie survives framing and reaches the zone-skip logic:
+/// a pushdown read may now wrongly skip (or wrongly decode) that block, and
+/// the invariant under test is that accounting stays exact anyway.
+inline std::string lie_in_zone_map(const std::string& data, Rng& rng) {
+  const auto frames = frames_with_tag(data, 'C');
+  if (frames.empty()) return data;
+  std::string out = data;
+  const std::size_t p = frames[rng.uniform_index(frames.size())];
+  std::uint32_t size = 0;
+  std::memcpy(&size, out.data() + p + sizeof bin::kBlockMagic, sizeof size);
+  // Payload: tag | u32 count | 32-byte zone map | ...
+  const std::size_t zone_at = p + bin::kBlockHeaderBytes + 1 + sizeof(std::uint32_t);
+  constexpr std::size_t kZoneBytes = 32;
+  if (zone_at + kZoneBytes > p + bin::kBlockHeaderBytes + size) return data;
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t at = zone_at + rng.uniform_index(kZoneBytes);
+    out[at] = static_cast<char>(out[at] ^ (1 << rng.uniform_index(8)));
+  }
+  const std::uint32_t crc = bin::crc32(out.data() + p + bin::kBlockHeaderBytes, size);
+  std::memcpy(out.data() + p + sizeof bin::kBlockMagic + sizeof size, &crc, sizeof crc);
   return out;
 }
 
