@@ -1,0 +1,68 @@
+// Prediction hot paths on the full-scale Intrepid scenario: offline rule
+// mining over the filtered fatal groups, and the per-record cost of the
+// online predictor (the price the streaming session pays per RAS event).
+#include <benchmark/benchmark.h>
+
+#include "coral/core/pipeline.hpp"
+#include "coral/predict/miner.hpp"
+#include "coral/predict/predictor.hpp"
+#include "coral/synth/intrepid.hpp"
+
+namespace {
+
+using namespace coral;
+
+const synth::SynthResult& data() {
+  static const synth::SynthResult result = synth::generate(synth::intrepid_scenario(42));
+  return result;
+}
+
+const core::CoAnalysisResult& analysis() {
+  static const core::CoAnalysisResult result =
+      core::run_coanalysis(data().ras, data().jobs);
+  return result;
+}
+
+const core::CharColumns& char_columns() {
+  static const core::CharColumns result = core::build_char_columns(
+      analysis().filtered, analysis().matches, data().jobs);
+  return result;
+}
+
+const predict::RuleTable& rules() {
+  static const predict::RuleTable table = predict::mine_rules(
+      char_columns(), analysis().identification, ras::default_catalog());
+  return table;
+}
+
+void BM_MineRules(benchmark::State& state) {
+  (void)char_columns();
+  std::size_t mined = 0;
+  for (auto _ : state) {
+    const predict::RuleTable table = predict::mine_rules(
+        char_columns(), analysis().identification, ras::default_catalog());
+    mined = table.size();
+    benchmark::DoNotOptimize(table.rules.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(char_columns().group_count()));
+  state.counters["rules"] = static_cast<double>(mined);
+}
+BENCHMARK(BM_MineRules)->Unit(benchmark::kMillisecond);
+
+void BM_PredictorStep(benchmark::State& state) {
+  (void)rules();
+  std::uint64_t issued = 0;
+  for (auto _ : state) {
+    predict::Predictor predictor(rules(), data().ras.machine());
+    for (const ras::RasEvent& event : data().ras.events()) predictor.on_record(event);
+    issued = predictor.issued();
+    benchmark::DoNotOptimize(predictor.predictions().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data().ras.size()));
+  state.counters["issued"] = static_cast<double>(issued);
+}
+BENCHMARK(BM_PredictorStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,51 @@
+// Prediction evaluation gate: mine correlation rules from the seeded
+// failure-storm scenario, replay them as an online predictor, score against
+// the injector's ground truth, and re-run the scenario with the fault-aware
+// placement advisor to price what prediction-driven avoidance saves.
+//
+// Exits nonzero when the quality floors are not met (precision >= 0.7,
+// recall >= 0.5, positive mean lead time, positive saved node-hours), so CI
+// can run it as a regression gate: any change that silently degrades the
+// miner, the predictor or the advisor fails the build.
+//
+//   example_predict_eval [seed] [days]
+#include <cstdio>
+#include <cstdlib>
+
+#include "coral/predict/evaluate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coral;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  const int days = argc > 2 ? std::atoi(argv[2]) : 21;
+
+  const synth::ScenarioConfig scenario = predict::eval_scenario(seed, days);
+  const predict::PolicyComparison cmp = predict::compare_policies(scenario);
+
+  std::printf("scenario:         correlated_cascade seed=%llu days=%d\n",
+              (unsigned long long)seed, days);
+  std::printf("rules mined:      %zu\n", cmp.rules.size());
+  std::printf("predictions:      %zu issued, %zu true\n", cmp.eval.predictions,
+              cmp.eval.true_predictions);
+  std::printf("precision:        %.3f\n", cmp.eval.precision());
+  std::printf("recall:           %.3f  (%zu of %zu system interruptions)\n",
+              cmp.eval.recall(), cmp.eval.events_caught, cmp.eval.events_total);
+  std::printf("mean lead time:   %.1f min\n", cmp.eval.mean_lead_minutes);
+  std::printf("interruptions:    %zu baseline, %zu advised\n",
+              cmp.baseline_interruptions, cmp.advised_interruptions);
+  std::printf("lost node-hours:  %.0f baseline, %.0f advised\n",
+              cmp.baseline_lost_node_hours, cmp.advised_lost_node_hours);
+  std::printf("saved node-hours: %.0f\n", cmp.saved_node_hours());
+
+  bool ok = true;
+  const auto gate = [&ok](const char* what, bool pass) {
+    std::printf("%-18s %s\n", what, pass ? "PASS" : "FAIL");
+    ok = ok && pass;
+  };
+  std::printf("\n");
+  gate("precision >= 0.7:", cmp.eval.precision() >= 0.7);
+  gate("recall >= 0.5:", cmp.eval.recall() >= 0.5);
+  gate("lead time > 0:", cmp.eval.mean_lead_minutes > 0.0);
+  gate("saved hours > 0:", cmp.saved_node_hours() > 0.0);
+  return ok ? 0 : 1;
+}

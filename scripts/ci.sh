@@ -2,7 +2,7 @@
 # CI entry point: build every preset (release, asan-ubsan, tsan) and run the
 # test suite under each, then run the perf benches and gate regressions.
 # Usage: scripts/ci.sh [stage...] (default: all presets + smoke + daemon +
-# bench + coverage).
+# predict + bench + coverage).
 # Stages are preset names plus:
 #   smoke    — scenario-matrix smoke: every registered machine model runs
 #              every calibrated scenario pack through both co-analysis
@@ -12,6 +12,11 @@
 #              (bgp + bgq) concurrently over the wire protocol, scrape
 #              /metrics mid-run (live, non-final per-tenant counters), and
 #              assert end-state parity against the offline batch engine.
+#   predict  — prediction-eval gate: mine correlation rules on the seeded
+#              injector scenario, score the online predictor against ground
+#              truth, and fail unless precision/recall/lead-time/saved
+#              node-hours clear the floors (example_predict_eval), plus a
+#              logtool mine -> predict round trip on generated logs.
 #   bench    — runs the perf_* suites on the release build and merges the
 #              results into BENCH_coanalysis.json at the repo root, failing
 #              on a >10% cpu_time regression versus the committed numbers.
@@ -27,6 +32,7 @@ RUN_BENCH=0
 RUN_COVERAGE=0
 RUN_SMOKE=0
 RUN_DAEMON=0
+RUN_PREDICT=0
 PRESETS=()
 for stage in "$@"; do
   if [ "$stage" = bench ]; then
@@ -37,6 +43,8 @@ for stage in "$@"; do
     RUN_SMOKE=1
   elif [ "$stage" = daemon ]; then
     RUN_DAEMON=1
+  elif [ "$stage" = predict ]; then
+    RUN_PREDICT=1
   else
     PRESETS+=("$stage")
   fi
@@ -47,6 +55,7 @@ if [ $# -eq 0 ]; then
   RUN_COVERAGE=1
   RUN_SMOKE=1
   RUN_DAEMON=1
+  RUN_PREDICT=1
 fi
 
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
@@ -72,7 +81,8 @@ case " ${PRESETS[*]} " in
   *)
     echo "==== [asan-ubsan] fuzz-smoke corpus ===="
     cmake --preset asan-ubsan
-    cmake --build --preset asan-ubsan -j "$JOBS" --target test_ingest test_fleet
+    cmake --build --preset asan-ubsan -j "$JOBS" \
+      --target test_ingest test_fleet test_predict
     ctest --preset asan-ubsan -L fuzz -j "$JOBS"
     ;;
 esac
@@ -182,18 +192,41 @@ PY
   rm -rf "$DAEMON_OUT"
 fi
 
+if [ "$RUN_PREDICT" -eq 1 ]; then
+  echo "==== [predict] build (release) ===="
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS" \
+    --target example_predict_eval coral_logtool
+  echo "==== [predict] evaluation floors on the seeded scenario ===="
+  # Mines rules on the calibrated injector scenario, replays them online,
+  # scores against ground truth, and re-runs with fault-aware placement.
+  # Exits non-zero unless precision >= 0.7, recall >= 0.5, lead time > 0
+  # and saved node-hours > 0.
+  build/release/examples/example_predict_eval 42 21
+  echo "==== [predict] logtool mine -> predict round trip ===="
+  PREDICT_OUT=$(mktemp -d)
+  trap 'rm -rf "$PREDICT_OUT"' EXIT
+  LOGTOOL=build/release/tools/coral_logtool
+  "$LOGTOOL" gen "$PREDICT_OUT/ras.v2" "$PREDICT_OUT/jobs.v2" --v2
+  "$LOGTOOL" mine "$PREDICT_OUT/ras.v2" "$PREDICT_OUT/jobs.v2" \
+    "$PREDICT_OUT/rules.crul"
+  "$LOGTOOL" predict "$PREDICT_OUT/rules.crul" "$PREDICT_OUT/ras.v2"
+  rm -rf "$PREDICT_OUT"
+  trap - EXIT
+fi
+
 if [ "$RUN_BENCH" -eq 1 ]; then
   echo "==== [bench] build (release) ===="
   cmake --preset release
   cmake --build --preset release -j "$JOBS" \
-    --target perf_filtering perf_matching perf_pipeline perf_streaming
+    --target perf_filtering perf_matching perf_pipeline perf_predict perf_streaming
   BENCH_DIR=build/release/bench
   BENCH_OUT=$(mktemp -d)
   trap 'rm -rf "$BENCH_OUT"' EXIT
   echo "==== [bench] run ===="
   # The installed google-benchmark wants a plain double for min_time (no
   # "0.1s" duration suffix).
-  for b in perf_filtering perf_matching perf_pipeline; do
+  for b in perf_filtering perf_matching perf_pipeline perf_predict; do
     "$BENCH_DIR/$b" --benchmark_min_time=0.1 --benchmark_format=json \
       > "$BENCH_OUT/$b.json"
   done
@@ -206,7 +239,7 @@ if [ "$RUN_BENCH" -eq 1 ]; then
   echo "==== [bench] merge + regression gate ===="
   python3 scripts/merge_bench.py --out BENCH_coanalysis.json \
     --gbench "$BENCH_OUT"/perf_filtering.json "$BENCH_OUT"/perf_matching.json \
-             "$BENCH_OUT"/perf_pipeline.json \
+             "$BENCH_OUT"/perf_pipeline.json "$BENCH_OUT"/perf_predict.json \
     --streaming "$BENCH_OUT"/perf_streaming.json \
     --obs "$BENCH_DIR"/BENCH_streaming.json \
     --max-regression 0.10

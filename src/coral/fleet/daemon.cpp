@@ -176,6 +176,8 @@ class Daemon::Impl {
          [](const stream::SessionStats& s) { return s.ras_records; }},
         {"coral_session_job_records",
          [](const stream::SessionStats& s) { return s.job_records; }},
+        {"coral_session_predictions",
+         [](const stream::SessionStats& s) { return s.predictions; }},
         {"coral_session_finalized",
          [](const stream::SessionStats& s) {
            return std::uint64_t{s.finalized ? 1u : 0u};
@@ -227,6 +229,7 @@ class Daemon::Impl {
     sc.overflow = hs.shed_overflow ? stream::SessionConfig::Overflow::Shed
                                    : stream::SessionConfig::Overflow::Reject;
     sc.analysis = config_.analysis;
+    sc.rules = config_.rules;
     Context ctx(catalog_);
     ctx.with_machine(*model).with_obs(&tenant->collector);
     if (pool_) ctx.with_pool(&*pool_);
@@ -248,6 +251,7 @@ class Daemon::Impl {
     append_kv(out, "backlog_bytes", s.backlog_bytes);
     append_kv(out, "ras_records", s.ras_records);
     append_kv(out, "job_records", s.job_records);
+    append_kv(out, "predictions", s.predictions);
     append_kv(out, "finalized", s.finalized ? 1 : 0);
     return out;
   }

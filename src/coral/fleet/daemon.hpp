@@ -27,6 +27,11 @@ struct DaemonConfig {
   /// default keeps a resident daemon's trace memory flat).
   std::size_t span_capacity = 4096;
   core::CoAnalysisConfig analysis;
+  /// Optional correlation-rule table: when set, every tenant's session runs
+  /// the online predictor over its live RAS feed (predict.* counters and the
+  /// coral_session_predictions gauge land on /metrics). Non-owning; must
+  /// outlive the daemon.
+  const predict::RuleTable* rules = nullptr;
 };
 
 /// One tenant's public face for status listings.

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "coral/common/time.hpp"
+#include "coral/ras/catalog.hpp"
+
+namespace coral::predict {
+
+/// Spatial reach of a correlation rule.
+enum class RuleScope : std::uint8_t {
+  /// Precursor and target manifest on the same midplane (rack-level events
+  /// count for every midplane of their rack). The actionable scope: a
+  /// fault-aware scheduler can drain exactly the predicted midplane.
+  Midplane = 0,
+  /// The precursor predicts a target anywhere on the machine within the
+  /// window (LogMaster-style temporal-only rule).
+  Machine = 1,
+};
+
+const char* to_string(RuleScope scope);
+
+/// One mined correlation rule: an occurrence of `precursor` predicts an
+/// occurrence of `target` within `window`, at `scope`. `support` counts
+/// precursor occurrences that were in fact followed by the target;
+/// `precursor_count` counts all precursor occurrences, so
+/// support / precursor_count is the rule's empirical confidence.
+struct Rule {
+  ras::ErrcodeId precursor = 0;
+  ras::ErrcodeId target = 0;
+  RuleScope scope = RuleScope::Midplane;
+  Usec window = 0;
+  std::uint32_t support = 0;
+  std::uint32_t precursor_count = 0;
+
+  double confidence() const {
+    return precursor_count == 0
+               ? 0.0
+               : static_cast<double>(support) / static_cast<double>(precursor_count);
+  }
+
+  friend bool operator==(const Rule& a, const Rule& b) = default;
+};
+
+/// Serialized rule-table format version (see RuleTable::serialize).
+inline constexpr std::uint32_t kRuleTableVersion = 1;
+
+/// A set of correlation rules, ordered deterministically by the miner
+/// (precursor, then target, then scope). Serializable so rules mined
+/// offline ship to the online predictor (and the fleet daemon) as a file.
+///
+/// The byte format reuses the log-store framing so the ingest hardening
+/// carries over verbatim: an 8-byte header (magic "CRUL" + u32 version),
+/// then exactly one CRC-framed CBLK block whose payload is
+/// `'T' | u32 rule_count | rule_count x {i32 precursor, i32 target,
+/// u8 scope, i64 window_usec, u32 support, u32 precursor_count}`.
+/// deserialize() is strict by design — a prediction layer must never act
+/// on a damaged table, so any framing damage, field corruption or trailing
+/// garbage throws ParseError instead of degrading leniently.
+struct RuleTable {
+  std::vector<Rule> rules;
+
+  std::size_t size() const { return rules.size(); }
+  bool empty() const { return rules.empty(); }
+
+  friend bool operator==(const RuleTable& a, const RuleTable& b) = default;
+
+  std::string serialize() const;
+
+  /// Parse and validate a serialized table. Every rule is checked against
+  /// `catalog` (codes must index into it) and against the format's own
+  /// invariants (valid scope, positive window, support <= precursor_count,
+  /// nonzero precursor_count). Throws ParseError on any violation.
+  static RuleTable deserialize(std::string_view bytes,
+                               const ras::Catalog& catalog = ras::default_catalog());
+};
+
+/// Human-readable listing (one line per rule, confidence-annotated) for
+/// `coral_logtool mine` and debugging.
+std::string describe(const RuleTable& table, const ras::Catalog& catalog);
+
+}  // namespace coral::predict

@@ -193,6 +193,10 @@ class RasStreamDecoder {
 
   /// Records successfully decoded so far (live gauge for mid-run snapshots).
   std::uint64_t records_decoded() const { return events_.size(); }
+  /// Decoded events so far, in decode order — the live tap online consumers
+  /// (the session's prediction stage) read new records from between pumps.
+  /// Invalidated by finish(), which moves the events into the built log.
+  const std::vector<RasEvent>& events_so_far() const { return events_; }
   /// Records attempted (decoded or individually rejected) so far.
   std::uint64_t records_attempted() const { return attempted_; }
   /// The declared total from the dictionary, once one has been seen.

@@ -77,4 +77,16 @@ std::optional<bgp::Partition> choose_partition(const SchedulerConfig& config,
   return candidates[rng.uniform_index(n_best)];
 }
 
+PartitionPool advised_view(const PartitionPool& pool, const PlacementAdvisor& advisor,
+                           TimePoint now) {
+  PartitionPool view = pool;
+  const int midplanes = pool.machine().midplane_count();
+  for (machine::MidplaneId m = 0; m < midplanes; ++m) {
+    if (!view.midplane_busy(m) && advisor.avoid(m, now)) {
+      view.force_acquire(bgp::Partition::unchecked(m, 1));
+    }
+  }
+  return view;
+}
+
 }  // namespace coral::sched

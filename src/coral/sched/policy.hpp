@@ -4,6 +4,7 @@
 
 #include "coral/common/rng.hpp"
 #include "coral/common/time.hpp"
+#include "coral/ras/event.hpp"
 #include "coral/sched/pool.hpp"
 
 namespace coral::sched {
@@ -54,5 +55,24 @@ int placement_rank(const SchedulerConfig& config, const machine::PlacementZones&
 /// (midplanes 0–1 / 64–79 / 2–31 / 32–63).
 int placement_rank(const SchedulerConfig& config, const bgp::Partition& part,
                    Usec runtime_hint);
+
+/// Live placement advice from an external failure model (the prediction
+/// layer). The scheduler feeds it every RAS record as it is emitted and
+/// consults it before each placement: a midplane with avoid(m, now) == true
+/// is treated as busy unless no other partition of the requested size is
+/// free — the same soft-avoidance contract as `avoid_failed_window`, driven
+/// by predictions instead of past failures.
+class PlacementAdvisor {
+ public:
+  virtual ~PlacementAdvisor() = default;
+  virtual void on_record(const ras::RasEvent& event) = 0;
+  virtual bool avoid(machine::MidplaneId midplane, TimePoint now) const = 0;
+};
+
+/// Overlay copy of `pool` with every advised-against idle midplane marked
+/// busy, so choose_partition simply never sees them. Busy midplanes are left
+/// alone (running jobs are not migrated; they drain naturally).
+PartitionPool advised_view(const PartitionPool& pool, const PlacementAdvisor& advisor,
+                           TimePoint now);
 
 }  // namespace coral::sched

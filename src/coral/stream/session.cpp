@@ -48,6 +48,10 @@ Session::Session(std::string name, SessionConfig config, const Context& ctx)
   ras_dec_ = std::make_unique<ras::RasStreamDecoder>(ctx_.catalog(), config_.mode,
                                                      ctx_.machine());
   job_dec_ = std::make_unique<joblog::JobStreamDecoder>(config_.mode, ctx_.machine());
+  if (config_.rules != nullptr) {
+    predictor_ = std::make_unique<predict::Predictor>(*config_.rules, ctx_.machine(),
+                                                      ctx_.obs());
+  }
 }
 
 Session::~Session() = default;
@@ -144,7 +148,21 @@ std::size_t Session::pump_locked(SourceState& st) {
       taken + st.assembling.exchange(buffered, std::memory_order_relaxed) - buffered;
   bytes_decoded_.fetch_add(consumed, std::memory_order_relaxed);
   CORAL_OBS_COUNT(ctx_.obs(), "session.bytes.decoded", consumed);
+  if (st.kind == Source::Ras) predict_new_records_locked();
   return consumed;
+}
+
+void Session::predict_new_records_locked() {
+  if (!predictor_) return;
+  // The decoder's live tap is append-only between pumps, and payloads arrive
+  // in file order, so cursoring over it replays exactly the record sequence
+  // an offline predict::replay of the finalized log would see — the parity
+  // the online/offline differential test pins.
+  const std::vector<ras::RasEvent>& events = ras_dec_->events_so_far();
+  for (; predicted_ < events.size(); ++predicted_) {
+    predictor_->on_record(events[predicted_]);
+  }
+  predictions_.store(predictor_->issued(), std::memory_order_relaxed);
 }
 
 std::size_t Session::pump() {
@@ -169,6 +187,7 @@ SessionStats Session::snapshot() const {
   s.backlog_bytes = ras_->backlog() + jobs_->backlog();
   s.ras_records = ras_records_.load(std::memory_order_relaxed);
   s.job_records = job_records_.load(std::memory_order_relaxed);
+  s.predictions = predictions_.load(std::memory_order_relaxed);
   s.finalized = finalized_.load(std::memory_order_acquire);
   return s;
 }
@@ -201,6 +220,10 @@ SessionResult Session::finalize() {
                        (st->kind == Source::Ras ? "RAS" : "job") + " log (bad magic)");
     }
   }
+  // Feed the predictor the tail decoded by the truncation endgame before
+  // finish() moves the events out from under the live tap.
+  predict_new_records_locked();
+  if (predictor_) out.predictions = predictor_->predictions();
   out.ras = ras_dec_->finish(out.ras_report, ras_->frame_damage);
   out.jobs = job_dec_->finish(out.jobs_report, jobs_->frame_damage);
   ras_records_.store(out.ras.size(), std::memory_order_relaxed);

@@ -11,6 +11,7 @@
 #include "coral/context.hpp"
 #include "coral/core/pipeline.hpp"
 #include "coral/joblog/binary_stream.hpp"
+#include "coral/predict/predictor.hpp"
 #include "coral/ras/binary_stream.hpp"
 
 namespace coral::stream {
@@ -38,6 +39,12 @@ struct SessionConfig {
   /// ledger (dropped bytes read as frame damage).
   enum class Overflow { Reject, Shed } overflow = Overflow::Reject;
   core::CoAnalysisConfig analysis;
+  /// Online failure prediction: when set, every decoded RAS record is fed
+  /// through a predict::Predictor as it is pumped, live predictions count in
+  /// SessionStats/obs ("predict.*" counters, lead-time histogram) and the
+  /// full prediction list rides out in SessionResult. Non-owning; must
+  /// outlive the session. Null (the default) changes nothing.
+  const predict::RuleTable* rules = nullptr;
 };
 
 /// Live counters, readable mid-run from any thread without stopping ingest
@@ -50,6 +57,7 @@ struct SessionStats {
   std::uint64_t backlog_bytes = 0;   ///< queued + assembler-buffered, both sources
   std::uint64_t ras_records = 0;     ///< decoded so far
   std::uint64_t job_records = 0;
+  std::uint64_t predictions = 0;     ///< issued by the online predictor
   bool finalized = false;
 };
 
@@ -63,6 +71,10 @@ struct SessionResult {
   joblog::JobLog jobs;
   IngestReport ras_report;
   IngestReport jobs_report;
+  /// Online predictions, in issue order (empty without SessionConfig::rules).
+  /// Byte-identical to predict::replay over the decoded log, for any feed
+  /// chunking — the live path is differential-tested against that replay.
+  std::vector<predict::Prediction> predictions;
 };
 
 /// One tenant's resident co-analysis engine: an explicit feed()/flush()/
@@ -120,6 +132,9 @@ class Session {
   SourceState& state(Source src);
   /// Drain one source's queue into its assembler + decoder (drain_mu_ held).
   std::size_t pump_locked(SourceState& st);
+  /// Feed RAS records decoded since the last call to the online predictor
+  /// (drain_mu_ held; no-op without rules).
+  void predict_new_records_locked();
 
   const std::string name_;
   const SessionConfig config_;
@@ -129,6 +144,8 @@ class Session {
   std::unique_ptr<SourceState> jobs_;
   std::unique_ptr<ras::RasStreamDecoder> ras_dec_;
   std::unique_ptr<joblog::JobStreamDecoder> job_dec_;
+  std::unique_ptr<predict::Predictor> predictor_;  ///< null without rules
+  std::size_t predicted_ = 0;  ///< decoded RAS records already fed (drain_mu_)
 
   std::mutex drain_mu_;  ///< serializes pump/flush/finalize decode work
   std::atomic<bool> finalized_{false};
@@ -139,6 +156,7 @@ class Session {
   std::atomic<std::uint64_t> chunks_shed_{0};
   std::atomic<std::uint64_t> ras_records_{0};
   std::atomic<std::uint64_t> job_records_{0};
+  std::atomic<std::uint64_t> predictions_{0};
 };
 
 }  // namespace coral::stream

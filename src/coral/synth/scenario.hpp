@@ -67,6 +67,12 @@ struct ScenarioConfig {
   NoiseConfig noise;
   ResubmitConfig resubmit;
   MaintenanceConfig maintenance;
+  /// Optional live placement advisor (non-owning; must outlive generate()).
+  /// The simulation feeds it every RAS record as emitted and steers
+  /// placements away from midplanes it advises against — the predictive
+  /// counterpart of `sched.avoid_failed_window`. Null leaves the simulation
+  /// (including every RNG stream) bit-identical to pre-advisor behaviour.
+  sched::PlacementAdvisor* advisor = nullptr;
 
   TimePoint end() const { return start + static_cast<Usec>(days) * kUsecPerDay; }
 };

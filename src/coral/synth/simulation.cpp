@@ -228,7 +228,8 @@ class Simulation {
         // scheduler deliberately refuses to re-place a job on failed nodes.
         part = sched::choose_partition(config_.sched, view, app.size_midplanes,
                                        runtime_hint,
-                                       config_.sched.avoid_failed_window > 0
+                                       config_.sched.avoid_failed_window > 0 ||
+                                               config_.advisor != nullptr
                                            ? std::nullopt
                                            : it->prev_partition,
                                        sim_rng_);
@@ -597,6 +598,16 @@ class Simulation {
     storm_.expand(m, storm_rng_, records_);
     CORAL_OBS_COUNT(obs_, "synth.storm_records", records_.size() - before);
 
+    // The placement advisor (if attached) sees the primary record of each
+    // manifestation live — the control system knows the originating
+    // hardware location (§VII's "failure information" feed). The storm's
+    // temporal/spatial echo records are reporting redundancy the paper's
+    // filters undo; feeding them here would fan a midplane-scoped alarm
+    // across every midplane of the dying job's partition.
+    if (config_.advisor != nullptr && records_.size() > before) {
+      config_.advisor->on_record(records_[before].event);
+    }
+
     // The fault-aware scheduler (if enabled) observes this FATAL location.
     if (config_.sched.avoid_failed_window > 0) {
       if (const auto mid = loc.midplane_id()) {
@@ -719,18 +730,23 @@ class Simulation {
   Workload workload_;
   std::vector<bool> bug_alive_;
 
-  /// Overlay marking recently-failed midplanes busy (fault-aware placement,
-  /// §VII). Returns `view` unchanged when the policy is disabled.
+  /// Overlay marking recently-failed and advised-against midplanes busy
+  /// (fault-aware placement, §VII; predictive avoidance via the advisor).
+  /// Returns `view` unchanged when both policies are disabled.
   sched::PartitionPool fault_aware_view(const sched::PartitionPool& view,
                                         TimePoint now) const {
-    if (config_.sched.avoid_failed_window <= 0) return view;
+    const bool reactive = config_.sched.avoid_failed_window > 0;
+    if (!reactive && config_.advisor == nullptr) return view;
     sched::PartitionPool out = view;
     for (MidplaneId m = 0; m < n_midplanes_; ++m) {
-      const TimePoint last = last_fatal_at_[static_cast<std::size_t>(m)];
-      if (last.usec() != 0 && now - last <= config_.sched.avoid_failed_window &&
-          !out.midplane_busy(m)) {
-        out.force_acquire(Partition::unchecked(m, 1));
+      if (out.midplane_busy(m)) continue;
+      bool bad = false;
+      if (reactive) {
+        const TimePoint last = last_fatal_at_[static_cast<std::size_t>(m)];
+        bad = last.usec() != 0 && now - last <= config_.sched.avoid_failed_window;
       }
+      if (!bad && config_.advisor != nullptr) bad = config_.advisor->avoid(m, now);
+      if (bad) out.force_acquire(Partition::unchecked(m, 1));
     }
     return out;
   }

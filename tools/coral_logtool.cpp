@@ -4,6 +4,8 @@
 //   coral_logtool convert <in> <out> [--v2|--v3] [--no-compress] [--lenient]
 //   coral_logtool verify <a> <b> [--lenient] record-for-record equality
 //   coral_logtool gen <ras-out> <jobs-out> [--v2|--v3]  small synthetic pair
+//   coral_logtool mine <ras> <jobs> <rules-out>         mine correlation rules
+//   coral_logtool predict <rules> <ras>                 replay rules over a log
 //
 // The log kind (RAS vs job) is auto-detected from the file magic; the
 // machine model comes from a v3 'M' meta block when one is present
@@ -27,7 +29,11 @@
 #include "coral/fleet/fingerprint.hpp"
 #include "coral/joblog/binary_io.hpp"
 #include "coral/joblog/binary_stream.hpp"
+#include "coral/core/pipeline.hpp"
 #include "coral/machine/model.hpp"
+#include "coral/predict/evaluate.hpp"
+#include "coral/predict/miner.hpp"
+#include "coral/predict/predictor.hpp"
 #include "coral/ras/binary_io.hpp"
 #include "coral/ras/binary_stream.hpp"
 #include "coral/ras/catalog.hpp"
@@ -52,7 +58,10 @@ struct FileInfo {
                "[--lenient]\n"
                "       coral_logtool verify <a> <b> [--lenient]\n"
                "       coral_logtool gen <ras-out> <jobs-out> [--v2|--v3] "
-               "[--no-compress]\n");
+               "[--no-compress]\n"
+               "       coral_logtool mine <ras> <jobs> <rules-out> [--lenient]\n"
+               "           [--window-hours=H] [--min-support=N] [--min-confidence=C]\n"
+               "       coral_logtool predict <rules> <ras> [--lenient]\n");
   std::exit(2);
 }
 
@@ -274,6 +283,57 @@ int cmd_verify(const std::string& a_path, const std::string& b_path, ParseMode m
   return 0;
 }
 
+int cmd_mine(const std::string& ras_path, const std::string& jobs_path,
+             const std::string& out_path, ParseMode mode,
+             const predict::MinerConfig& miner) {
+  const FileInfo fr = load(ras_path);
+  const FileInfo fj = load(jobs_path);
+  if (fr.kind != Kind::Ras) throw Error(ras_path + " is not a RAS log");
+  if (fj.kind != Kind::Job) throw Error(jobs_path + " is not a job log");
+  const Loaded ras = read_log(fr, mode);
+  const Loaded jobs = read_log(fj, mode);
+  Context ctx;
+  ctx.with_machine(resolve_machine(fr));
+  const core::CoAnalysisResult analysis =
+      core::run_coanalysis(*ras.ras, *jobs.jobs, {}, ctx);
+  const predict::RuleTable table =
+      predict::mine_rules(analysis, *jobs.jobs, miner, ctx);
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open " + out_path + " for writing");
+  const std::string bytes = table.serialize();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) throw Error("short write to " + out_path);
+  std::printf("%s", predict::describe(table, ras::Catalog::instance()).c_str());
+  std::printf("%zu rules -> %s (%zu bytes)\n", table.size(), out_path.c_str(),
+              bytes.size());
+  return 0;
+}
+
+int cmd_predict(const std::string& rules_path, const std::string& ras_path,
+                ParseMode mode) {
+  std::ifstream rin(rules_path, std::ios::binary);
+  if (!rin) throw Error("cannot open " + rules_path);
+  std::ostringstream rbuf;
+  rbuf << rin.rdbuf();
+  const predict::RuleTable table = predict::RuleTable::deserialize(std::move(rbuf).str());
+  const FileInfo fr = load(ras_path);
+  if (fr.kind != Kind::Ras) throw Error(ras_path + " is not a RAS log");
+  const Loaded ras = read_log(fr, mode);
+  const std::vector<predict::Prediction> preds = predict::replay(table, *ras.ras);
+  // Replay again through a visible Predictor for the hit/suppress ledger
+  // (replay() itself only returns the prediction list).
+  predict::Predictor p(table, ras.ras->machine());
+  for (const ras::RasEvent& ev : ras.ras->events()) p.on_record(ev);
+  std::printf("rules:        %zu\n", table.size());
+  std::printf("records:      %zu\n", ras.ras->size());
+  std::printf("predictions:  %zu issued, %llu suppressed (in-window re-fires)\n",
+              preds.size(), (unsigned long long)p.suppressed());
+  std::printf("hits:         %llu predictions saw their target arrive in-window\n",
+              (unsigned long long)p.hits());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -284,6 +344,7 @@ int main(int argc, char** argv) {
     ParseMode mode = ParseMode::Strict;
     std::uint32_t version = 3;
     bool compress = true;
+    coral::predict::MinerConfig miner;
     std::vector<std::string> pos;
     for (std::size_t i = 1; i < args.size(); ++i) {
       if (args[i] == "--lenient") {
@@ -294,6 +355,13 @@ int main(int argc, char** argv) {
         version = 3;
       } else if (args[i] == "--no-compress") {
         compress = false;
+      } else if (args[i].rfind("--window-hours=", 0) == 0) {
+        miner.window = static_cast<coral::Usec>(
+            std::stod(args[i].substr(15)) * coral::kUsecPerHour);
+      } else if (args[i].rfind("--min-support=", 0) == 0) {
+        miner.min_support = static_cast<std::uint32_t>(std::stoul(args[i].substr(14)));
+      } else if (args[i].rfind("--min-confidence=", 0) == 0) {
+        miner.min_confidence = std::stod(args[i].substr(17));
       } else if (!args[i].empty() && args[i][0] == '-') {
         usage();
       } else {
@@ -306,6 +374,10 @@ int main(int argc, char** argv) {
     }
     if (cmd == "verify" && pos.size() == 2) return cmd_verify(pos[0], pos[1], mode);
     if (cmd == "gen" && pos.size() == 2) return cmd_gen(pos[0], pos[1], version, compress);
+    if (cmd == "mine" && pos.size() == 3) {
+      return cmd_mine(pos[0], pos[1], pos[2], mode, miner);
+    }
+    if (cmd == "predict" && pos.size() == 2) return cmd_predict(pos[0], pos[1], mode);
     usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "coral_logtool: %s\n", e.what());
